@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the §2 allocation machinery:
+//! the closed-form optimizer with its water-filling loop, the empirical
+//! greedy allocator, and the hit-curve fitting that feeds both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specweb_core::dist::HitCurve;
+use specweb_core::units::Bytes;
+use specweb_dissem::alloc::{allocate_proportional, allocate_uniform, optimize, ServerModel};
+
+fn synthetic_models(n: usize) -> Vec<ServerModel> {
+    (0..n)
+        .map(|i| ServerModel {
+            lambda: 1e-7 * (1.0 + (i % 17) as f64),
+            demand: 1e3 * (1.0 + (i % 29) as f64).powi(2),
+        })
+        .collect()
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc/optimize");
+    for n in [10usize, 100, 1_000] {
+        let servers = synthetic_models(n);
+        let b0 = Bytes::from_mib(64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &servers, |b, s| {
+            b.iter(|| optimize(std::hint::black_box(s), b0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let servers = synthetic_models(100);
+    let b0 = Bytes::from_mib(64);
+    c.bench_function("alloc/uniform_100", |b| {
+        b.iter(|| allocate_uniform(std::hint::black_box(&servers), b0).unwrap())
+    });
+    c.bench_function("alloc/proportional_100", |b| {
+        b.iter(|| allocate_proportional(std::hint::black_box(&servers), b0).unwrap())
+    });
+}
+
+fn bench_hit_curve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc/hit_curve");
+    for n in [1_000usize, 10_000] {
+        let docs: Vec<(Bytes, u64)> = (0..n)
+            .map(|i| (Bytes::new(500 + (i as u64 % 97) * 300), 1 + (n - i) as u64))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &docs, |b, d| {
+            b.iter(|| HitCurve::from_documents(std::hint::black_box(d)).unwrap())
+        });
+        let curve = HitCurve::from_documents(&docs).unwrap();
+        g.bench_with_input(BenchmarkId::new("fit_lambda", n), &curve, |b, cur| {
+            b.iter(|| cur.fit_lambda(0.98).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_queueing(c: &mut Criterion) {
+    use specweb_netsim::queueing::Mg1;
+    let m = Mg1::httpd_1995();
+    c.bench_function("alloc/mg1_response", |b| {
+        b.iter(|| m.mean_response_secs(std::hint::black_box(17.3)))
+    });
+    c.bench_function("alloc/mg1_capacity", |b| {
+        b.iter(|| m.capacity_for_response(std::hint::black_box(0.25)).unwrap())
+    });
+}
+
+fn bench_zipf_fit(c: &mut Criterion) {
+    use specweb_core::dist::{fit_zipf_theta, Zipf};
+    use specweb_core::rng::SeedTree;
+    let z = Zipf::new(1_000, 0.95).unwrap();
+    let mut rng = SeedTree::new(5).child("bench").rng();
+    let mut counts = vec![0u64; 1_000];
+    for _ in 0..200_000 {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    c.bench_function("alloc/zipf_fit_1000", |b| {
+        b.iter(|| fit_zipf_theta(std::hint::black_box(&counts)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_optimize,
+    bench_baselines,
+    bench_hit_curve,
+    bench_queueing,
+    bench_zipf_fit
+);
+criterion_main!(benches);

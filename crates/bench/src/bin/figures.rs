@@ -1,0 +1,183 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p specweb-bench --bin figures -- all
+//! cargo run --release -p specweb-bench --bin figures -- fig5 fig6
+//! cargo run --release -p specweb-bench --bin figures -- --quick all
+//! cargo run --release -p specweb-bench --bin figures -- --seed 7 fig3
+//! ```
+//!
+//! Text and JSON land in `results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use specweb_bench::{ablations, exps, fig1, fig2, fig3, fig4, fig5, Report, Scale};
+
+const ALL: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "tab1",
+    "exp-upd",
+    "exp-size",
+    "exp-cache",
+    "exp-coop",
+    "exp-pref",
+    "exp-class",
+    "exp-sizing",
+    "exp-closure",
+    "exp-rank",
+    "exp-tailored",
+    "exp-shed",
+    "exp-hier",
+    "exp-alloc",
+    "exp-aging",
+    "exp-digest",
+    "exp-queue",
+];
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut seed = 1996u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--quick] [--seed N] [--out DIR] <ids…|all>");
+                println!("ids: {}", ALL.join(" "));
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    // fig5 and fig6 share one sweep; run it once if both are requested.
+    let both_56 = wanted.iter().any(|w| w == "fig5") && wanted.iter().any(|w| w == "fig6");
+    let shared_sweep = if both_56 {
+        eprintln!("[figures] running fig5/fig6 shared sweep…");
+        Some(fig5::sweep(scale, seed).unwrap_or_else(|e| die(&format!("sweep failed: {e}"))))
+    } else {
+        None
+    };
+
+    // Experiments are independent deterministic replays: run them on a
+    // small thread pool and print in request order.
+    let t0 = Instant::now();
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4)
+        .min(wanted.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<std::sync::Mutex<Option<(Report, f64)>>> = Vec::new();
+    slots.resize_with(wanted.len(), || std::sync::Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= wanted.len() {
+                    break;
+                }
+                let id = &wanted[idx];
+                let started = Instant::now();
+                let report = run_one(id, scale, seed, &shared_sweep)
+                    .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));
+                *slots[idx].lock().expect("no poisoning") =
+                    Some((report, started.elapsed().as_secs_f64()));
+            });
+        }
+    });
+
+    for (id, slot) in wanted.iter().zip(&slots) {
+        let (report, secs) = slot
+            .lock()
+            .expect("no poisoning")
+            .take()
+            .unwrap_or_else(|| die(&format!("{id} produced no report")));
+        println!("{}", report.render());
+        report
+            .write_to(&out_dir)
+            .unwrap_or_else(|e| die(&format!("writing {id}: {e}")));
+        eprintln!(
+            "[figures] {id} done in {secs:.1}s (→ {}/{id}.txt)",
+            out_dir.display()
+        );
+    }
+    eprintln!(
+        "[figures] all done in {:.1}s ({n_workers} workers)",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// Dispatches one experiment id.
+fn run_one(
+    id: &str,
+    scale: Scale,
+    seed: u64,
+    shared_sweep: &Option<specweb_bench::fig5::Sweep>,
+) -> specweb_core::Result<Report> {
+    match id {
+        "fig1" => fig1::run(scale, seed),
+        "fig2" => fig2::run(scale, seed),
+        "fig3" => fig3::run(scale, seed),
+        "fig4" => fig4::run(scale, seed),
+        "fig5" => match shared_sweep {
+            Some(s) => Ok(fig5::report(s)),
+            None => fig5::run(scale, seed),
+        },
+        "fig6" => match shared_sweep {
+            Some(s) => Ok(fig5::report_fig6(s)),
+            None => fig5::run_fig6(scale, seed),
+        },
+        "tab1" => exps::tab1(scale, seed),
+        "exp-upd" => exps::exp_upd(scale, seed),
+        "exp-size" => exps::exp_size(scale, seed),
+        "exp-cache" => exps::exp_cache(scale, seed),
+        "exp-coop" => exps::exp_coop(scale, seed),
+        "exp-pref" => exps::exp_pref(scale, seed),
+        "exp-class" => exps::exp_class(scale, seed),
+        "exp-sizing" => exps::exp_sizing(scale, seed),
+        "exp-closure" => ablations::exp_closure(scale, seed),
+        "exp-rank" => ablations::exp_rank(scale, seed),
+        "exp-tailored" => ablations::exp_tailored(scale, seed),
+        "exp-shed" => ablations::exp_shed(scale, seed),
+        "exp-hier" => ablations::exp_hier(scale, seed),
+        "exp-alloc" => ablations::exp_alloc(scale, seed),
+        "exp-aging" => ablations::exp_aging(scale, seed),
+        "exp-digest" => ablations::exp_digest(scale, seed),
+        "exp-queue" => ablations::exp_queue(scale, seed),
+        other => {
+            eprintln!(
+                "[figures] unknown experiment `{other}` — known: {}",
+                ALL.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("[figures] error: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,151 @@
+//! Minimal ASCII line plots for the rendered figures.
+//!
+//! The paper's artifacts are *figures*; the text tables carry the exact
+//! numbers, and these plots carry the shape at a glance. One canvas,
+//! multiple series, linear axes, automatic bounds.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name (its first character is the plot glyph).
+    pub name: String,
+    /// The points; need not be sorted.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series onto a `width × height` canvas with axis labels.
+/// Returns an empty string when there is nothing plottable (no finite
+/// points) — callers can append unconditionally.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.name.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // First-drawn series wins collisions; later glyphs only fill
+            // blank cells so overlapping curves stay distinguishable.
+            if canvas[row][col] == ' ' {
+                canvas[row][col] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y1:>9.1}")
+        } else if i == height - 1 {
+            format!("{y0:>9.1}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10}{:<w$}{:>8}\n",
+        format!("{x0:.1}"),
+        "",
+        format!("{x1:.1}"),
+        w = width.saturating_sub(8)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} = {}", s.name.chars().next().unwrap_or('*'), s.name))
+        .collect();
+    out.push_str(&format!("          [{}]\n", legend.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_line() {
+        let s = Series::new(
+            "load",
+            (0..20).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+        );
+        let p = render(&[s], 40, 10);
+        assert!(p.contains('l'), "glyph missing:\n{p}");
+        assert!(p.contains("[l = load]"));
+        // Axis labels present.
+        assert!(p.contains("38.0"));
+        assert!(p.contains("0.0"));
+    }
+
+    #[test]
+    fn multiple_series_keep_distinct_glyphs() {
+        let a = Series::new("alpha", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("beta", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let p = render(&[a, b], 30, 8);
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(render(&[], 40, 10), "");
+        let nan = Series::new("n", vec![(f64::NAN, 1.0)]);
+        assert_eq!(render(&[nan], 40, 10), "");
+        // A single point still renders.
+        let one = Series::new("p", vec![(5.0, 5.0)]);
+        let p = render(&[one], 40, 10);
+        assert!(p.contains('p'));
+    }
+
+    #[test]
+    fn bounds_are_clamped() {
+        let s = Series::new("x", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let p = render(&[s], 1, 1); // clamps to 16×4
+        assert!(!p.is_empty());
+    }
+}

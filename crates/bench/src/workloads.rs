@@ -1,0 +1,112 @@
+//! Shared workload construction for the experiment harness.
+//!
+//! All experiments draw from the same two calibrated workloads so the
+//! numbers are comparable across figures:
+//!
+//! * the **bu** workload — a `cs-www.bu.edu`-flavored single-server
+//!   trace (the paper's: 205,925 accesses, 8,474 clients, >20k sessions
+//!   over ~90 days);
+//! * the **drift** workload — the same site with visible link churn,
+//!   for the §3.4 staleness experiment.
+
+use specweb_core::Result;
+use specweb_netsim::topology::Topology;
+use specweb_trace::generator::{Trace, TraceConfig, TraceGenerator};
+
+use crate::Scale;
+
+/// The clientele tree used throughout: root (server) → 3 national
+/// backbones → 9 regionals → 27 edge networks, 6 client leaves each.
+/// Clients sit 4 hops from the server; interior nodes are candidate
+/// proxies.
+pub fn topology() -> Topology {
+    Topology::balanced(3, 3, 6)
+}
+
+/// The `cs-www.bu.edu`-flavored workload at the requested scale.
+pub fn bu_trace(scale: Scale, seed: u64) -> Result<Trace> {
+    let topo = topology();
+    let cfg = bu_config(scale, seed);
+    TraceGenerator::new(cfg)?.generate(&topo)
+}
+
+/// The configuration behind [`bu_trace`].
+pub fn bu_config(scale: Scale, seed: u64) -> TraceConfig {
+    let mut cfg = TraceConfig::bu_www(seed);
+    match scale {
+        Scale::Full => {
+            // ≈ 90 days × 150 sessions × ~16 accesses ≈ 220k accesses.
+        }
+        Scale::Quick => {
+            cfg.site.n_pages = 80;
+            cfg.clients.n_clients = 150;
+            cfg.duration_days = 16;
+            cfg.sessions_per_day = 60;
+        }
+    }
+    cfg
+}
+
+/// The drifting workload for the staleness experiment: same site, but
+/// pages re-target their links at a visible rate, over a longer span so
+/// a 60-day update cycle can actually go stale.
+pub fn drift_trace(scale: Scale, seed: u64) -> Result<Trace> {
+    let topo = topology();
+    let mut cfg = bu_config(scale, seed);
+    match scale {
+        Scale::Full => {
+            cfg.duration_days = 120;
+            cfg.link_churn_per_day = 0.025;
+        }
+        Scale::Quick => {
+            cfg.duration_days = 24;
+            cfg.link_churn_per_day = 0.05;
+        }
+    }
+    TraceGenerator::new(cfg)?.generate(&topo)
+}
+
+/// The days a spec-sim should treat as warm-up at each scale (history
+/// for the first estimation).
+pub fn warmup_days(scale: Scale) -> u64 {
+    match scale {
+        Scale::Full => 30,
+        Scale::Quick => 6,
+    }
+}
+
+/// The estimator history length at each scale (the paper's 60 days,
+/// scaled down for quick runs).
+pub fn history_days(scale: Scale) -> u64 {
+    match scale {
+        Scale::Full => 60,
+        Scale::Quick => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_generates() {
+        let t = bu_trace(Scale::Quick, 1).unwrap();
+        assert!(t.len() > 1_000, "quick trace too small: {}", t.len());
+        assert!(t.catalog.len() > 50);
+    }
+
+    #[test]
+    fn drift_workload_generates() {
+        let t = drift_trace(Scale::Quick, 1).unwrap();
+        assert_eq!(t.duration.as_millis() / 86_400_000, 24);
+    }
+
+    #[test]
+    fn topology_has_depth_four_leaves() {
+        let topo = topology();
+        for &l in topo.leaves() {
+            assert_eq!(topo.depth(l), 4);
+        }
+        assert_eq!(topo.interior_nodes().len(), 3 + 9 + 27);
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace-wide error type.
+//!
+//! The crates in this workspace are libraries first: they return typed
+//! errors instead of panicking, and the single [`CoreError`] enum keeps
+//! the `?` plumbing uniform across crates without pulling in an error
+//! framework dependency.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `specweb` workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An id referred to an entity that does not exist.
+    UnknownId {
+        /// The id space ("doc", "client", "server", "node").
+        kind: &'static str,
+        /// The raw id value.
+        id: u32,
+    },
+    /// Numeric fitting/estimation failed (e.g. degenerate input curve).
+    Estimation(String),
+    /// A log line or serialized artifact could not be parsed.
+    Parse {
+        /// One-based line number, when known (0 = unknown).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An I/O failure, flattened to a string so the error stays `Clone`.
+    Io(String),
+}
+
+impl CoreError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(param: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::InvalidConfig {
+            param,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, reason: impl Into<String>) -> Self {
+        CoreError::Parse {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration `{param}`: {reason}")
+            }
+            CoreError::UnknownId { kind, id } => {
+                write!(f, "unknown {kind} id {id}")
+            }
+            CoreError::Estimation(msg) => write!(f, "estimation failed: {msg}"),
+            CoreError::Parse { line, reason } => {
+                if *line == 0 {
+                    write!(f, "parse error: {reason}")
+                } else {
+                    write!(f, "parse error at line {line}: {reason}")
+                }
+            }
+            CoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::invalid_config("T_p", "must be in (0, 1]");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration `T_p`: must be in (0, 1]"
+        );
+        let e = CoreError::UnknownId { kind: "doc", id: 7 };
+        assert_eq!(e.to_string(), "unknown doc id 7");
+        let e = CoreError::parse(3, "bad timestamp");
+        assert_eq!(e.to_string(), "parse error at line 3: bad timestamp");
+        let e = CoreError::parse(0, "truncated");
+        assert_eq!(e.to_string(), "parse error: truncated");
+        let e = CoreError::Estimation("empty curve".into());
+        assert_eq!(e.to_string(), "estimation failed: empty curve");
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: CoreError = io.into();
+        assert!(matches!(e, CoreError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::Io("x".into()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulators juggle four distinct id spaces — documents, clients,
+//! servers and topology nodes. Mixing them up is an easy, silent bug in a
+//! trace-driven simulator (a `u32` is a `u32`), so each space gets its own
+//! newtype. All ids are dense small integers so they can double as vector
+//! indices in the hot paths of the simulators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, for use as a vector offset.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            /// Converts from a vector index.
+            ///
+            /// # Panics
+            /// Panics if `raw` does not fit in a `u32`; id spaces in this
+            /// workspace are always far below that bound.
+            #[inline]
+            fn from(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("id overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A document (any multimedia object, per the paper's footnote 1).
+    DocId,
+    "D"
+);
+define_id!(
+    /// A client (browser / host issuing requests).
+    ClientId,
+    "C"
+);
+define_id!(
+    /// A home server (producer of documents).
+    ServerId,
+    "S"
+);
+define_id!(
+    /// A node in the network topology tree (client leaf, candidate proxy,
+    /// or server attachment point).
+    NodeId,
+    "N"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_u32() {
+        let d = DocId::new(42);
+        assert_eq!(d.raw(), 42);
+        assert_eq!(d.index(), 42);
+        assert_eq!(DocId::from(42u32), d);
+        assert_eq!(DocId::from(42usize), d);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(DocId::new(7).to_string(), "D7");
+        assert_eq!(ClientId::new(7).to_string(), "C7");
+        assert_eq!(ServerId::new(7).to_string(), "S7");
+        assert_eq!(NodeId::new(7).to_string(), "N7");
+        assert_eq!(format!("{:?}", DocId::new(9)), "D9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(DocId::new(1) < DocId::new(2));
+        let mut v = vec![DocId::new(3), DocId::new(1), DocId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![DocId::new(1), DocId::new(2), DocId::new(3)]);
+    }
+
+    #[test]
+    fn hashable() {
+        let mut set = HashSet::new();
+        set.insert(DocId::new(1));
+        set.insert(DocId::new(1));
+        set.insert(DocId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(DocId::default(), DocId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn usize_overflow_panics() {
+        let _ = DocId::from(u32::MAX as usize + 1);
+    }
+}

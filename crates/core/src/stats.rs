@@ -1,0 +1,447 @@
+//! Streaming statistics, histograms and small numeric helpers.
+//!
+//! The experiment harness needs to summarize large simulations without
+//! retaining every sample: streaming mean/variance (Welford), fixed-bin
+//! histograms (Fig. 4 of the paper is exactly such a histogram over
+//! `p[i,j]` ranges), exact quantiles over retained samples, and the tiny
+//! regression used to fit the exponential popularity model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/mean/variance/min/max accumulator (Welford's
+/// algorithm — numerically stable for long simulations).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for StreamingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A fixed-bin histogram over a closed-open interval `[lo, hi)`.
+///
+/// Out-of-range observations are clamped into the first/last bin and
+/// counted separately so the caller can detect a mis-sized domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi` — both are programming errors
+    /// at experiment-definition time, not runtime conditions.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Feeds one observation (clamping out-of-range values).
+    pub fn push(&mut self, x: f64) {
+        self.push_n(x, 1);
+    }
+
+    /// Feeds `n` identical observations at once.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        let nb = self.bins.len();
+        if x < self.lo {
+            self.underflow += n;
+            self.bins[0] += n;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += n;
+            self.bins[nb - 1] += n;
+            return;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * nb as f64) as usize).min(nb - 1);
+        self.bins[idx] += n;
+    }
+
+    /// Bin counts.
+    #[inline]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Number of observations below `lo` (clamped into bin 0).
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above `hi` (clamped into the last bin).
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        0.5 * (a + b)
+    }
+
+    /// Renders the histogram as fixed-width rows `lo..hi  count  bar`.
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            out.push_str(&format!("{a:>8.3}..{b:<8.3} {c:>9} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Exact quantile over a slice (linear interpolation between order
+/// statistics, the "type 7" definition used by R and NumPy).
+/// Returns `None` for an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Least-squares slope of `y = m·x` (regression **through the origin**).
+///
+/// This is the estimator used to fit the paper's exponential popularity
+/// model: with `y = -ln(1 - H(b))` and `x = b`, the model `H(b) =
+/// 1 - exp(-λ b)` becomes the line `y = λ x` through the origin.
+/// Returns `None` when the inputs are degenerate (no variation in `x`).
+pub fn slope_through_origin(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "mismatched regression inputs");
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx <= 0.0 || !sxx.is_finite() {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    if !sxy.is_finite() {
+        return None;
+    }
+    Some(sxy / sxx)
+}
+
+/// Gini coefficient of a set of non-negative weights — a scalar measure
+/// of how concentrated ("popular-skewed") a popularity profile is.
+/// Returns 0 for uniform weights, → 1 as one item dominates.
+pub fn gini(weights: &[f64]) -> f64 {
+    let n = weights.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut w: Vec<f64> = weights.to_vec();
+    w.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight in gini"));
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Gini = (2·Σ i·w_i)/(n·Σ w) − (n+1)/n, with i 1-based over ascending w.
+    let weighted: f64 = w.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_empty_is_sane() {
+        let s = StreamingStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.push(0.05); // bin 0
+        h.push(0.95); // bin 9
+        h.push(0.999); // bin 9
+        h.push(-5.0); // underflow → bin 0
+        h.push(2.0); // overflow → bin 9
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[9], 3);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_edge_exactly_hi_is_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(1.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[3], 1);
+    }
+
+    #[test]
+    fn histogram_bin_geometry() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 0.25));
+        assert_eq!(h.bin_edges(3), (0.75, 1.0));
+        assert!((h.bin_center(1) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_push_n() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push_n(3.0, 7);
+        assert_eq!(h.bins()[1], 7);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push_n(0.25, 4);
+        h.push(0.75);
+        let r = h.render(20);
+        assert!(r.contains('4'));
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&v, 1.5), None);
+        assert_eq!(quantile(&[9.0], 0.3), Some(9.0));
+    }
+
+    #[test]
+    fn slope_fits_exact_line() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let m = slope_through_origin(&xs, &ys).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_degenerate_is_none() {
+        assert_eq!(slope_through_origin(&[], &[]), None);
+        assert_eq!(slope_through_origin(&[0.0, 0.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!((gini(&[1.0, 1.0, 1.0, 1.0])).abs() < 1e-12);
+        // One item holds everything: (n-1)/n for n items.
+        let g = gini(&[0.0, 0.0, 0.0, 1.0]);
+        assert!((g - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0]);
+        let b = gini(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! Simulated time.
+//!
+//! The paper's trace analysis is entirely wall-clock driven: the
+//! dependency window `T_w`, `StrideTimeout` and `SessionTimeout` are all
+//! durations compared against inter-request gaps, and the estimator is
+//! refreshed every `UpdateCycle` *days* over a `HistoryLength`-day
+//! history. A millisecond-resolution integer clock is plenty for HTTP
+//! logs (which have one-second resolution) while staying exact — no
+//! floating-point drift over 22-week traces.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in milliseconds since the start of
+/// the trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The trace origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Constructs an instant from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Constructs an instant from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * Duration::DAY.0)
+    }
+
+    /// Milliseconds since the origin.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the origin (truncated).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The zero-based day this instant falls in, used to bucket a trace
+    /// into the paper's per-day estimator update cycle.
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.0 / Duration::DAY.0
+    }
+
+    /// The elapsed duration since `earlier`, saturating at zero if
+    /// `earlier` is actually later (defensive: logs are not always
+    /// perfectly sorted).
+    #[inline]
+    pub const fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// One second.
+    pub const SECOND: Duration = Duration(1_000);
+    /// One minute.
+    pub const MINUTE: Duration = Duration(60_000);
+    /// One hour.
+    pub const HOUR: Duration = Duration(3_600_000);
+    /// One day.
+    pub const DAY: Duration = Duration(86_400_000);
+    /// Effectively infinite — larger than any trace span we simulate.
+    /// Used for the paper's `SessionTimeout = ∞` and `MaxSize = ∞`
+    /// style settings.
+    pub const INFINITE: Duration = Duration(u64::MAX);
+
+    /// Constructs a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000)
+    }
+
+    /// Constructs a span from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Constructs a span from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * Duration::DAY.0)
+    }
+
+    /// Constructs a span from fractional seconds, rounding to the nearest
+    /// millisecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() {
+            return Duration::INFINITE;
+        }
+        Duration((secs.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Milliseconds in the span.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in the span (truncated).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether this span is the [`Duration::INFINITE`] sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else if self.0.is_multiple_of(Duration::DAY.0) && self.0 > 0 {
+            write!(f, "{}d", self.0 / Duration::DAY.0)
+        } else if self.0.is_multiple_of(1_000) {
+            write!(f, "{}s", self.0 / 1_000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Splits a time-ordered iterator of instants into *strides*: maximal
+/// runs in which consecutive instants are separated by **less than**
+/// `timeout` (the paper's `StrideTimeout` / `SessionTimeout` definition:
+/// "a sequence of requests where the time between successive requests is
+/// less than StrideTimeout seconds").
+///
+/// Returns the list of `(start_index, end_index_exclusive)` ranges.
+/// An infinite timeout yields one stride covering everything; a zero
+/// timeout yields one singleton stride per instant.
+pub fn split_strides(times: &[SimTime], timeout: Duration) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if times.is_empty() {
+        return out;
+    }
+    let mut start = 0usize;
+    for i in 1..times.len() {
+        let gap = times[i].since(times[i - 1]);
+        let same_stride = timeout.is_infinite() || gap < timeout;
+        if !same_stride {
+            out.push((start, i));
+            start = i;
+        }
+    }
+    out.push((start, times.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(secs: &[u64]) -> Vec<SimTime> {
+        secs.iter().map(|&s| SimTime::from_secs(s)).collect()
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t.as_secs(), 10);
+        assert_eq!((t + Duration::from_secs(5)).as_secs(), 15);
+        assert_eq!((t - Duration::from_secs(3)).as_secs(), 7);
+        assert_eq!(SimTime::from_secs(12) - t, Duration::from_secs(2));
+        // `since` saturates rather than underflowing.
+        assert_eq!(t.since(SimTime::from_secs(20)), Duration::ZERO);
+    }
+
+    #[test]
+    fn day_bucketing() {
+        assert_eq!(SimTime::ZERO.day(), 0);
+        assert_eq!((SimTime::from_days(1) - Duration::from_millis(1)).day(), 0);
+        assert_eq!(SimTime::from_days(1).day(), 1);
+        assert_eq!(SimTime::from_days(59).day(), 59);
+    }
+
+    #[test]
+    fn duration_constants() {
+        assert_eq!(Duration::DAY, Duration::from_secs(86_400));
+        assert_eq!(Duration::HOUR * 24, Duration::DAY);
+        assert!(Duration::INFINITE.is_infinite());
+        assert!(!Duration::DAY.is_infinite());
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(Duration::from_secs_f64(5.0), Duration::from_secs(5));
+        assert_eq!(Duration::from_secs_f64(0.0015), Duration::from_millis(2));
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert!(Duration::from_secs_f64(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        let max = Duration::INFINITE;
+        assert_eq!(max + Duration::SECOND, Duration::INFINITE);
+        assert_eq!(max * 3, Duration::INFINITE);
+        assert_eq!(
+            SimTime(u64::MAX).saturating_add(Duration::SECOND),
+            SimTime(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn strides_basic() {
+        // Gaps: 1s, 10s, 2s with a 5s timeout → split at the 10s gap.
+        let t = ts(&[0, 1, 11, 13]);
+        let s = split_strides(&t, Duration::from_secs(5));
+        assert_eq!(s, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn strides_boundary_gap_splits() {
+        // The paper's definition is strictly "less than", so a gap equal
+        // to the timeout starts a new stride.
+        let t = ts(&[0, 5]);
+        let s = split_strides(&t, Duration::from_secs(5));
+        assert_eq!(s, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn strides_infinite_timeout_is_one_session() {
+        let t = ts(&[0, 100, 100_000]);
+        let s = split_strides(&t, Duration::INFINITE);
+        assert_eq!(s, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn strides_zero_timeout_is_all_singletons() {
+        let t = ts(&[0, 1, 2]);
+        let s = split_strides(&t, Duration::ZERO);
+        assert_eq!(s, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn strides_empty_and_single() {
+        assert!(split_strides(&[], Duration::SECOND).is_empty());
+        let s = split_strides(&[SimTime::ZERO], Duration::SECOND);
+        assert_eq!(s, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_secs(5).to_string(), "5s");
+        assert_eq!(Duration::from_days(2).to_string(), "2d");
+        assert_eq!(Duration::from_millis(1500).to_string(), "1500ms");
+        assert_eq!(Duration::INFINITE.to_string(), "∞");
+        assert_eq!(SimTime::from_millis(5).to_string(), "t+5ms");
+    }
+}

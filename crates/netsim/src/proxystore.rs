@@ -1,0 +1,249 @@
+//! Proxy replica storage.
+//!
+//! A service proxy holds, for each home server it fronts, a replica of
+//! that server's most popular documents, bounded by a per-server quota
+//! `B_i` (the allocation the §2 optimizer computes) and the proxy-wide
+//! capacity `B_0 = Σ B_i`.
+//!
+//! Documents are installed **most popular first** — that ordering is the
+//! definition of `H_i(b)` ("disseminating the most popular b bytes") —
+//! so the eviction order for §2.3's dynamic load shedding ("when the
+//! proxy becomes overloaded, B₀ is reduced, thus forcing more of the
+//! requests back to the servers") is simply the reverse of installation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::{DocId, ServerId};
+use specweb_core::units::Bytes;
+use specweb_core::{CoreError, Result};
+
+/// The replica a proxy holds for one home server.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ServerReplica {
+    quota: Bytes,
+    used: Bytes,
+    /// Installed documents in popularity order (most popular first).
+    docs: Vec<(DocId, Bytes)>,
+    /// Membership index for O(1) hit checks.
+    member: HashMap<DocId, Bytes>,
+}
+
+/// A proxy's document store with per-server quotas.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProxyStore {
+    capacity: Bytes,
+    used: Bytes,
+    replicas: HashMap<ServerId, ServerReplica>,
+}
+
+impl ProxyStore {
+    /// Creates a store with total capacity `B_0`.
+    pub fn new(capacity: Bytes) -> Self {
+        ProxyStore {
+            capacity,
+            used: Bytes::ZERO,
+            replicas: HashMap::new(),
+        }
+    }
+
+    /// Total capacity `B_0`.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Sets the quota `B_i` for `server`. Shrinking a quota below the
+    /// replica's current usage evicts least-popular documents to fit.
+    pub fn set_quota(&mut self, server: ServerId, quota: Bytes) {
+        let rep = self.replicas.entry(server).or_default();
+        rep.quota = quota;
+        while rep.used > rep.quota {
+            let (doc, size) = rep.docs.pop().expect("used > 0 implies docs");
+            rep.member.remove(&doc);
+            rep.used -= size;
+            self.used -= size;
+        }
+    }
+
+    /// The quota currently assigned to `server` (zero if unknown).
+    pub fn quota(&self, server: ServerId) -> Bytes {
+        self.replicas
+            .get(&server)
+            .map(|r| r.quota)
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Bytes used by `server`'s replica.
+    pub fn used_by(&self, server: ServerId) -> Bytes {
+        self.replicas
+            .get(&server)
+            .map(|r| r.used)
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Installs a document into `server`'s replica. Call in decreasing
+    /// popularity order. Fails (without side effects) if the document
+    /// would exceed the server quota or the proxy capacity; the caller
+    /// simply stops disseminating at that point.
+    pub fn install(&mut self, server: ServerId, doc: DocId, size: Bytes) -> Result<()> {
+        let rep = self.replicas.entry(server).or_default();
+        if rep.member.contains_key(&doc) {
+            return Ok(()); // idempotent: re-dissemination of a held doc
+        }
+        if rep.used + size > rep.quota {
+            return Err(CoreError::invalid_config(
+                "proxy.quota",
+                format!("{doc} ({size}) exceeds {server}'s remaining quota"),
+            ));
+        }
+        if self.used + size > self.capacity {
+            return Err(CoreError::invalid_config(
+                "proxy.capacity",
+                format!("{doc} ({size}) exceeds proxy capacity"),
+            ));
+        }
+        rep.docs.push((doc, size));
+        rep.member.insert(doc, size);
+        rep.used += size;
+        self.used += size;
+        Ok(())
+    }
+
+    /// Whether the proxy can serve `doc` on behalf of `server`.
+    pub fn contains(&self, server: ServerId, doc: DocId) -> bool {
+        self.replicas
+            .get(&server)
+            .is_some_and(|r| r.member.contains_key(&doc))
+    }
+
+    /// Number of documents held for `server`.
+    pub fn doc_count(&self, server: ServerId) -> usize {
+        self.replicas.get(&server).map_or(0, |r| r.docs.len())
+    }
+
+    /// §2.3 dynamic load shedding: scales every server quota by `factor`
+    /// (in `[0, 1]`), evicting least-popular documents as needed, which
+    /// pushes the shed fraction of requests back to the home servers.
+    pub fn shed(&mut self, factor: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&factor) {
+            return Err(CoreError::invalid_config(
+                "proxy.shed_factor",
+                format!("must be in [0, 1], got {factor}"),
+            ));
+        }
+        let servers: Vec<ServerId> = self.replicas.keys().copied().collect();
+        for s in servers {
+            let new_quota = Bytes::new((self.replicas[&s].quota.as_f64() * factor).floor() as u64);
+            self.set_quota(s, new_quota);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: ServerId = ServerId(0);
+
+    fn store_with_quota(cap: u64, quota: u64) -> ProxyStore {
+        let mut p = ProxyStore::new(Bytes::new(cap));
+        p.set_quota(S, Bytes::new(quota));
+        p
+    }
+
+    #[test]
+    fn install_and_hit() {
+        let mut p = store_with_quota(1_000, 500);
+        p.install(S, DocId(1), Bytes::new(200)).unwrap();
+        p.install(S, DocId(2), Bytes::new(300)).unwrap();
+        assert!(p.contains(S, DocId(1)));
+        assert!(p.contains(S, DocId(2)));
+        assert!(!p.contains(S, DocId(3)));
+        assert!(!p.contains(ServerId(9), DocId(1)));
+        assert_eq!(p.used(), Bytes::new(500));
+        assert_eq!(p.used_by(S), Bytes::new(500));
+        assert_eq!(p.doc_count(S), 2);
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut p = store_with_quota(1_000, 500);
+        p.install(S, DocId(1), Bytes::new(200)).unwrap();
+        p.install(S, DocId(1), Bytes::new(200)).unwrap();
+        assert_eq!(p.used(), Bytes::new(200));
+        assert_eq!(p.doc_count(S), 1);
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let mut p = store_with_quota(1_000, 250);
+        p.install(S, DocId(1), Bytes::new(200)).unwrap();
+        assert!(p.install(S, DocId(2), Bytes::new(100)).is_err());
+        // Failure has no side effects.
+        assert_eq!(p.used(), Bytes::new(200));
+        assert!(!p.contains(S, DocId(2)));
+    }
+
+    #[test]
+    fn capacity_is_enforced_across_servers() {
+        let mut p = ProxyStore::new(Bytes::new(300));
+        p.set_quota(ServerId(0), Bytes::new(250));
+        p.set_quota(ServerId(1), Bytes::new(250));
+        p.install(ServerId(0), DocId(1), Bytes::new(200)).unwrap();
+        // Within server 1's quota but over the proxy capacity.
+        assert!(p.install(ServerId(1), DocId(2), Bytes::new(200)).is_err());
+    }
+
+    #[test]
+    fn shrinking_quota_evicts_least_popular_first() {
+        let mut p = store_with_quota(1_000, 600);
+        p.install(S, DocId(1), Bytes::new(200)).unwrap(); // most popular
+        p.install(S, DocId(2), Bytes::new(200)).unwrap();
+        p.install(S, DocId(3), Bytes::new(200)).unwrap(); // least popular
+        p.set_quota(S, Bytes::new(400));
+        assert!(p.contains(S, DocId(1)));
+        assert!(p.contains(S, DocId(2)));
+        assert!(!p.contains(S, DocId(3)), "least popular must go first");
+        assert_eq!(p.used(), Bytes::new(400));
+    }
+
+    #[test]
+    fn shed_scales_all_quotas() {
+        let mut p = ProxyStore::new(Bytes::new(2_000));
+        p.set_quota(ServerId(0), Bytes::new(400));
+        p.set_quota(ServerId(1), Bytes::new(600));
+        p.install(ServerId(0), DocId(1), Bytes::new(400)).unwrap();
+        p.install(ServerId(1), DocId(2), Bytes::new(300)).unwrap();
+        p.install(ServerId(1), DocId(3), Bytes::new(300)).unwrap();
+        p.shed(0.5).unwrap();
+        assert_eq!(p.quota(ServerId(0)), Bytes::new(200));
+        assert_eq!(p.quota(ServerId(1)), Bytes::new(300));
+        // Server 0's single 400 B doc no longer fits its 200 B quota.
+        assert!(!p.contains(ServerId(0), DocId(1)));
+        // Server 1 keeps its most popular doc only.
+        assert!(p.contains(ServerId(1), DocId(2)));
+        assert!(!p.contains(ServerId(1), DocId(3)));
+    }
+
+    #[test]
+    fn shed_rejects_bad_factor() {
+        let mut p = ProxyStore::new(Bytes::new(100));
+        assert!(p.shed(1.5).is_err());
+        assert!(p.shed(-0.1).is_err());
+        assert!(p.shed(1.0).is_ok());
+    }
+
+    #[test]
+    fn unknown_server_queries_are_zero() {
+        let p = ProxyStore::new(Bytes::new(100));
+        assert_eq!(p.quota(S), Bytes::ZERO);
+        assert_eq!(p.used_by(S), Bytes::ZERO);
+        assert_eq!(p.doc_count(S), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the proxy store: accounting invariants must hold
+//! under arbitrary interleavings of installs, quota changes and
+//! shedding.
+
+use proptest::prelude::*;
+use specweb_core::ids::{DocId, ServerId};
+use specweb_core::units::Bytes;
+use specweb_netsim::proxystore::ProxyStore;
+
+/// One operation against the store.
+#[derive(Debug, Clone)]
+enum Op {
+    SetQuota { server: u8, kib: u16 },
+    Install { server: u8, doc: u16, kib: u16 },
+    Shed { factor_pct: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u16..256).prop_map(|(server, kib)| Op::SetQuota { server, kib }),
+        (0u8..4, 0u16..64, 1u16..64).prop_map(|(server, doc, kib)| Op::Install {
+            server,
+            doc,
+            kib
+        }),
+        (0u8..=100).prop_map(|factor_pct| Op::Shed { factor_pct }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn store_accounting_invariants(
+        capacity_kib in 16u64..512,
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let capacity = Bytes::from_kib(capacity_kib);
+        let mut store = ProxyStore::new(capacity);
+        // Shadow model: per-server resident docs and sizes.
+        let mut model: std::collections::HashMap<u8, std::collections::HashMap<u16, u64>> =
+            std::collections::HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::SetQuota { server, kib } => {
+                    store.set_quota(ServerId::new(server.into()), Bytes::from_kib(kib.into()));
+                    // The store may evict; resync the shadow below.
+                }
+                Op::Install { server, doc, kib } => {
+                    let r = store.install(
+                        ServerId::new(server.into()),
+                        DocId::new(doc.into()),
+                        Bytes::from_kib(kib.into()),
+                    );
+                    if r.is_ok() {
+                        // Mirror the store's idempotence: a re-install of
+                        // a held doc keeps the original size.
+                        model
+                            .entry(server)
+                            .or_default()
+                            .entry(doc)
+                            .or_insert(u64::from(kib) * 1024);
+                    }
+                }
+                Op::Shed { factor_pct } => {
+                    store.shed(f64::from(factor_pct) / 100.0).unwrap();
+                }
+            }
+            // Resync shadow against the store's own view (evictions are
+            // the store's prerogative; membership must only shrink from
+            // the tail, which the unit tests check — here we check the
+            // global invariants).
+            for (server, docs) in model.iter_mut() {
+                docs.retain(|doc, _| {
+                    store.contains(ServerId::new((*server).into()), DocId::new((*doc).into()))
+                });
+            }
+
+            // Invariant 1: used never exceeds capacity.
+            prop_assert!(store.used() <= capacity);
+            // Invariant 2: per-server usage never exceeds its quota.
+            for s in 0u8..4 {
+                let sid = ServerId::new(s.into());
+                prop_assert!(store.used_by(sid) <= store.quota(sid),
+                    "server {s}: used {} > quota {}", store.used_by(sid), store.quota(sid));
+            }
+            // Invariant 3: used equals the sum of resident doc sizes.
+            let model_total: u64 = model.values().flat_map(|d| d.values()).sum();
+            prop_assert_eq!(store.used().get(), model_total);
+            // Invariant 4: doc counts agree.
+            for s in 0u8..4 {
+                let sid = ServerId::new(s.into());
+                let n = model.get(&s).map_or(0, |d| d.len());
+                prop_assert_eq!(store.doc_count(sid), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Cooperative clients (§3.4).
+//!
+//! *"When a client requests a particular document from a server, it
+//! piggy-backs its request with a list of document IDs that it already
+//! has in its cache from this server."* The server then never pushes a
+//! document the client already holds — pure bandwidth savings.
+//!
+//! Two digest encodings are provided:
+//!
+//! * [`ExactDigest`] — the literal list of ids (what the paper
+//!   describes; its overhead is a few bytes per cached document);
+//! * [`BloomDigest`] — a Bloom filter, the constant-size engineering
+//!   refinement (false positives make the server occasionally *skip* a
+//!   useful push — safe, never wasteful).
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::DocId;
+use specweb_core::rng::splitmix64;
+use specweb_core::units::Bytes;
+
+/// A piggybacked cache digest.
+pub trait Digest {
+    /// Whether the digest claims the client holds `doc`.
+    fn maybe_contains(&self, doc: DocId) -> bool;
+    /// The wire size of the digest.
+    fn wire_size(&self) -> Bytes;
+}
+
+/// The paper's exact id list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactDigest {
+    ids: Vec<DocId>,
+}
+
+impl ExactDigest {
+    /// Builds from an iterator of cached doc ids.
+    pub fn from_docs(docs: impl Iterator<Item = DocId>) -> Self {
+        let mut ids: Vec<DocId> = docs.collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ExactDigest { ids }
+    }
+
+    /// Number of ids carried.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the digest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl Digest for ExactDigest {
+    fn maybe_contains(&self, doc: DocId) -> bool {
+        self.ids.binary_search(&doc).is_ok()
+    }
+
+    fn wire_size(&self) -> Bytes {
+        // 4 bytes per u32 id.
+        Bytes::new(self.ids.len() as u64 * 4)
+    }
+}
+
+/// A fixed-size Bloom filter digest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomDigest {
+    bits: Vec<u64>,
+    n_hashes: u32,
+}
+
+impl BloomDigest {
+    /// Creates a filter sized for `expected` entries at roughly the
+    /// given false-positive rate.
+    pub fn new(expected: usize, fp_rate: f64) -> Self {
+        let fp = fp_rate.clamp(1e-6, 0.5);
+        let n = expected.max(1) as f64;
+        // Standard sizing: m = -n·ln(fp)/ln(2)², k = (m/n)·ln(2).
+        let m_bits = (-n * fp.ln() / (2f64.ln() * 2f64.ln())).ceil() as usize;
+        let m_words = m_bits.div_ceil(64).max(1);
+        let k = ((m_words * 64) as f64 / n * 2f64.ln()).round().max(1.0) as u32;
+        BloomDigest {
+            bits: vec![0; m_words],
+            n_hashes: k.min(16),
+        }
+    }
+
+    /// Inserts a document id.
+    pub fn insert(&mut self, doc: DocId) {
+        let m = self.bits.len() as u64 * 64;
+        for k in 0..self.n_hashes {
+            let h = splitmix64(u64::from(doc.raw()) ^ (u64::from(k) << 32)) % m;
+            self.bits[(h / 64) as usize] |= 1 << (h % 64);
+        }
+    }
+
+    /// Builds from an iterator of cached doc ids.
+    pub fn from_docs(docs: impl Iterator<Item = DocId>, expected: usize, fp_rate: f64) -> Self {
+        let mut b = BloomDigest::new(expected, fp_rate);
+        for d in docs {
+            b.insert(d);
+        }
+        b
+    }
+}
+
+impl Digest for BloomDigest {
+    fn maybe_contains(&self, doc: DocId) -> bool {
+        let m = self.bits.len() as u64 * 64;
+        (0..self.n_hashes).all(|k| {
+            let h = splitmix64(u64::from(doc.raw()) ^ (u64::from(k) << 32)) % m;
+            self.bits[(h / 64) as usize] & (1 << (h % 64)) != 0
+        })
+    }
+
+    fn wire_size(&self) -> Bytes {
+        Bytes::new(self.bits.len() as u64 * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_digest_roundtrip() {
+        let d = ExactDigest::from_docs([3, 1, 2, 2].into_iter().map(DocId::new));
+        assert_eq!(d.len(), 3);
+        assert!(d.maybe_contains(DocId(1)));
+        assert!(d.maybe_contains(DocId(3)));
+        assert!(!d.maybe_contains(DocId(4)));
+        assert_eq!(d.wire_size(), Bytes::new(12));
+    }
+
+    #[test]
+    fn exact_digest_empty() {
+        let d = ExactDigest::from_docs(std::iter::empty());
+        assert!(d.is_empty());
+        assert!(!d.maybe_contains(DocId(0)));
+        assert_eq!(d.wire_size(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let docs: Vec<DocId> = (0..500).map(DocId::new).collect();
+        let b = BloomDigest::from_docs(docs.iter().copied(), 500, 0.01);
+        for d in &docs {
+            assert!(b.maybe_contains(*d), "false negative at {d}");
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_reasonable() {
+        let b = BloomDigest::from_docs((0..1_000).map(DocId::new), 1_000, 0.01);
+        let fps = (1_000u32..21_000)
+            .filter(|&x| b.maybe_contains(DocId(x)))
+            .count();
+        let rate = fps as f64 / 20_000.0;
+        assert!(rate < 0.05, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn bloom_is_much_smaller_than_exact_for_big_caches() {
+        let n = 10_000;
+        let exact = ExactDigest::from_docs((0..n).map(DocId::new));
+        let bloom = BloomDigest::from_docs((0..n).map(DocId::new), n as usize, 0.01);
+        assert!(bloom.wire_size() < exact.wire_size() / 2);
+    }
+
+    #[test]
+    fn bloom_empty_contains_nothing() {
+        let b = BloomDigest::new(100, 0.01);
+        let hits = (0..1_000).filter(|&x| b.maybe_contains(DocId(x))).count();
+        assert_eq!(hits, 0);
+    }
+}

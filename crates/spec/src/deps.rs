@@ -1,0 +1,541 @@
+//! Document access interdependencies (§3.1).
+//!
+//! `p[i,j]` is the conditional probability that `D_j` is requested
+//! within a window `T_w` of a request for `D_i`, estimated per client
+//! from the server log. The paper distinguishes *embedding* dependencies
+//! (`p = 1`: inline objects) from *traversal* dependencies (`p ≈ 1/k`:
+//! one of a page's `k` anchors).
+//!
+//! `P*` is the closure: the probability of a **request sequence** from
+//! `D_i` to `D_j` with every hop inside `T_w` of its predecessor. The
+//! paper writes `P* = P^N`; taken literally over (+, ×) that sum can
+//! exceed 1, so we compute the standard probabilistic reading — the
+//! **max-product** path probability (the best chain), which is the
+//! fixpoint of `P` over the (max, ×) semiring, keeps every entry in
+//! `[0, 1]`, dominates `P` entrywise, and equals `P^N` on the chain
+//! structures (embedding trees) the closure exists for.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use specweb_core::ids::{ClientId, DocId};
+use specweb_core::stats::Histogram;
+use specweb_core::time::Duration;
+use specweb_core::{CoreError, Result};
+use specweb_trace::generator::Access;
+
+/// A sparse row-compressed conditional-probability matrix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DepMatrix {
+    /// `rows[i]` = sorted `(j, p)` entries with `p > 0`.
+    rows: HashMap<DocId, Vec<(DocId, f64)>>,
+}
+
+impl DepMatrix {
+    /// An empty matrix (speculation finds no candidates).
+    pub fn empty() -> Self {
+        DepMatrix::default()
+    }
+
+    /// The probability `p[i,j]` (0 when absent).
+    pub fn get(&self, i: DocId, j: DocId) -> f64 {
+        self.rows
+            .get(&i)
+            .and_then(|row| {
+                row.binary_search_by(|(d, _)| d.cmp(&j))
+                    .ok()
+                    .map(|k| row[k].1)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// The non-zero entries of row `i`, sorted by document id.
+    pub fn row(&self, i: DocId) -> &[(DocId, f64)] {
+        self.rows.get(&i).map_or(&[], |r| r.as_slice())
+    }
+
+    /// Number of non-empty rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of stored entries.
+    pub fn n_entries(&self) -> usize {
+        self.rows.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all `(i, j, p)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (DocId, DocId, f64)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|(&i, row)| row.iter().map(move |&(j, p)| (i, j, p)))
+    }
+
+    /// Replaces the matrix contents wholesale (crate-internal: the aged
+    /// estimator composes matrices outside the builder path). Rows are
+    /// re-sorted to restore the binary-search invariant.
+    pub(crate) fn replace_rows(&mut self, mut rows: HashMap<DocId, Vec<(DocId, f64)>>) {
+        for row in rows.values_mut() {
+            row.sort_by_key(|&(j, _)| j);
+        }
+        self.rows = rows;
+    }
+
+    /// Fig. 4: histogram of pair counts over `p[i,j]` ranges. Entries at
+    /// exactly 1.0 (embedding dependencies) clamp into the top bin.
+    pub fn probability_histogram(&self, nbins: usize) -> Histogram {
+        let mut h = Histogram::new(0.0, 1.0, nbins);
+        for (_, _, p) in self.entries() {
+            h.push(p);
+        }
+        h
+    }
+
+    /// The max-product transitive closure `P*`, pruned: entries below
+    /// `floor` are dropped (they can never pass a policy threshold
+    /// `T_p ≥ floor`) and each row keeps at most `max_row` entries.
+    ///
+    /// Implemented as a best-path search (Dijkstra over `−ln p`) from
+    /// each source row; path probabilities only decay, so the floor
+    /// bounds the explored frontier tightly.
+    pub fn closure(&self, floor: f64, max_row: usize) -> Result<DepMatrix> {
+        if !(0.0 < floor && floor <= 1.0) {
+            return Err(CoreError::invalid_config(
+                "closure.floor",
+                format!("must be in (0, 1], got {floor}"),
+            ));
+        }
+        let mut out = HashMap::with_capacity(self.rows.len());
+        for &src in self.rows.keys() {
+            let row = self.best_paths_from(src, floor, max_row);
+            if !row.is_empty() {
+                out.insert(src, row);
+            }
+        }
+        Ok(DepMatrix { rows: out })
+    }
+
+    /// Best path probability from `src` to every reachable doc ≥ floor.
+    fn best_paths_from(&self, src: DocId, floor: f64, max_row: usize) -> Vec<(DocId, f64)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        // Max-heap on probability.
+        struct Item(f64, DocId);
+        impl PartialEq for Item {
+            fn eq(&self, o: &Self) -> bool {
+                self.0 == o.0 && self.1 == o.1
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, o: &Self) -> Ordering {
+                self.0
+                    .partial_cmp(&o.0)
+                    .expect("probabilities are finite")
+                    .then(self.1.cmp(&o.1))
+            }
+        }
+
+        let mut best: HashMap<DocId, f64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        heap.push(Item(1.0, src));
+        let mut settled: HashMap<DocId, f64> = HashMap::new();
+        while let Some(Item(p, d)) = heap.pop() {
+            if settled.contains_key(&d) {
+                continue;
+            }
+            settled.insert(d, p);
+            if settled.len() > max_row.saturating_mul(4) + 1 {
+                break; // safety valve for pathological graphs
+            }
+            for &(j, pj) in self.row(d) {
+                let cand = p * pj;
+                if cand < floor || j == src {
+                    continue;
+                }
+                let e = best.entry(j).or_insert(0.0);
+                if cand > *e {
+                    *e = cand;
+                    heap.push(Item(cand, j));
+                }
+            }
+        }
+        settled.remove(&src);
+        let mut row: Vec<(DocId, f64)> = settled.into_iter().collect();
+        // Keep the strongest max_row entries, then restore id order.
+        row.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        row.truncate(max_row);
+        row.sort_by_key(|&(j, _)| j);
+        row
+    }
+}
+
+/// Streaming estimator for `P` from a time-ordered access sequence.
+///
+/// For each occurrence of `D_i`, the set of *distinct* documents the
+/// same client requests within the next `T_w` is recorded once; `p[i,j]`
+/// is then `follows(i→j) / occurrences(i)`.
+///
+/// ```
+/// use specweb_core::ids::{ClientId, DocId, ServerId};
+/// use specweb_core::time::{Duration, SimTime};
+/// use specweb_spec::deps::DepMatrixBuilder;
+/// use specweb_trace::clients::Locality;
+/// use specweb_trace::generator::Access;
+///
+/// let acc = |doc: u32, ms: u64| Access {
+///     time: SimTime::from_millis(ms),
+///     client: ClientId::new(0),
+///     doc: DocId::new(doc),
+///     server: ServerId::new(0),
+///     locality: Locality::Remote,
+///     session: 0,
+/// };
+/// // Doc 1 is always followed by doc 2 within the 5 s window.
+/// let trace = vec![acc(1, 0), acc(2, 100), acc(1, 60_000), acc(2, 60_100)];
+/// let p = DepMatrixBuilder::estimate(&trace, Duration::from_secs(5), 1);
+/// assert_eq!(p.get(DocId::new(1), DocId::new(2)), 1.0);
+/// assert_eq!(p.get(DocId::new(2), DocId::new(1)), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepMatrixBuilder {
+    window: Duration,
+    /// Per-client recent accesses still inside the window. Each pending
+    /// occurrence of `i` remembers which followers it has already
+    /// counted, so `p[i,j]` is the fraction of `i`-occurrences followed
+    /// by **at least one** `j` — not a raw pair count.
+    pending: HashMap<ClientId, Vec<PendingAccess>>,
+    occurrences: HashMap<DocId, u64>,
+    follows: HashMap<(DocId, DocId), u64>,
+}
+
+/// One not-yet-expired access of the streaming estimator.
+#[derive(Debug, Clone)]
+struct PendingAccess {
+    time: specweb_core::time::SimTime,
+    doc: DocId,
+    /// Followers already counted for this occurrence (windows hold a
+    /// handful of accesses, so linear scans beat a hash set here).
+    counted: Vec<DocId>,
+}
+
+impl DepMatrixBuilder {
+    /// Creates a builder with dependency window `window` (`T_w`).
+    pub fn new(window: Duration) -> Self {
+        DepMatrixBuilder {
+            window,
+            pending: HashMap::new(),
+            occurrences: HashMap::new(),
+            follows: HashMap::new(),
+        }
+    }
+
+    /// Feeds one access (must be fed in time order per client).
+    pub fn push(&mut self, access: &Access) {
+        let q = self.pending.entry(access.client).or_default();
+        // Retire accesses that fell out of the window, then record the
+        // i→j pairs the new access completes (once per i-occurrence).
+        let window = self.window;
+        q.retain(|p| window.is_infinite() || access.time.since(p.time) < window);
+        for p in q.iter_mut() {
+            if p.doc != access.doc && !p.counted.contains(&access.doc) {
+                p.counted.push(access.doc);
+                *self.follows.entry((p.doc, access.doc)).or_insert(0) += 1;
+            }
+        }
+        *self.occurrences.entry(access.doc).or_insert(0) += 1;
+        q.push(PendingAccess {
+            time: access.time,
+            doc: access.doc,
+            counted: Vec::new(),
+        });
+    }
+
+    /// Feeds a whole slice of accesses.
+    pub fn push_all(&mut self, accesses: &[Access]) {
+        for a in accesses {
+            self.push(a);
+        }
+    }
+
+    /// Finalizes into a `DepMatrix`. `min_support` drops pairs whose
+    /// antecedent was seen fewer than that many times (tiny samples
+    /// produce wild probabilities — the paper's curves are built from
+    /// >50k accesses).
+    pub fn build(&self, min_support: u64) -> DepMatrix {
+        let mut rows: HashMap<DocId, Vec<(DocId, f64)>> = HashMap::new();
+        for (&(i, j), &n) in &self.follows {
+            let occ = *self.occurrences.get(&i).unwrap_or(&0);
+            if occ < min_support.max(1) {
+                continue;
+            }
+            // A document can be re-requested more often than its
+            // antecedent when loops exist; cap at 1.
+            let p = (n as f64 / occ as f64).min(1.0);
+            rows.entry(i).or_default().push((j, p));
+        }
+        for row in rows.values_mut() {
+            row.sort_by_key(|&(j, _)| j);
+        }
+        DepMatrix { rows }
+    }
+
+    /// Convenience: estimate `P` from a full access slice in one call.
+    pub fn estimate(accesses: &[Access], window: Duration, min_support: u64) -> DepMatrix {
+        let mut b = DepMatrixBuilder::new(window);
+        b.push_all(accesses);
+        b.build(min_support)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_core::ids::ServerId;
+    use specweb_core::time::SimTime;
+    use specweb_trace::clients::Locality;
+
+    fn acc(client: u32, doc: u32, t_ms: u64) -> Access {
+        Access {
+            time: SimTime::from_millis(t_ms),
+            client: ClientId::new(client),
+            doc: DocId::new(doc),
+            server: ServerId::new(0),
+            locality: Locality::Remote,
+            session: 0,
+        }
+    }
+
+    const W: Duration = Duration::from_millis(5_000);
+
+    #[test]
+    fn embedding_dependency_is_probability_one() {
+        // Doc 1 always followed by doc 2 within the window.
+        let mut accesses = Vec::new();
+        for k in 0..10 {
+            accesses.push(acc(k, 1, 1_000_000 * u64::from(k)));
+            accesses.push(acc(k, 2, 1_000_000 * u64::from(k) + 100));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!((m.get(DocId(1), DocId(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.get(DocId(2), DocId(1)), 0.0);
+    }
+
+    #[test]
+    fn traversal_dependency_is_fractional() {
+        // Doc 1 followed by doc 2 half the time, doc 3 the other half.
+        let mut accesses = Vec::new();
+        for k in 0..20u32 {
+            let t = 1_000_000 * u64::from(k);
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, if k % 2 == 0 { 2 } else { 3 }, t + 200));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!((m.get(DocId(1), DocId(2)) - 0.5).abs() < 1e-12);
+        assert!((m.get(DocId(1), DocId(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_cuts_dependencies() {
+        let accesses = vec![acc(0, 1, 0), acc(0, 2, 6_000)]; // 6 s > 5 s window
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert_eq!(m.get(DocId(1), DocId(2)), 0.0);
+        let m = DepMatrixBuilder::estimate(&accesses, Duration::from_secs(10), 1);
+        assert!(m.get(DocId(1), DocId(2)) > 0.0);
+    }
+
+    #[test]
+    fn cross_client_pairs_do_not_count() {
+        let accesses = vec![acc(0, 1, 0), acc(1, 2, 100)];
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert_eq!(m.get(DocId(1), DocId(2)), 0.0);
+    }
+
+    #[test]
+    fn duplicate_follow_in_one_window_counts_once_per_antecedent() {
+        // i at t=0; j at 100 and 200 (both inside the window): one
+        // occurrence of i followed by j ⇒ p[i,j] is exactly 1, not 2.
+        let accesses = vec![acc(0, 1, 0), acc(0, 2, 100), acc(0, 2, 200)];
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!((m.get(DocId(1), DocId(2)) - 1.0).abs() < 1e-12);
+
+        // Two occurrences of i, only one followed by j ⇒ p = 0.5 even
+        // though j appeared twice in the first window.
+        let accesses = vec![
+            acc(0, 1, 0),
+            acc(0, 2, 100),
+            acc(0, 2, 200),
+            acc(0, 1, 1_000_000),
+            acc(0, 3, 1_000_100),
+        ];
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!((m.get(DocId(1), DocId(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_filters_rare_antecedents() {
+        let accesses = vec![acc(0, 1, 0), acc(0, 2, 100)];
+        let m = DepMatrixBuilder::estimate(&accesses, W, 5);
+        assert_eq!(m.get(DocId(1), DocId(2)), 0.0);
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!(m.get(DocId(1), DocId(2)) > 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_bounded() {
+        // Loops: 1→2→1→2… within windows could overcount; the cap holds.
+        let mut accesses = Vec::new();
+        for k in 0..40 {
+            accesses.push(acc(0, 1 + (k % 2), u64::from(k) * 1_000));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        for (_, _, p) in m.entries() {
+            assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        }
+    }
+
+    #[test]
+    fn closure_includes_transitive_chains() {
+        // 1 →(1.0) 2 →(0.5) 3: closure must contain 1→3 at 0.5.
+        let mut accesses = Vec::new();
+        for k in 0..20u32 {
+            let t = 1_000_000 * u64::from(k);
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, 2, t + 100));
+            if k % 2 == 0 {
+                // within window of doc 2 but NOT of doc 1
+                accesses.push(acc(k, 3, t + 4_500));
+            }
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        assert!((m.get(DocId(1), DocId(2)) - 1.0).abs() < 1e-9);
+        assert!((m.get(DocId(2), DocId(3)) - 0.5).abs() < 1e-9);
+        // 3 arrives 4.5 s after 1 — still within T_w, so the direct pair
+        // exists too; the closure keeps the max.
+        let c = m.closure(0.01, 64).unwrap();
+        assert!(c.get(DocId(1), DocId(3)) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn closure_dominates_direct_matrix() {
+        let mut accesses = Vec::new();
+        for k in 0..30u32 {
+            let t = 1_000_000 * u64::from(k);
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, if k % 3 == 0 { 2 } else { 3 }, t + 100));
+            accesses.push(acc(k, 4, t + 300));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let c = m.closure(0.001, 64).unwrap();
+        for (i, j, p) in m.entries() {
+            assert!(
+                c.get(i, j) >= p - 1e-12,
+                "closure lost mass at ({i},{j}): {p} → {}",
+                c.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn closure_entries_in_unit_interval_and_no_self() {
+        let mut accesses = Vec::new();
+        for k in 0..50 {
+            accesses.push(acc(0, k % 5, u64::from(k) * 800));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let c = m.closure(0.05, 16).unwrap();
+        for (i, j, p) in c.entries() {
+            assert!((0.0..=1.0).contains(&p));
+            assert_ne!(i, j, "closure must not contain self-dependencies");
+        }
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut accesses = Vec::new();
+        for k in 0..20u32 {
+            let t = 1_000_000 * u64::from(k);
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, 2, t + 100));
+            accesses.push(acc(k, 3, t + 200));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let c1 = m.closure(0.01, 64).unwrap();
+        let c2 = c1.closure(0.01, 64).unwrap();
+        for (i, j, p) in c1.entries() {
+            assert!(
+                (c2.get(i, j) - p).abs() < 1e-9,
+                "closure not idempotent at ({i},{j})"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_floor_prunes() {
+        let mut accesses = Vec::new();
+        for k in 0..100u32 {
+            let t = 1_000_000 * u64::from(k);
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, 2 + (k % 10), t + 100)); // p = 0.1 each
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let c = m.closure(0.5, 64).unwrap();
+        assert_eq!(c.n_entries(), 0, "all entries below the floor");
+        let c = m.closure(0.05, 64).unwrap();
+        assert_eq!(c.row(DocId(1)).len(), 10);
+    }
+
+    #[test]
+    fn closure_rejects_bad_floor() {
+        let m = DepMatrix::empty();
+        assert!(m.closure(0.0, 8).is_err());
+        assert!(m.closure(1.5, 8).is_err());
+    }
+
+    #[test]
+    fn histogram_shows_one_over_k_peaks() {
+        // Build a synthetic log where pages have exactly 2 or 4 anchors
+        // followed uniformly: the histogram must peak at 0.5 and 0.25.
+        let mut accesses = Vec::new();
+        let mut t = 0u64;
+        for k in 0..400u32 {
+            // page 1 (2 anchors: 10, 11), page 2 (4 anchors: 20..24).
+            accesses.push(acc(k, 1, t));
+            accesses.push(acc(k, 10 + (k % 2), t + 100));
+            t += 1_000_000;
+            accesses.push(acc(k, 2, t));
+            accesses.push(acc(k, 20 + (k % 4), t + 100));
+            t += 1_000_000;
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let h = m.probability_histogram(20);
+        let bins = h.bins();
+        // p = 0.5 lands on the bin-10 boundary; p = 0.25 on bin 5.
+        assert!(bins[10] >= 2, "no peak at 1/2: {bins:?}");
+        assert!(bins[5] >= 4, "no peak at 1/4: {bins:?}");
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let m = DepMatrix::empty();
+        assert_eq!(m.get(DocId(0), DocId(1)), 0.0);
+        assert!(m.row(DocId(0)).is_empty());
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_entries(), 0);
+        let c = m.closure(0.1, 8).unwrap();
+        assert_eq!(c.n_entries(), 0);
+    }
+
+    #[test]
+    fn infinite_window_links_whole_session() {
+        let accesses = vec![acc(0, 1, 0), acc(0, 2, 10_000_000)];
+        let m = DepMatrixBuilder::estimate(&accesses, Duration::INFINITE, 1);
+        assert!(m.get(DocId(1), DocId(2)) > 0.0);
+    }
+}

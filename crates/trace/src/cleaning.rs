@@ -1,0 +1,193 @@
+//! The paper's log-cleaning pipeline.
+//!
+//! Footnote 6 (§3.2): *"This processing involved the removal of accesses
+//! to non-existent documents, to live documents, and to scripts, as well
+//! as renaming accesses to aliases of a document."*
+//!
+//! The pipeline below applies exactly those four steps to parsed log
+//! records:
+//!
+//! 1. drop non-2xx responses (non-existent documents: 404s and friends);
+//! 2. drop script executions (paths under `/cgi-bin/` or ending in
+//!    `.cgi`);
+//! 3. drop *live* documents (paths the operator lists as
+//!    dynamically-generated);
+//! 4. canonicalize aliases (e.g. `/` → `/index.html`) via an alias map,
+//!    then fold duplicate records.
+
+use std::collections::HashMap;
+
+use crate::logfmt::LogRecord;
+
+/// Configuration for the cleaning pass.
+#[derive(Debug, Clone, Default)]
+pub struct CleaningConfig {
+    /// Path prefixes of dynamically generated ("live") documents.
+    pub live_prefixes: Vec<String>,
+    /// Alias → canonical path map.
+    pub aliases: HashMap<String, String>,
+}
+
+impl CleaningConfig {
+    /// A typical 1995 httpd configuration: `/` is an alias for
+    /// `/index.html`, nothing is live.
+    pub fn typical() -> Self {
+        let mut aliases = HashMap::new();
+        aliases.insert("/".to_string(), "/index.html".to_string());
+        CleaningConfig {
+            live_prefixes: Vec::new(),
+            aliases,
+        }
+    }
+}
+
+/// Per-step removal counts, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleaningReport {
+    /// Records kept.
+    pub kept: usize,
+    /// Dropped: non-2xx status.
+    pub non_existent: usize,
+    /// Dropped: script executions.
+    pub scripts: usize,
+    /// Dropped: live documents.
+    pub live: usize,
+    /// Renamed via the alias map (still kept).
+    pub aliased: usize,
+}
+
+/// Whether a path is a script execution.
+fn is_script(path: &str) -> bool {
+    let path = path.split('?').next().unwrap_or(path);
+    path.starts_with("/cgi-bin/") || path.ends_with(".cgi") || path.ends_with(".pl")
+}
+
+/// Applies the paper's cleaning pipeline.
+pub fn clean(records: Vec<LogRecord>, cfg: &CleaningConfig) -> (Vec<LogRecord>, CleaningReport) {
+    let mut out = Vec::with_capacity(records.len());
+    let mut report = CleaningReport::default();
+    for mut r in records {
+        if !(200..300).contains(&r.status) {
+            report.non_existent += 1;
+            continue;
+        }
+        if is_script(&r.path) {
+            report.scripts += 1;
+            continue;
+        }
+        if cfg.live_prefixes.iter().any(|p| r.path.starts_with(p)) {
+            report.live += 1;
+            continue;
+        }
+        if let Some(canonical) = cfg.aliases.get(&r.path) {
+            r.path = canonical.clone();
+            report.aliased += 1;
+        }
+        report.kept += 1;
+        out.push(r);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_core::ids::ClientId;
+    use specweb_core::time::SimTime;
+    use specweb_core::units::Bytes;
+
+    fn rec(path: &str, status: u16) -> LogRecord {
+        LogRecord {
+            client: ClientId::new(1),
+            time: SimTime::from_millis(1),
+            method: "GET".into(),
+            path: path.into(),
+            status,
+            size: Bytes::new(100),
+        }
+    }
+
+    #[test]
+    fn drops_non_2xx() {
+        let (out, rep) = clean(
+            vec![
+                rec("/a.html", 200),
+                rec("/missing.html", 404),
+                rec("/b.html", 500),
+            ],
+            &CleaningConfig::default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(rep.non_existent, 2);
+        assert_eq!(rep.kept, 1);
+    }
+
+    #[test]
+    fn drops_scripts() {
+        let (out, rep) = clean(
+            vec![
+                rec("/cgi-bin/search", 200),
+                rec("/form.cgi", 200),
+                rec("/count.pl", 200),
+                rec("/form.cgi?q=1", 200),
+                rec("/page.html", 200),
+            ],
+            &CleaningConfig::default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(rep.scripts, 4);
+    }
+
+    #[test]
+    fn drops_live_documents() {
+        let cfg = CleaningConfig {
+            live_prefixes: vec!["/live/".to_string()],
+            aliases: HashMap::new(),
+        };
+        let (out, rep) = clean(
+            vec![rec("/live/ticker.html", 200), rec("/static.html", 200)],
+            &cfg,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(rep.live, 1);
+    }
+
+    #[test]
+    fn canonicalizes_aliases() {
+        let cfg = CleaningConfig::typical();
+        let (out, rep) = clean(vec![rec("/", 200), rec("/index.html", 200)], &cfg);
+        assert_eq!(out.len(), 2);
+        assert_eq!(rep.aliased, 1);
+        assert!(out.iter().all(|r| r.path == "/index.html"));
+    }
+
+    #[test]
+    fn keeps_2xx_variants() {
+        let (out, _rep) = clean(
+            vec![rec("/a", 200), rec("/b", 204), rec("/c", 206)],
+            &CleaningConfig::default(),
+        );
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, rep) = clean(Vec::new(), &CleaningConfig::typical());
+        assert!(out.is_empty());
+        assert_eq!(rep, CleaningReport::default());
+    }
+
+    #[test]
+    fn report_counts_are_a_partition() {
+        let records = vec![
+            rec("/", 200),
+            rec("/x.html", 404),
+            rec("/cgi-bin/x", 200),
+            rec("/ok.html", 200),
+        ];
+        let n = records.len();
+        let (out, rep) = clean(records, &CleaningConfig::typical());
+        assert_eq!(out.len(), rep.kept);
+        assert_eq!(rep.kept + rep.non_existent + rep.scripts + rep.live, n);
+    }
+}

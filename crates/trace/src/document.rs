@@ -1,0 +1,367 @@
+//! The document catalog.
+//!
+//! Every simulated object — HTML page or embedded multimedia object
+//! (the paper uses "document" for both, footnote 1) — has a home server,
+//! a size drawn from a heavy-tailed distribution, a *popularity class*
+//! (§2's remotely/locally/globally popular trichotomy) and a mutability
+//! flag (frequent updates are confined to a small mutable subset).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use specweb_core::dist::BoundedPareto;
+use specweb_core::ids::{DocId, ServerId};
+use specweb_core::rng::SeedTree;
+use specweb_core::units::Bytes;
+use specweb_core::Result;
+
+/// §2's access-geography classes, assigned by the remote-to-local access
+/// ratio observed (or, for synthetic catalogs, intended):
+/// remote ratio > 85% ⇒ `Remote`, < 15% ⇒ `Local`, else `Global`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PopularityClass {
+    /// Remotely popular — consumed mostly from outside the organization.
+    Remote,
+    /// Locally popular — consumed mostly from inside.
+    Local,
+    /// Globally popular — consumed from both.
+    Global,
+}
+
+impl PopularityClass {
+    /// Classifies from an observed remote-access ratio using the
+    /// paper's 85% / 15% thresholds.
+    pub fn from_remote_ratio(ratio: f64) -> PopularityClass {
+        if ratio > 0.85 {
+            PopularityClass::Remote
+        } else if ratio < 0.15 {
+            PopularityClass::Local
+        } else {
+            PopularityClass::Global
+        }
+    }
+
+    /// The paper's measured per-day update probability for this class:
+    /// remote/global documents ≈ 0.5%/day, local ≈ 2%/day.
+    pub fn daily_update_probability(self) -> f64 {
+        match self {
+            PopularityClass::Remote | PopularityClass::Global => 0.005,
+            PopularityClass::Local => 0.02,
+        }
+    }
+}
+
+/// One document.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// The document's id (dense; doubles as a catalog index).
+    pub id: DocId,
+    /// The home server that produces this document.
+    pub server: ServerId,
+    /// Size in bytes.
+    pub size: Bytes,
+    /// Geographic popularity class.
+    pub class: PopularityClass,
+    /// Whether the document belongs to the small frequently-updated
+    /// subset ("mutable documents", §2).
+    pub mutable: bool,
+    /// Whether this document is an HTML page (can embed and link) or an
+    /// embedded object (image/audio; a pure leaf).
+    pub is_page: bool,
+}
+
+/// The full document catalog, indexable by [`DocId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    docs: Vec<Document>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a document, assigning it the next dense id.
+    pub fn push(
+        &mut self,
+        server: ServerId,
+        size: Bytes,
+        class: PopularityClass,
+        mutable: bool,
+        is_page: bool,
+    ) -> DocId {
+        let id = DocId::from(self.docs.len());
+        self.docs.push(Document {
+            id,
+            server,
+            size,
+            class,
+            mutable,
+            is_page,
+        });
+        id
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Looks a document up by id.
+    ///
+    /// # Panics
+    /// Panics on an unknown id — catalog ids are dense and produced only
+    /// by [`Catalog::push`], so an unknown id is a logic error.
+    pub fn get(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// The size of a document.
+    pub fn size(&self, id: DocId) -> Bytes {
+        self.docs[id.index()].size
+    }
+
+    /// All documents.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// Documents belonging to `server`.
+    pub fn of_server(&self, server: ServerId) -> impl Iterator<Item = &Document> {
+        self.docs.iter().filter(move |d| d.server == server)
+    }
+
+    /// Total bytes in the catalog.
+    pub fn total_bytes(&self) -> Bytes {
+        self.docs.iter().map(|d| d.size).sum()
+    }
+
+    /// Counts documents per class as `(remote, local, global)`.
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut r = 0;
+        let mut l = 0;
+        let mut g = 0;
+        for d in &self.docs {
+            match d.class {
+                PopularityClass::Remote => r += 1,
+                PopularityClass::Local => l += 1,
+                PopularityClass::Global => g += 1,
+            }
+        }
+        (r, l, g)
+    }
+}
+
+/// Size model for generated documents. Pages and embedded objects get
+/// separate bounded-Pareto distributions; see the constructors for the
+/// calibrations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SizeModel {
+    page: BoundedPareto,
+    object: BoundedPareto,
+}
+
+impl SizeModel {
+    /// The default 1995-web calibration. Pages are heavy-tailed
+    /// (256 B–2 MB, shape 1.2): most are small HTML, the tail is the
+    /// postscript papers and tarballs that sat *behind links* on
+    /// academic servers. Embedded objects are inline icons and small
+    /// GIFs (128 B–64 KB, shape 1.3) — the big media of the era was
+    /// linked, not inlined.
+    pub fn web_1995() -> Result<Self> {
+        Ok(SizeModel {
+            page: BoundedPareto::new(1.15, 512.0, 1_048_576.0)?,
+            object: BoundedPareto::new(1.4, 64.0, 16_384.0)?,
+        })
+    }
+
+    /// A media-heavy calibration (Rolling-Stones-like site: large audio
+    /// and video objects).
+    pub fn media_1995() -> Result<Self> {
+        Ok(SizeModel {
+            page: BoundedPareto::new(1.4, 512.0, 65_536.0)?,
+            object: BoundedPareto::new(1.1, 16_384.0, 16.0 * 1_048_576.0)?,
+        })
+    }
+
+    /// Samples a page size.
+    pub fn sample_page<R: Rng + ?Sized>(&self, rng: &mut R) -> Bytes {
+        self.page.sample_bytes(rng)
+    }
+
+    /// Samples an embedded-object size.
+    pub fn sample_object<R: Rng + ?Sized>(&self, rng: &mut R) -> Bytes {
+        self.object.sample_bytes(rng)
+    }
+}
+
+/// Draws a popularity class using the paper's measured proportions
+/// (99 remote : 510 local : 365 global ≈ 10% : 52% : 38%).
+pub fn sample_class<R: Rng + ?Sized>(rng: &mut R) -> PopularityClass {
+    let u: f64 = rng.gen();
+    if u < 0.10 {
+        PopularityClass::Remote
+    } else if u < 0.62 {
+        PopularityClass::Local
+    } else {
+        PopularityClass::Global
+    }
+}
+
+/// Decides mutability: frequent updates are confined to a very small
+/// subset of documents — we mark ≈5% of a class as mutable.
+pub fn sample_mutable<R: Rng + ?Sized>(rng: &mut R) -> bool {
+    rng.gen::<f64>() < 0.05
+}
+
+/// Convenience: builds a catalog of `n_pages` pages (each with sizes from
+/// `sizes`) for one server. Used by tests and the quickstart; the full
+/// generator in [`crate::generator`] builds richer catalogs.
+pub fn simple_catalog(seed: &SeedTree, server: ServerId, n_pages: usize) -> Result<Catalog> {
+    let sizes = SizeModel::web_1995()?;
+    let mut rng = seed.child("catalog").rng();
+    let mut cat = Catalog::new();
+    for _ in 0..n_pages {
+        let class = sample_class(&mut rng);
+        let mutable = sample_mutable(&mut rng);
+        let size = sizes.sample_page(&mut rng);
+        cat.push(server, size, class, mutable, true);
+    }
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(
+            PopularityClass::from_remote_ratio(0.9),
+            PopularityClass::Remote
+        );
+        assert_eq!(
+            PopularityClass::from_remote_ratio(0.1),
+            PopularityClass::Local
+        );
+        assert_eq!(
+            PopularityClass::from_remote_ratio(0.5),
+            PopularityClass::Global
+        );
+        // Boundary cases: the paper's wording is strict ("larger than
+        // 85%", "smaller than 15%").
+        assert_eq!(
+            PopularityClass::from_remote_ratio(0.85),
+            PopularityClass::Global
+        );
+        assert_eq!(
+            PopularityClass::from_remote_ratio(0.15),
+            PopularityClass::Global
+        );
+    }
+
+    #[test]
+    fn update_probabilities_match_paper() {
+        assert_eq!(PopularityClass::Remote.daily_update_probability(), 0.005);
+        assert_eq!(PopularityClass::Global.daily_update_probability(), 0.005);
+        assert_eq!(PopularityClass::Local.daily_update_probability(), 0.02);
+    }
+
+    #[test]
+    fn catalog_push_and_lookup() {
+        let mut c = Catalog::new();
+        let a = c.push(
+            ServerId(0),
+            Bytes::new(100),
+            PopularityClass::Global,
+            false,
+            true,
+        );
+        let b = c.push(
+            ServerId(1),
+            Bytes::new(200),
+            PopularityClass::Local,
+            true,
+            false,
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(a, DocId(0));
+        assert_eq!(b, DocId(1));
+        assert_eq!(c.size(a), Bytes::new(100));
+        assert_eq!(c.get(b).server, ServerId(1));
+        assert!(c.get(b).mutable);
+        assert!(!c.get(b).is_page);
+        assert_eq!(c.total_bytes(), Bytes::new(300));
+        assert_eq!(c.of_server(ServerId(0)).count(), 1);
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut c = Catalog::new();
+        for (class, n) in [
+            (PopularityClass::Remote, 2),
+            (PopularityClass::Local, 3),
+            (PopularityClass::Global, 1),
+        ] {
+            for _ in 0..n {
+                c.push(ServerId(0), Bytes::new(1), class, false, true);
+            }
+        }
+        assert_eq!(c.class_counts(), (2, 3, 1));
+    }
+
+    #[test]
+    fn size_model_ranges() {
+        let m = SizeModel::web_1995().unwrap();
+        let mut rng = SeedTree::new(5).child("sizes").rng();
+        for _ in 0..1_000 {
+            let p = m.sample_page(&mut rng).get();
+            assert!((512..=1_048_576).contains(&p), "page size {p}");
+            let o = m.sample_object(&mut rng).get();
+            assert!((64..=16_384).contains(&o), "object size {o}");
+        }
+    }
+
+    #[test]
+    fn class_sampling_matches_paper_proportions() {
+        let mut rng = SeedTree::new(6).child("classes").rng();
+        let n = 50_000;
+        let mut counts = (0usize, 0usize, 0usize);
+        for _ in 0..n {
+            match sample_class(&mut rng) {
+                PopularityClass::Remote => counts.0 += 1,
+                PopularityClass::Local => counts.1 += 1,
+                PopularityClass::Global => counts.2 += 1,
+            }
+        }
+        let f = |x: usize| x as f64 / n as f64;
+        assert!((f(counts.0) - 0.10).abs() < 0.01, "remote {:?}", counts);
+        assert!((f(counts.1) - 0.52).abs() < 0.01, "local {:?}", counts);
+        assert!((f(counts.2) - 0.38).abs() < 0.01, "global {:?}", counts);
+    }
+
+    #[test]
+    fn mutable_subset_is_small() {
+        let mut rng = SeedTree::new(7).child("mut").rng();
+        let n = 20_000;
+        let m = (0..n).filter(|_| sample_mutable(&mut rng)).count();
+        let frac = m as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.01, "mutable fraction {frac}");
+    }
+
+    #[test]
+    fn simple_catalog_builds() {
+        let seed = SeedTree::new(8);
+        let c = simple_catalog(&seed, ServerId(3), 50).unwrap();
+        assert_eq!(c.len(), 50);
+        assert!(c.iter().all(|d| d.server == ServerId(3) && d.is_page));
+        // Deterministic.
+        let c2 = simple_catalog(&seed, ServerId(3), 50).unwrap();
+        assert_eq!(c.total_bytes(), c2.total_bytes());
+    }
+}

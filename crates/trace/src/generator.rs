@@ -1,0 +1,633 @@
+//! The top-level trace generator.
+//!
+//! Produces a time-ordered access trace by simulating browsing sessions
+//! over per-server [`SiteGraph`]s, with a client population attached to
+//! a netsim topology. The generator is the documented substitution for
+//! the paper's `cs-www.bu.edu` logs (see DESIGN.md): every distributional
+//! property the paper reports is either built in by construction
+//! (embedding deps, 1/k link choice, session/stride timing) or
+//! calibrated by configuration (popularity skew, local/remote mix,
+//! update rates).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use specweb_core::dist::Zipf;
+use specweb_core::ids::{ClientId, DocId, ServerId};
+use specweb_core::rng::SeedTree;
+use specweb_core::time::{Duration, SimTime};
+use specweb_core::units::Bytes;
+use specweb_core::Result;
+use specweb_netsim::topology::Topology;
+
+use crate::clients::{ClientConfig, ClientPopulation, Locality};
+use crate::document::{Catalog, SizeModel};
+use crate::session::SessionTiming;
+use crate::sitegraph::{SiteGraph, SiteGraphConfig};
+
+/// One access record — the unit both simulators consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Access {
+    /// When the request was issued.
+    pub time: SimTime,
+    /// The requesting client.
+    pub client: ClientId,
+    /// The requested document.
+    pub doc: DocId,
+    /// The document's home server.
+    pub server: ServerId,
+    /// Whether the client is local to the producing organization.
+    pub locality: Locality,
+    /// The generator's session counter (ground truth; analyzers must
+    /// *re-derive* sessions from timing, this is for validation only).
+    pub session: u32,
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Time-ordered accesses.
+    pub accesses: Vec<Access>,
+    /// The document catalog.
+    pub catalog: Catalog,
+    /// One site graph per server (index = server id). These reflect the
+    /// *final* state after any link churn.
+    pub graphs: Vec<SiteGraph>,
+    /// The client population.
+    pub clients: ClientPopulation,
+    /// Total simulated span.
+    pub duration: Duration,
+    /// Number of sessions generated.
+    pub n_sessions: u32,
+}
+
+impl Trace {
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total bytes requested (sum of document sizes over accesses).
+    pub fn total_requested_bytes(&self) -> Bytes {
+        self.accesses.iter().map(|a| self.catalog.size(a.doc)).sum()
+    }
+
+    /// Per-document request counts, indexed by doc id.
+    pub fn request_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.catalog.len()];
+        for a in &self.accesses {
+            counts[a.doc.index()] += 1;
+        }
+        counts
+    }
+
+    /// Per-document (remote, local) request counts.
+    pub fn remote_local_counts(&self) -> Vec<(u64, u64)> {
+        let mut counts = vec![(0u64, 0u64); self.catalog.len()];
+        for a in &self.accesses {
+            match a.locality {
+                Locality::Remote => counts[a.doc.index()].0 += 1,
+                Locality::Local => counts[a.doc.index()].1 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The accesses of day `d` (zero-based) as a subslice. The trace is
+    /// time-ordered, so this is a binary-search slice.
+    pub fn day_slice(&self, d: u64) -> &[Access] {
+        let start = self
+            .accesses
+            .partition_point(|a| a.time < SimTime::from_days(d));
+        let end = self
+            .accesses
+            .partition_point(|a| a.time < SimTime::from_days(d + 1));
+        &self.accesses[start..end]
+    }
+
+    /// Number of distinct clients that appear in the trace.
+    pub fn active_clients(&self) -> usize {
+        let mut seen = vec![false; self.clients.len()];
+        let mut n = 0;
+        for a in &self.accesses {
+            if !seen[a.client.index()] {
+                seen[a.client.index()] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Number of home servers (1 for the speculative-service experiments,
+    /// `n` for cluster-dissemination experiments).
+    pub n_servers: usize,
+    /// Site-graph structure (per server).
+    pub site: SiteGraphConfig,
+    /// Client-population parameters.
+    pub clients: ClientConfig,
+    /// Session timing parameters.
+    pub timing: SessionTiming,
+    /// Trace span in days (paper: 60-day history + 30-day evaluation).
+    pub duration_days: u64,
+    /// Sessions started per day across the whole population.
+    pub sessions_per_day: usize,
+    /// Whether to use the media-heavy size model.
+    pub media_sizes: bool,
+    /// Per-day probability that a page's out-links are re-targeted
+    /// (site evolution; drives the §3.4 staleness experiment).
+    pub link_churn_per_day: f64,
+    /// Zipf exponent over servers (which server a session lands on);
+    /// 0 = uniform.
+    pub server_theta: f64,
+}
+
+impl TraceConfig {
+    /// The `cs-www.bu.edu`-flavored preset: one server, ~1000 documents,
+    /// 2000 clients, 90 days, ≈200k accesses.
+    pub fn bu_www(seed: u64) -> TraceConfig {
+        TraceConfig {
+            seed,
+            n_servers: 1,
+            site: SiteGraphConfig::default(),
+            clients: ClientConfig::default(),
+            timing: SessionTiming::default(),
+            duration_days: 90,
+            sessions_per_day: 150,
+            media_sizes: false,
+            link_churn_per_day: 0.002,
+            server_theta: 0.0,
+        }
+    }
+
+    /// A media-heavy preset (Rolling-Stones-like: few, huge documents,
+    /// overwhelmingly remote clientele).
+    pub fn media_site(seed: u64) -> TraceConfig {
+        TraceConfig {
+            seed,
+            n_servers: 1,
+            site: SiteGraphConfig {
+                n_pages: 120,
+                mean_embedded: 2.5,
+                max_links: 5,
+                zipf_theta: 1.1,
+                assortativity: 0.9,
+                shared_object_pool: 10,
+                shared_frac: 0.7,
+            },
+            clients: ClientConfig {
+                n_clients: 4_000,
+                local_fraction: 0.03,
+                local_activity_boost: 2.0,
+                activity_theta: 0.6,
+            },
+            timing: SessionTiming::default(),
+            duration_days: 30,
+            sessions_per_day: 400,
+            media_sizes: true,
+            link_churn_per_day: 0.0,
+            server_theta: 0.0,
+        }
+    }
+
+    /// A multi-server cluster preset for the dissemination experiments:
+    /// `n` servers of varying popularity behind a shared hierarchy.
+    pub fn cluster(seed: u64, n_servers: usize) -> TraceConfig {
+        TraceConfig {
+            seed,
+            n_servers,
+            site: SiteGraphConfig {
+                n_pages: 200,
+                ..SiteGraphConfig::default()
+            },
+            clients: ClientConfig {
+                n_clients: 3_000,
+                local_fraction: 0.15,
+                local_activity_boost: 3.0,
+                activity_theta: 0.7,
+            },
+            timing: SessionTiming::default(),
+            duration_days: 30,
+            sessions_per_day: 300,
+            media_sizes: false,
+            link_churn_per_day: 0.0,
+            server_theta: 0.8,
+        }
+    }
+
+    /// A small, fast preset for tests.
+    pub fn small(seed: u64) -> TraceConfig {
+        TraceConfig {
+            seed,
+            n_servers: 1,
+            site: SiteGraphConfig {
+                n_pages: 60,
+                mean_embedded: 0.8,
+                max_links: 4,
+                zipf_theta: 0.9,
+                assortativity: 0.9,
+                shared_object_pool: 10,
+                shared_frac: 0.7,
+            },
+            clients: ClientConfig {
+                n_clients: 80,
+                local_fraction: 0.25,
+                local_activity_boost: 3.0,
+                activity_theta: 0.7,
+            },
+            timing: SessionTiming::default(),
+            duration_days: 10,
+            sessions_per_day: 40,
+            media_sizes: false,
+            link_churn_per_day: 0.0,
+            server_theta: 0.0,
+        }
+    }
+}
+
+/// The trace generator.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: TraceConfig) -> Result<Self> {
+        if cfg.n_servers == 0 {
+            return Err(specweb_core::CoreError::invalid_config(
+                "trace.n_servers",
+                "must be positive",
+            ));
+        }
+        if cfg.duration_days == 0 {
+            return Err(specweb_core::CoreError::invalid_config(
+                "trace.duration_days",
+                "must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&cfg.link_churn_per_day) {
+            return Err(specweb_core::CoreError::invalid_config(
+                "trace.link_churn_per_day",
+                "must be in [0, 1]",
+            ));
+        }
+        Ok(TraceGenerator { cfg })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Generates the trace over the given topology (clients attach to
+    /// its leaves).
+    pub fn generate(&self, topo: &Topology) -> Result<Trace> {
+        let cfg = &self.cfg;
+        let seed = SeedTree::new(cfg.seed);
+        let sizes = if cfg.media_sizes {
+            SizeModel::media_1995()?
+        } else {
+            SizeModel::web_1995()?
+        };
+
+        // Catalog + site graphs.
+        let mut catalog = Catalog::new();
+        let mut graphs = Vec::with_capacity(cfg.n_servers);
+        for s in 0..cfg.n_servers {
+            graphs.push(SiteGraph::generate(
+                &seed,
+                ServerId::from(s),
+                &cfg.site,
+                &sizes,
+                &mut catalog,
+            )?);
+        }
+
+        // Clients.
+        let clients = ClientPopulation::generate(&seed, topo, &cfg.clients)?;
+
+        // Which server a session lands on.
+        let server_zipf = Zipf::new(cfg.n_servers, cfg.server_theta)?;
+
+        let mut rng = seed.child("sessions").rng();
+        let mut churn_rng = seed.child("churn").rng();
+        let mut accesses: Vec<Access> =
+            Vec::with_capacity(cfg.duration_days as usize * cfg.sessions_per_day * 12);
+        let mut session_ctr: u32 = 0;
+
+        for day in 0..cfg.duration_days {
+            let day_start = SimTime::from_days(day);
+            for _ in 0..cfg.sessions_per_day {
+                let start =
+                    day_start + Duration::from_millis(rng.gen_range(0..Duration::DAY.as_millis()));
+                let client_id = clients.sample_client(&mut rng);
+                let client = *clients.get(client_id);
+                let server_idx = server_zipf.sample(&mut rng);
+                let graph = &graphs[server_idx];
+                self.run_session(
+                    &mut rng,
+                    graph,
+                    &catalog,
+                    client_id,
+                    client.locality,
+                    start,
+                    session_ctr,
+                    &mut accesses,
+                );
+                session_ctr += 1;
+            }
+            // Site evolution at day boundaries.
+            if cfg.link_churn_per_day > 0.0 {
+                for g in &mut graphs {
+                    g.churn_links(&mut churn_rng, cfg.link_churn_per_day, cfg.site.zipf_theta);
+                }
+            }
+        }
+
+        accesses.sort_by_key(|a| (a.time, a.client, a.doc));
+
+        Ok(Trace {
+            accesses,
+            catalog,
+            graphs,
+            clients,
+            duration: Duration::from_days(cfg.duration_days),
+            n_sessions: session_ctr,
+        })
+    }
+
+    /// Simulates one browsing session: strides of page visits connected
+    /// by link follows, with embedded objects fetched right after each
+    /// page.
+    #[allow(clippy::too_many_arguments)]
+    fn run_session<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        graph: &SiteGraph,
+        catalog: &Catalog,
+        client: ClientId,
+        locality: Locality,
+        start: SimTime,
+        session: u32,
+        out: &mut Vec<Access>,
+    ) {
+        let timing = &self.cfg.timing;
+        let server = graph.server();
+        let mut t = start;
+        let mut page = graph.sample_entry(rng, catalog, |c| locality.class_bias(c));
+        let n_strides = timing.sample_session_strides(rng);
+        // The browser's in-session memory cache (every 1995 browser had
+        // one): an embedded object is requested — and thus appears in
+        // the server log — at most once per session. This is what keeps
+        // a *shared* icon's measured p[page → icon] well below 1, while
+        // page-unique embeddings stay certain.
+        let mut session_fetched: std::collections::HashSet<DocId> =
+            std::collections::HashSet::new();
+
+        for stride in 0..n_strides {
+            if stride > 0 {
+                t += timing.sample_inter_gap(rng);
+            }
+            let stride_len = timing.sample_stride_len(rng);
+            for visit in 0..stride_len {
+                if visit > 0 {
+                    t += timing.sample_intra_gap(rng);
+                }
+                // Fetch the page, then its not-yet-fetched embedded
+                // objects in quick succession (well inside the 5 s
+                // window, so the analyzer sees them as dependencies).
+                for (k, doc) in graph.visit_docs(page).enumerate() {
+                    if k > 0 && !session_fetched.insert(doc) {
+                        continue; // browser memory cache hit
+                    }
+                    out.push(Access {
+                        time: t + Duration::from_millis(50 * k as u64),
+                        client,
+                        doc,
+                        server,
+                        locality,
+                        session,
+                    });
+                }
+                // Follow a link for the next visit. The anchor choice is
+                // uniform (the 1/k behaviour of Fig. 4), but whether the
+                // client *pursues* an off-taste target is class-biased:
+                // a remote user who lands on a campus-internal page backs
+                // off to a fresh entry point. Dead ends also restart.
+                page = match graph.follow_link(rng, page) {
+                    Some(next) => {
+                        let cls = catalog.get(graph.page(next).doc).class;
+                        let stick = locality.class_bias(cls).sqrt();
+                        if rng.gen::<f64>() <= stick {
+                            next
+                        } else {
+                            graph.sample_entry(rng, catalog, |c| locality.class_bias(c))
+                        }
+                    }
+                    None => graph.sample_entry(rng, catalog, |c| locality.class_bias(c)),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace(seed: u64) -> Trace {
+        let topo = Topology::balanced(2, 3, 4);
+        TraceGenerator::new(TraceConfig::small(seed))
+            .unwrap()
+            .generate(&topo)
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_nonempty_ordered_trace() {
+        let t = small_trace(100);
+        assert!(!t.is_empty());
+        assert!(t.n_sessions > 0);
+        for w in t.accesses.windows(2) {
+            assert!(w[0].time <= w[1].time, "trace must be time-ordered");
+        }
+        // All ids are valid.
+        for a in &t.accesses {
+            assert!(a.doc.index() < t.catalog.len());
+            assert!(a.client.index() < t.clients.len());
+            assert_eq!(t.catalog.get(a.doc).server, a.server);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small_trace(42);
+        let b = small_trace(42);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.accesses, b.accesses);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_trace(1);
+        let b = small_trace(2);
+        assert_ne!(a.accesses, b.accesses);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = small_trace(7);
+        let mut counts = t.request_counts();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top10 = counts.len() / 10;
+        let head: u64 = counts[..top10].iter().sum();
+        // The top 10% of documents should draw well over a third of all
+        // requests even in a small trace (the paper measured 91% at the
+        // byte level for the real server).
+        assert!(
+            head as f64 / total as f64 > 0.35,
+            "head share {}",
+            head as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn locality_mix_present() {
+        let t = small_trace(8);
+        let remote = t
+            .accesses
+            .iter()
+            .filter(|a| a.locality == Locality::Remote)
+            .count();
+        let local = t.len() - remote;
+        assert!(remote > 0 && local > 0);
+    }
+
+    #[test]
+    fn day_slices_partition_trace() {
+        let t = small_trace(9);
+        let total: usize = (0..10).map(|d| t.day_slice(d).len()).sum();
+        assert_eq!(total, t.len());
+        for a in t.day_slice(3) {
+            assert_eq!(a.time.day(), 3);
+        }
+        assert!(t.day_slice(99).is_empty());
+    }
+
+    #[test]
+    fn embedded_objects_follow_their_page_closely() {
+        let t = small_trace(10);
+        // Find a page with embedded objects and check that every access
+        // to the page is immediately followed by its objects.
+        let g = &t.graphs[0];
+        let page = g.pages().iter().find(|p| !p.embedded.is_empty());
+        let Some(page) = page else {
+            return;
+        };
+        let mut found = 0;
+        for (i, a) in t.accesses.iter().enumerate() {
+            if a.doc == page.doc {
+                // Scan the next few accesses of the same client for the
+                // first embedded object.
+                let emb = page.embedded[0];
+                let ok = t.accesses[i + 1..]
+                    .iter()
+                    .take(20)
+                    .any(|b| b.client == a.client && b.doc == emb);
+                if ok {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found > 0, "no page→embedded pairs found in trace");
+    }
+
+    #[test]
+    fn multi_server_traces_cover_all_servers() {
+        let topo = Topology::balanced(2, 3, 4);
+        let cfg = TraceConfig {
+            n_servers: 4,
+            ..TraceConfig::small(11)
+        };
+        let t = TraceGenerator::new(cfg).unwrap().generate(&topo).unwrap();
+        let mut seen = [false; 4];
+        for a in &t.accesses {
+            seen[a.server.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "servers missing from trace");
+        assert_eq!(t.graphs.len(), 4);
+    }
+
+    #[test]
+    fn server_theta_skews_server_popularity() {
+        let topo = Topology::balanced(2, 3, 4);
+        let cfg = TraceConfig {
+            n_servers: 4,
+            server_theta: 1.2,
+            ..TraceConfig::small(12)
+        };
+        let t = TraceGenerator::new(cfg).unwrap().generate(&topo).unwrap();
+        let mut per_server = [0u64; 4];
+        for a in &t.accesses {
+            per_server[a.server.index()] += 1;
+        }
+        assert!(
+            per_server[0] > per_server[3],
+            "expected server popularity skew: {per_server:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut cfg = TraceConfig::small(1);
+        cfg.n_servers = 0;
+        assert!(TraceGenerator::new(cfg).is_err());
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = 0;
+        assert!(TraceGenerator::new(cfg).is_err());
+        let mut cfg = TraceConfig::small(1);
+        cfg.link_churn_per_day = 2.0;
+        assert!(TraceGenerator::new(cfg).is_err());
+    }
+
+    #[test]
+    fn churn_changes_future_sessions_not_past() {
+        let topo = Topology::balanced(2, 3, 4);
+        let mut cfg = TraceConfig::small(13);
+        cfg.link_churn_per_day = 0.5;
+        let t1 = TraceGenerator::new(cfg.clone())
+            .unwrap()
+            .generate(&topo)
+            .unwrap();
+        cfg.link_churn_per_day = 0.0;
+        let t2 = TraceGenerator::new(cfg).unwrap().generate(&topo).unwrap();
+        // Day 0 is identical (churn applies at day boundaries)…
+        assert_eq!(t1.day_slice(0), t2.day_slice(0));
+        // …but later days diverge.
+        assert_ne!(t1.accesses, t2.accesses);
+    }
+
+    #[test]
+    fn active_clients_counted() {
+        let t = small_trace(14);
+        let n = t.active_clients();
+        assert!(n > 0 && n <= t.clients.len());
+    }
+
+    #[test]
+    fn total_requested_bytes_positive() {
+        let t = small_trace(15);
+        assert!(t.total_requested_bytes() > Bytes::ZERO);
+    }
+}

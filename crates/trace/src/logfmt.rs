@@ -1,0 +1,256 @@
+//! A Common-Log-Format-style serialization of traces.
+//!
+//! The paper's pipeline begins with HTTPd logs. To make the rest of the
+//! system runnable against *real* logs (and to exercise the cleaning
+//! pipeline on realistic input), traces can be written to and read from
+//! a CLF-like line format:
+//!
+//! ```text
+//! client42 - - [123456789] "GET /doc/17 HTTP/1.0" 200 5120
+//! ```
+//!
+//! where the timestamp is milliseconds since trace start, and the path
+//! encodes the document id. The reader tolerates and reports malformed
+//! lines (real logs are full of them); the cleaning pass in
+//! [`crate::cleaning`] then applies the paper's preprocessing.
+
+use specweb_core::ids::{ClientId, DocId};
+use specweb_core::time::SimTime;
+use specweb_core::units::Bytes;
+use specweb_core::{CoreError, Result};
+
+/// One parsed log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The requesting client.
+    pub client: ClientId,
+    /// Request time.
+    pub time: SimTime,
+    /// HTTP method (only `GET` is meaningful to the simulators).
+    pub method: String,
+    /// Request path, e.g. `/doc/17` or `/cgi-bin/form.cgi`.
+    pub path: String,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response size in bytes.
+    pub size: Bytes,
+}
+
+impl LogRecord {
+    /// The canonical path for a document id.
+    pub fn doc_path(doc: DocId) -> String {
+        format!("/doc/{}", doc.raw())
+    }
+
+    /// Extracts the document id from a canonical `/doc/N` path, if the
+    /// path has that shape.
+    pub fn doc_from_path(path: &str) -> Option<DocId> {
+        path.strip_prefix("/doc/")
+            .and_then(|s| s.parse::<u32>().ok())
+            .map(DocId::new)
+    }
+
+    /// Renders this record as a log line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "client{} - - [{}] \"{} {} HTTP/1.0\" {} {}",
+            self.client.raw(),
+            self.time.as_millis(),
+            self.method,
+            self.path,
+            self.status,
+            self.size.get()
+        )
+    }
+
+    /// Parses one log line. `lineno` is used for error reporting.
+    pub fn parse(line: &str, lineno: usize) -> Result<LogRecord> {
+        let err = |why: &str| CoreError::parse(lineno, why.to_string());
+
+        let rest = line
+            .strip_prefix("client")
+            .ok_or_else(|| err("missing `client` prefix"))?;
+        let (client_str, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| err("truncated after client"))?;
+        let client: u32 = client_str
+            .parse()
+            .map_err(|_| err("client id is not a number"))?;
+
+        let lb = rest.find('[').ok_or_else(|| err("missing `[`"))?;
+        let rb = rest.find(']').ok_or_else(|| err("missing `]`"))?;
+        if rb <= lb {
+            return Err(err("brackets out of order"));
+        }
+        let time: u64 = rest[lb + 1..rb]
+            .parse()
+            .map_err(|_| err("timestamp is not a number"))?;
+
+        let after = &rest[rb + 1..];
+        let q1 = after
+            .find('"')
+            .ok_or_else(|| err("missing request quote"))?;
+        let q2 = after[q1 + 1..]
+            .find('"')
+            .map(|i| i + q1 + 1)
+            .ok_or_else(|| err("unterminated request"))?;
+        let request = &after[q1 + 1..q2];
+        let mut req_parts = request.split_whitespace();
+        let method = req_parts.next().ok_or_else(|| err("empty request"))?;
+        let path = req_parts.next().ok_or_else(|| err("request has no path"))?;
+
+        let tail = after[q2 + 1..].trim();
+        let mut tail_parts = tail.split_whitespace();
+        let status: u16 = tail_parts
+            .next()
+            .ok_or_else(|| err("missing status"))?
+            .parse()
+            .map_err(|_| err("status is not a number"))?;
+        let size: u64 = match tail_parts.next() {
+            // Real CLF uses `-` for "no body".
+            Some("-") | None => 0,
+            Some(s) => s.parse().map_err(|_| err("size is not a number"))?,
+        };
+
+        Ok(LogRecord {
+            client: ClientId::new(client),
+            time: SimTime::from_millis(time),
+            method: method.to_string(),
+            path: path.to_string(),
+            status,
+            size: Bytes::new(size),
+        })
+    }
+}
+
+/// Writes a trace's accesses as log lines.
+pub fn write_log(trace: &crate::generator::Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 64);
+    for a in &trace.accesses {
+        let rec = LogRecord {
+            client: a.client,
+            time: a.time,
+            method: "GET".to_string(),
+            path: LogRecord::doc_path(a.doc),
+            status: 200,
+            size: trace.catalog.size(a.doc),
+        };
+        out.push_str(&rec.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a whole log, returning the good records and the line numbers
+/// of malformed ones (real logs always contain a few).
+pub fn parse_log(text: &str) -> (Vec<LogRecord>, Vec<usize>) {
+    let mut records = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match LogRecord::parse(line, lineno) {
+            Ok(r) => records.push(r),
+            Err(_) => bad.push(lineno),
+        }
+    }
+    (records, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> LogRecord {
+        LogRecord {
+            client: ClientId::new(42),
+            time: SimTime::from_millis(123_456_789),
+            method: "GET".into(),
+            path: "/doc/17".into(),
+            status: 200,
+            size: Bytes::new(5_120),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = record();
+        let line = r.to_line();
+        assert_eq!(
+            line,
+            "client42 - - [123456789] \"GET /doc/17 HTTP/1.0\" 200 5120"
+        );
+        let parsed = LogRecord::parse(&line, 1).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn doc_path_roundtrip() {
+        let p = LogRecord::doc_path(DocId(9));
+        assert_eq!(p, "/doc/9");
+        assert_eq!(LogRecord::doc_from_path(&p), Some(DocId(9)));
+        assert_eq!(LogRecord::doc_from_path("/cgi-bin/x.cgi"), None);
+        assert_eq!(LogRecord::doc_from_path("/doc/notanum"), None);
+    }
+
+    #[test]
+    fn parses_dash_size() {
+        let line = "client1 - - [100] \"GET /doc/1 HTTP/1.0\" 304 -";
+        let r = LogRecord::parse(line, 1).unwrap();
+        assert_eq!(r.size, Bytes::ZERO);
+        assert_eq!(r.status, 304);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "garbage",
+            "client1 - - [x] \"GET / HTTP/1.0\" 200 1",
+            "client1 - - [100] \"GET\" 200 1",
+            "client1 - - [100] \"GET / HTTP/1.0\" abc 1",
+            "clientX - - [100] \"GET / HTTP/1.0\" 200 1",
+            "client1 - - 100] \"GET / HTTP/1.0\" 200 1",
+            "client1 - - [100] GET / HTTP/1.0 200 1",
+        ] {
+            assert!(LogRecord::parse(bad, 7).is_err(), "should reject: {bad:?}");
+        }
+        // Errors carry the line number.
+        let e = LogRecord::parse("garbage", 7).unwrap_err();
+        assert!(e.to_string().contains("line 7"), "{e}");
+    }
+
+    #[test]
+    fn parse_log_separates_good_and_bad() {
+        let text = "client1 - - [100] \"GET /doc/1 HTTP/1.0\" 200 10\n\
+                    this line is broken\n\
+                    \n\
+                    client2 - - [200] \"GET /doc/2 HTTP/1.0\" 404 0\n";
+        let (recs, bad) = parse_log(text);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(bad, vec![2]);
+    }
+
+    #[test]
+    fn write_then_parse_full_trace() {
+        use crate::generator::{TraceConfig, TraceGenerator};
+        use specweb_netsim::topology::Topology;
+        let topo = Topology::balanced(2, 2, 3);
+        let trace = TraceGenerator::new(TraceConfig::small(50))
+            .unwrap()
+            .generate(&topo)
+            .unwrap();
+        let text = write_log(&trace);
+        let (recs, bad) = parse_log(&text);
+        assert!(bad.is_empty());
+        assert_eq!(recs.len(), trace.len());
+        for (rec, acc) in recs.iter().zip(&trace.accesses) {
+            assert_eq!(rec.client, acc.client);
+            assert_eq!(rec.time, acc.time);
+            assert_eq!(LogRecord::doc_from_path(&rec.path), Some(acc.doc));
+            assert_eq!(rec.size, trace.catalog.size(acc.doc));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Session and stride timing.
+//!
+//! §3.2 defines two nested units of client activity:
+//!
+//! * a **traversal stride** — requests separated by less than
+//!   `StrideTimeout` (baseline 5 s): a burst of page + embedded-object
+//!   fetches and quick link follows;
+//! * a **session** — requests separated by less than `SessionTimeout`:
+//!   one sitting at the browser, after which the (session-scoped) cache
+//!   is purged.
+//!
+//! The generator produces sessions as alternating *strides* (fast clicks,
+//! sub-`StrideTimeout` gaps) and *reading pauses* (longer gaps that end a
+//! stride but not the session). Timing parameters are exponential, the
+//! standard model for think times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use specweb_core::time::Duration;
+
+/// Timing parameters for session generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SessionTiming {
+    /// Mean gap between requests inside a stride (must stay well below
+    /// the 5 s `StrideTimeout` so strides are recovered by the analyzer).
+    pub intra_stride_mean: Duration,
+    /// Mean reading pause between strides of one session (above
+    /// `StrideTimeout`, below `SessionTimeout`).
+    pub inter_stride_mean: Duration,
+    /// Mean number of page visits per stride (geometric).
+    pub mean_stride_len: f64,
+    /// Mean number of strides per session (geometric).
+    pub mean_strides_per_session: f64,
+}
+
+impl Default for SessionTiming {
+    fn default() -> Self {
+        SessionTiming {
+            intra_stride_mean: Duration::from_millis(1_500),
+            inter_stride_mean: Duration::from_secs(45),
+            mean_stride_len: 3.0,
+            mean_strides_per_session: 3.0,
+        }
+    }
+}
+
+impl SessionTiming {
+    /// Samples an in-stride gap: exponential with the configured mean,
+    /// truncated into `[100 ms, 4.9 s]` so it always stays under the
+    /// 5 s baseline `StrideTimeout`.
+    pub fn sample_intra_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let mean = self.intra_stride_mean.as_millis() as f64;
+        let g = sample_exp(rng, mean);
+        Duration::from_millis((g as u64).clamp(100, 4_900))
+    }
+
+    /// Samples a between-stride reading pause: exponential, truncated
+    /// into `[6 s, 30 min]` — always above `StrideTimeout`, always below
+    /// any finite `SessionTimeout` of interest.
+    pub fn sample_inter_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let mean = self.inter_stride_mean.as_millis() as f64;
+        let g = sample_exp(rng, mean);
+        Duration::from_millis((g as u64).clamp(6_000, 1_800_000))
+    }
+
+    /// Samples the number of page visits in a stride (≥ 1, geometric).
+    pub fn sample_stride_len<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        1 + sample_geometric(rng, self.mean_stride_len - 1.0)
+    }
+
+    /// Samples the number of strides in a session (≥ 1, geometric).
+    pub fn sample_session_strides<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        1 + sample_geometric(rng, self.mean_strides_per_session - 1.0)
+    }
+}
+
+/// Exponential sample with the given mean (inverse-CDF).
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Geometric sample with the given mean (0 when mean ≤ 0).
+fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut n = 0usize;
+    while rng.gen::<f64>() > p && n < 256 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specweb_core::rng::SeedTree;
+
+    #[test]
+    fn intra_gaps_stay_under_stride_timeout() {
+        let t = SessionTiming::default();
+        let mut rng = SeedTree::new(30).child("intra").rng();
+        for _ in 0..5_000 {
+            let g = t.sample_intra_gap(&mut rng);
+            assert!(g >= Duration::from_millis(100));
+            assert!(g < Duration::from_secs(5), "gap {g} breaks strides");
+        }
+    }
+
+    #[test]
+    fn inter_gaps_exceed_stride_timeout() {
+        let t = SessionTiming::default();
+        let mut rng = SeedTree::new(31).child("inter").rng();
+        for _ in 0..5_000 {
+            let g = t.sample_inter_gap(&mut rng);
+            assert!(g >= Duration::from_secs(6));
+            assert!(g <= Duration::from_secs(1_800));
+        }
+    }
+
+    #[test]
+    fn stride_lengths_have_requested_mean() {
+        let t = SessionTiming {
+            mean_stride_len: 4.0,
+            ..SessionTiming::default()
+        };
+        let mut rng = SeedTree::new(32).child("len").rng();
+        let n = 30_000;
+        let total: usize = (0..n).map(|_| t.sample_stride_len(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "stride mean {mean}");
+    }
+
+    #[test]
+    fn sessions_have_at_least_one_stride() {
+        let t = SessionTiming {
+            mean_strides_per_session: 1.0,
+            ..SessionTiming::default()
+        };
+        let mut rng = SeedTree::new(33).child("s").rng();
+        for _ in 0..1_000 {
+            assert!(t.sample_session_strides(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn exp_sampler_mean() {
+        let mut rng = SeedTree::new(34).child("exp").rng();
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| sample_exp(&mut rng, 7.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 7.0).abs() < 0.15, "exp mean {mean}");
+        assert_eq!(sample_exp(&mut rng, 0.0), 0.0);
+    }
+}

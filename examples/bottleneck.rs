@@ -1,0 +1,78 @@
+//! The §2.3 bottleneck story, end to end: aggressive dissemination
+//! concentrates load on the proxy tier; adding dissemination levels
+//! dissolves it; and the M/G/1 model translates the remaining request
+//! rates into response times an operator would see.
+//!
+//! ```text
+//! cargo run --release --example bottleneck
+//! ```
+
+use specweb::dissem::hierarchy;
+use specweb::dissem::simulate::{DisseminationConfig, DisseminationSim};
+use specweb::netsim::queueing::Mg1;
+use specweb::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // A 3-level hierarchy: 3 backbones → 9 regionals → 27 edges.
+    let topo = Topology::balanced(3, 3, 4);
+    let mut tc = TraceConfig::small(55);
+    tc.duration_days = 14;
+    tc.sessions_per_day = 150;
+    let trace = TraceGenerator::new(tc)?.generate(&topo)?;
+    let sim = DisseminationSim::new(&trace, &topo)?;
+
+    let base = DisseminationConfig {
+        fraction: 0.15,
+        ..DisseminationConfig::default()
+    };
+
+    // Per-proxy capacity: a modest 1995 box.
+    let cap_per_day = 600u64;
+    println!("dissemination of the top 15% of bytes; each proxy can serve {cap_per_day} req/day\n");
+
+    let rows = hierarchy::compare_levels(&sim, &topo, &base, 3, cap_per_day)?;
+    println!("levels  proxies      shed    intercept    traffic saved");
+    for r in &rows {
+        println!(
+            "{:>6}  {:>7}  {:>8}   {:>7.1}%   {:>10.1}%",
+            r.levels,
+            r.n_proxies,
+            r.shed_requests,
+            r.intercepted * 100.0,
+            r.reduction * 100.0
+        );
+    }
+
+    // What the origin server feels: requests that are NOT intercepted
+    // arrive at the origin. Scale to a production operating point — a
+    // 1995 httpd (capacity 20 req/s) whose un-shielded peak-hour rate
+    // would be 19 req/s (ρ = 0.95) — and let the measured interception
+    // fractions shave it down.
+    println!("\n== the origin server's queue (M/G/1, 50 ms service, c²=4) ==");
+    let server = Mg1::httpd_1995();
+    let peak_lambda = 19.0; // un-shielded peak arrivals, req/s
+    let fmt = |resp: Option<f64>| match resp {
+        Some(t) => format!("{:.0} ms", t * 1000.0),
+        None => "saturated".into(),
+    };
+    println!(
+        "  no dissemination: origin sees {peak_lambda:4.1} req/s at peak → response {}",
+        fmt(server.mean_response_secs(peak_lambda))
+    );
+    for r in &rows {
+        let lambda = peak_lambda * (1.0 - r.intercepted);
+        println!(
+            "  {} level(s):       origin sees {lambda:4.1} req/s at peak → response {}",
+            r.levels,
+            fmt(server.mean_response_secs(lambda))
+        );
+    }
+
+    println!(
+        "\nTakeaway (§2.3): a single proxy level under load sheds requests\n\
+         back to the origin; letting dissemination continue \"for another\n\
+         level, and so on\" spreads the load, keeps interception high, and\n\
+         relieves the origin's queue."
+    );
+    Ok(())
+}

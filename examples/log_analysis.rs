@@ -1,0 +1,80 @@
+//! The off-line log-analysis pipeline of §2, end to end:
+//! write a trace out as an httpd-style log, parse it back, apply the
+//! paper's cleaning rules, classify documents, and fit the exponential
+//! popularity model.
+//!
+//! ```text
+//! cargo run --release --example log_analysis
+//! ```
+
+use specweb::prelude::*;
+use specweb::trace::cleaning::{clean, CleaningConfig};
+use specweb::trace::logfmt;
+
+fn main() -> Result<(), CoreError> {
+    let topo = Topology::two_level(5, 8);
+    let mut tc = TraceConfig::small(17);
+    tc.duration_days = 21;
+    tc.sessions_per_day = 100;
+    let trace = TraceGenerator::new(tc)?.generate(&topo)?;
+
+    // 1. Serialize to a Common-Log-Format-style text log.
+    let log_text = logfmt::write_log(&trace);
+    println!(
+        "wrote {} log lines ({} KB)",
+        trace.len(),
+        log_text.len() / 1024
+    );
+
+    // 2. Parse it back and clean it (footnote 6 of the paper).
+    let (records, bad_lines) = logfmt::parse_log(&log_text);
+    let (cleaned, report) = clean(records, &CleaningConfig::typical());
+    println!(
+        "parsed {} records ({} malformed), cleaning kept {} \
+         (dropped: {} non-existent, {} scripts, {} live; {} aliased)",
+        cleaned.len() + report.non_existent + report.scripts + report.live,
+        bad_lines.len(),
+        report.kept,
+        report.non_existent,
+        report.scripts,
+        report.live,
+        report.aliased,
+    );
+
+    // 3. Popularity analysis (Fig. 1's machinery).
+    let profile = ServerProfile::from_trace(&trace, ServerId::new(0), 21)?;
+    println!("\n== popularity profile of S0 ==");
+    println!(
+        "remote demand R      : {:.1} KB/day",
+        profile.remote_bytes_per_day / 1e3
+    );
+    println!("fitted λ             : {:.3e} per byte", profile.lambda);
+    let model = profile.model()?;
+    for frac in [0.005, 0.04, 0.10] {
+        let b = Bytes::new((profile.remotely_accessed_bytes().as_f64() * frac) as u64);
+        println!(
+            "top {:4.1}% of bytes ({b}) covers {:4.1}% of remote requests \
+             (exp model predicts {:4.1}%)",
+            frac * 100.0,
+            profile.hit_curve.hit_fraction(b) * 100.0,
+            model.hit_probability(b) * 100.0,
+        );
+    }
+
+    // 4. Document classification (§2's trichotomy + mutability).
+    let updates = UpdateProcess::default().generate(&SeedTree::new(17), &trace.catalog, 60);
+    let classified = Classifier::default().classify(&trace, &updates, 60);
+    let (r, l, g, u) = Classifier::class_summary(&classified);
+    println!("\n== classification of {} documents ==", classified.len());
+    println!("remotely popular : {r:4}");
+    println!("locally popular  : {l:4}");
+    println!("globally popular : {g:4}");
+    println!("never accessed   : {u:4}");
+    let cands = Classifier::dissemination_candidates(&classified);
+    println!(
+        "dissemination candidates (non-mutable, remote audience): {}",
+        cands.len()
+    );
+
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate a workload and run both of the paper's
+//! protocols end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use specweb::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // 1. The network: a root (where the home server lives), 6 edge
+    //    networks, 8 client attachment points each.
+    let topo = Topology::two_level(6, 8);
+
+    // 2. A cs-www.bu.edu-flavored workload, scaled down to run in a
+    //    couple of seconds in a debug build.
+    let mut tc = TraceConfig::small(42);
+    tc.duration_days = 21;
+    tc.sessions_per_day = 120;
+    let trace = TraceGenerator::new(tc)?.generate(&topo)?;
+    println!(
+        "workload: {} accesses, {} documents, {} clients, {} sessions",
+        trace.len(),
+        trace.catalog.len(),
+        trace.active_clients(),
+        trace.n_sessions,
+    );
+
+    // 3. Protocol 1 — demand-based dissemination (§2): replicate the
+    //    most popular 10% of bytes at 4 well-placed proxies.
+    let dissem = DisseminationSim::new(&trace, &topo)?;
+    let out = dissem.run(&DisseminationConfig::default(), &[])?;
+    println!("\n== data dissemination (top 10% of bytes, 4 proxies) ==");
+    println!(
+        "requests intercepted by proxies : {:5.1}%",
+        out.intercepted_fraction * 100.0
+    );
+    println!(
+        "network traffic (bytes × hops)  : −{:4.1}%",
+        out.reduction * 100.0
+    );
+    println!(
+        "proxy storage used              : {}",
+        out.total_proxy_storage
+    );
+
+    // 4. Protocol 2 — speculative service (§3) at T_p = 0.4 under the
+    //    paper's baseline parameters.
+    let mut cfg = SpecConfig::baseline(0.4);
+    cfg.estimator.history_days = 14;
+    cfg.warmup_days = 7;
+    let spec = SpecSim::new(&trace, &topo).run(&cfg)?;
+    println!("\n== speculative service (T_p = 0.4, baseline params) ==");
+    println!(
+        "extra traffic   : +{:4.1}%",
+        spec.ratios.traffic_increase_pct()
+    );
+    println!(
+        "server load     : −{:4.1}%",
+        spec.ratios.server_load_reduction_pct()
+    );
+    println!(
+        "service time    : −{:4.1}%",
+        spec.ratios.service_time_reduction_pct()
+    );
+    println!(
+        "client miss rate: −{:4.1}%",
+        spec.ratios.miss_rate_reduction_pct()
+    );
+    println!("pushes: {} ({} wasted)", spec.pushes, spec.wasted_pushes);
+
+    Ok(())
+}

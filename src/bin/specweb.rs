@@ -1,0 +1,297 @@
+//! The `specweb` command-line tool: generate workloads, analyze logs,
+//! and run both of the paper's protocols from a shell.
+//!
+//! ```text
+//! specweb generate  --preset bu --seed 42 --out access.log
+//! specweb analyze   --log access.log
+//! specweb speculate --log access.log --tp 0.3
+//! specweb speculate --preset bu --seed 42 --tp 0.3 --max-size 29K
+//! specweb disseminate --preset bu --seed 42 --fraction 0.10 --proxies 9
+//! ```
+//!
+//! Synthetic presets (`bu`, `media`, `cluster`) generate in-memory; the
+//! `--log` forms parse + clean a CLF-style log and import it.
+
+use std::process::ExitCode;
+
+use specweb::dissem::simulate::{DisseminationConfig, DisseminationSim};
+use specweb::prelude::*;
+use specweb::trace::cleaning::{clean, CleaningConfig};
+use specweb::trace::import::{trace_from_records, ImportConfig};
+use specweb::trace::logfmt;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let opts = Opts::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "speculate" => cmd_speculate(&opts),
+        "disseminate" => cmd_disseminate(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(CoreError::invalid_config(
+            "command",
+            format!("unknown command `{other}`"),
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("specweb: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: specweb <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 generate     write a synthetic workload as a CLF-style log\n\
+         \x20 analyze      clean a log, classify documents, fit the popularity model\n\
+         \x20 speculate    run the speculative-service simulator (§3)\n\
+         \x20 disseminate  run the dissemination simulator (§2)\n\
+         \n\
+         options:\n\
+         \x20 --preset bu|media|cluster   synthetic workload preset (default bu)\n\
+         \x20 --seed N                    master seed (default 1996)\n\
+         \x20 --log FILE                  drive from a CLF-style log instead\n\
+         \x20 --out FILE                  output file (generate)\n\
+         \x20 --days N                    trace length in days (generate)\n\
+         \x20 --tp X                      speculation threshold T_p (default 0.3)\n\
+         \x20 --max-size BYTES[K|M]       MaxSize cap (default ∞)\n\
+         \x20 --session-timeout SECS      client cache session timeout (default ∞)\n\
+         \x20 --cooperative               enable cooperative clients\n\
+         \x20 --fraction X                fraction of bytes to disseminate (default 0.10)\n\
+         \x20 --proxies N                 number of proxies (default 4)\n"
+    );
+}
+
+/// Minimal flag parser (no clap in the offline dependency set).
+struct Opts {
+    kv: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut kv = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        kv.push((name.to_string(), it.next().expect("peeked").clone()));
+                    }
+                    _ => flags.push(name.to_string()),
+                }
+            }
+        }
+        Opts { kv, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn seed(&self) -> u64 {
+        self.get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1996)
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn bytes(&self, name: &str) -> Option<Bytes> {
+        let raw = self.get(name)?;
+        let (num, mult) = match raw.chars().last() {
+            Some('K') | Some('k') => (&raw[..raw.len() - 1], 1024u64),
+            Some('M') | Some('m') => (&raw[..raw.len() - 1], 1024 * 1024),
+            _ => (raw, 1),
+        };
+        num.parse::<u64>().ok().map(|n| Bytes::new(n * mult))
+    }
+}
+
+fn topology() -> Topology {
+    Topology::balanced(3, 3, 6)
+}
+
+fn build_trace(opts: &Opts) -> Result<Trace, CoreError> {
+    if let Some(path) = opts.get("log") {
+        let text = std::fs::read_to_string(path)?;
+        let (records, bad) = logfmt::parse_log(&text);
+        if !bad.is_empty() {
+            eprintln!("specweb: note: skipped {} malformed line(s)", bad.len());
+        }
+        let (records, report) = clean(records, &CleaningConfig::typical());
+        eprintln!(
+            "specweb: cleaned log: kept {} (dropped {} non-existent, {} scripts, {} live)",
+            report.kept, report.non_existent, report.scripts, report.live
+        );
+        // Without an address list every client is remote; pass a
+        // campus predicate via future flags if needed.
+        trace_from_records(&records, &topology(), &ImportConfig::default(), |_| false)
+    } else {
+        let preset = opts.get("preset").unwrap_or("bu");
+        let mut cfg = match preset {
+            "bu" => TraceConfig::bu_www(opts.seed()),
+            "media" => TraceConfig::media_site(opts.seed()),
+            "cluster" => TraceConfig::cluster(opts.seed(), 8),
+            other => {
+                return Err(CoreError::invalid_config(
+                    "preset",
+                    format!("unknown preset `{other}` (bu|media|cluster)"),
+                ))
+            }
+        };
+        if let Some(days) = opts.get("days").and_then(|s| s.parse().ok()) {
+            cfg.duration_days = days;
+        }
+        TraceGenerator::new(cfg)?.generate(&topology())
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), CoreError> {
+    let trace = build_trace(opts)?;
+    let text = logfmt::write_log(&trace);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!(
+                "specweb: wrote {} accesses ({} clients, {} sessions) to {path}",
+                trace.len(),
+                trace.active_clients(),
+                trace.n_sessions
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), CoreError> {
+    let trace = build_trace(opts)?;
+    let days = (trace.duration.as_millis() / 86_400_000).max(1);
+    println!(
+        "trace: {} accesses, {} documents, {} clients, {} sessions, {days} day(s)",
+        trace.len(),
+        trace.catalog.len(),
+        trace.active_clients(),
+        trace.n_sessions
+    );
+
+    let profile = ServerProfile::from_trace(&trace, ServerId::new(0), days)?;
+    println!("\npopularity (server S0):");
+    println!(
+        "  remote demand R : {:.1} KB/day",
+        profile.remote_bytes_per_day / 1e3
+    );
+    println!("  fitted λ        : {:.3e} per byte", profile.lambda);
+    for frac in [0.005, 0.04, 0.10] {
+        let b = Bytes::new((profile.remotely_accessed_bytes().as_f64() * frac) as u64);
+        println!(
+            "  top {:4.1}% of bytes covers {:4.1}% of remote requests",
+            frac * 100.0,
+            profile.hit_curve.hit_fraction(b) * 100.0
+        );
+    }
+
+    let counts = trace.request_counts();
+    if let Ok(theta) = specweb::core::dist::fit_zipf_theta(&counts) {
+        println!("  Zipf exponent θ : {theta:.2} (rank/frequency fit)");
+    }
+
+    let classified = Classifier::default().classify(&trace, &[], days);
+    let (r, l, g, u) = Classifier::class_summary(&classified);
+    println!("\nclassification: {r} remote / {l} local / {g} global / {u} unaccessed");
+    Ok(())
+}
+
+fn cmd_speculate(opts: &Opts) -> Result<(), CoreError> {
+    let trace = build_trace(opts)?;
+    let topo = topology();
+    let total_days = (trace.duration.as_millis() / 86_400_000).max(1);
+
+    let mut cfg = SpecConfig::baseline(opts.f64_or("tp", 0.3));
+    cfg.estimator.history_days = (total_days * 2 / 3).max(1);
+    cfg.warmup_days = (total_days / 3).min(30);
+    if let Some(ms) = opts.bytes("max-size") {
+        cfg.max_size = ms;
+    }
+    if let Some(secs) = opts.get("session-timeout").and_then(|s| s.parse().ok()) {
+        cfg.cache = CacheModel::Session {
+            timeout: Duration::from_secs(secs),
+        };
+    }
+    cfg.cooperative = opts.flag("cooperative");
+
+    let out = SpecSim::new(&trace, &topo).run(&cfg)?;
+    println!("speculative service (T_p = {:.2}):", opts.f64_or("tp", 0.3));
+    println!("  traffic     : {:+.1}%", out.ratios.traffic_increase_pct());
+    println!(
+        "  server load : -{:.1}%",
+        out.ratios.server_load_reduction_pct()
+    );
+    println!(
+        "  service time: -{:.1}%",
+        out.ratios.service_time_reduction_pct()
+    );
+    println!(
+        "  miss rate   : -{:.1}%",
+        out.ratios.miss_rate_reduction_pct()
+    );
+    println!(
+        "  pushes {} (wasted {}), prefetches {}",
+        out.pushes, out.wasted_pushes, out.prefetches
+    );
+    println!(
+        "  weighted cost (CommCost/ServCost): {:.3e} → {:.3e}",
+        out.cost_baseline, out.cost_speculative
+    );
+    Ok(())
+}
+
+fn cmd_disseminate(opts: &Opts) -> Result<(), CoreError> {
+    let trace = build_trace(opts)?;
+    let topo = topology();
+    let sim = DisseminationSim::new(&trace, &topo)?;
+    let cfg = DisseminationConfig {
+        fraction: opts.f64_or("fraction", 0.10),
+        n_proxies: opts.f64_or("proxies", 4.0) as usize,
+        ..DisseminationConfig::default()
+    };
+    let out = sim.run(&cfg, &[])?;
+    println!(
+        "dissemination (top {:.0}% of bytes, {} proxies):",
+        cfg.fraction * 100.0,
+        cfg.n_proxies
+    );
+    println!(
+        "  requests intercepted : {:.1}%",
+        out.intercepted_fraction * 100.0
+    );
+    println!("  traffic (bytes×hops) : -{:.1}%", out.reduction * 100.0);
+    println!("  proxy storage        : {}", out.total_proxy_storage);
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: full pipelines from trace generation
+//! through both protocols, exercising the public API exactly as the
+//! examples and the benchmark harness do.
+
+use specweb::prelude::*;
+
+fn topo() -> Topology {
+    Topology::balanced(2, 3, 5)
+}
+
+fn small_trace(seed: u64, days: u64) -> Trace {
+    let mut tc = TraceConfig::small(seed);
+    tc.duration_days = days;
+    tc.sessions_per_day = 80;
+    TraceGenerator::new(tc)
+        .expect("valid config")
+        .generate(&topo())
+        .expect("generation succeeds")
+}
+
+#[test]
+fn full_speculation_pipeline() {
+    let topo = topo();
+    let trace = small_trace(1000, 14);
+    let mut cfg = SpecConfig::baseline(0.3);
+    cfg.estimator.history_days = 10;
+    cfg.warmup_days = 4;
+    let out = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+
+    // The headline shape: traffic up a little, everything else down.
+    assert!(out.ratios.bandwidth >= 1.0);
+    assert!(out.ratios.server_load < 1.0);
+    assert!(out.ratios.service_time < 1.0);
+    assert!(out.ratios.miss_rate < 1.0);
+    assert!(out.pushes > 0);
+    // Weighted cost must drop: ServCost dominates at 10,000 : 1.
+    assert!(
+        out.cost_speculative < out.cost_baseline,
+        "speculation should pay off under the paper's cost model: {} vs {}",
+        out.cost_speculative,
+        out.cost_baseline
+    );
+}
+
+#[test]
+fn full_dissemination_pipeline() {
+    let topo = topo();
+    let trace = small_trace(1001, 10);
+    let sim = DisseminationSim::new(&trace, &topo).unwrap();
+    let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+    assert!(out.reduction > 0.0);
+    assert!(out.intercepted_fraction > 0.0);
+    // The default config replays remote accesses only (the paper's R_i
+    // is remote demand).
+    let remote = trace
+        .accesses
+        .iter()
+        .filter(|a| a.locality == specweb::trace::clients::Locality::Remote)
+        .count() as u64;
+    assert_eq!(out.proxy_hits + out.origin_hits, remote);
+}
+
+#[test]
+fn both_protocols_compose_on_one_trace() {
+    // The protocols are orthogonal: dissemination shields the server
+    // from remote requests; speculation shortens sessions. Running both
+    // analyses over one trace must be consistent.
+    let topo = topo();
+    let trace = small_trace(1002, 12);
+
+    let dissem = DisseminationSim::new(&trace, &topo).unwrap();
+    let d = dissem.run(&DisseminationConfig::default(), &[]).unwrap();
+
+    let mut cfg = SpecConfig::baseline(0.4);
+    cfg.estimator.history_days = 8;
+    cfg.warmup_days = 4;
+    let s = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+
+    assert!(d.reduction > 0.0);
+    assert!(s.ratios.server_load < 1.0);
+}
+
+#[test]
+fn trace_to_log_to_analysis_roundtrip() {
+    use specweb::trace::cleaning::{clean, CleaningConfig};
+    use specweb::trace::logfmt;
+
+    let trace = small_trace(1003, 8);
+    let text = logfmt::write_log(&trace);
+    let (records, bad) = logfmt::parse_log(&text);
+    assert!(bad.is_empty());
+    let (cleaned, report) = clean(records, &CleaningConfig::typical());
+    assert_eq!(report.kept, trace.len());
+    assert_eq!(cleaned.len(), trace.len());
+
+    // The parsed log carries enough to rebuild per-doc counts.
+    let mut counts = vec![0u64; trace.catalog.len()];
+    for r in &cleaned {
+        let doc = logfmt::LogRecord::doc_from_path(&r.path).unwrap();
+        counts[doc.index()] += 1;
+    }
+    assert_eq!(counts, trace.request_counts());
+}
+
+#[test]
+fn profile_lambda_feeds_allocator() {
+    // trace → profile → ServerModel → optimizer, across 3 servers.
+    let topo = topo();
+    let mut tc = TraceConfig::small(1004);
+    tc.n_servers = 3;
+    tc.server_theta = 0.9;
+    tc.duration_days = 10;
+    tc.sessions_per_day = 100;
+    let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+
+    let models: Vec<ServerModel> = (0..3)
+        .map(|s| {
+            let p = ServerProfile::from_trace(&trace, ServerId::new(s), 10).unwrap();
+            ServerModel {
+                lambda: p.lambda,
+                demand: p.remote_bytes_per_day,
+            }
+        })
+        .collect();
+    let b0 = Bytes::from_kib(128);
+    let opt = optimize(&models, b0).unwrap();
+    let uni = allocate_uniform(&models, b0).unwrap();
+    assert!(opt.alpha >= uni.alpha - 1e-9);
+    let total: u64 = opt.bytes.iter().map(|b| b.get()).sum();
+    assert!(total <= b0.get());
+}
+
+#[test]
+fn estimator_matrices_drive_policy_end_to_end() {
+    use specweb::spec::deps::DepMatrixBuilder;
+    use specweb::spec::policy;
+
+    let trace = small_trace(1005, 10);
+    let direct = DepMatrixBuilder::estimate(&trace.accesses, Duration::from_secs(5), 2);
+    assert!(direct.n_entries() > 0);
+    let closure = direct.closure(0.01, 64).unwrap();
+
+    // Find a doc with candidates and check decide() honours MaxSize.
+    let (doc, _, _) = closure.entries().next().expect("closure has entries");
+    let unlimited = policy::decide(
+        &Policy::Threshold { tp: 0.05 },
+        &closure,
+        &direct,
+        doc,
+        &trace.catalog,
+        Bytes::INFINITE,
+        |_| false,
+    );
+    let capped = policy::decide(
+        &Policy::Threshold { tp: 0.05 },
+        &closure,
+        &direct,
+        doc,
+        &trace.catalog,
+        Bytes::new(1),
+        |_| false,
+    );
+    assert!(capped.push.len() <= unlimited.push.len());
+    for &(j, _) in &capped.push {
+        assert!(trace.catalog.size(j) <= Bytes::new(1));
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let topo = topo();
+    let t1 = small_trace(1006, 8);
+    let t2 = small_trace(1006, 8);
+    assert_eq!(t1.accesses, t2.accesses);
+
+    let mut cfg = SpecConfig::baseline(0.3);
+    cfg.estimator.history_days = 6;
+    cfg.warmup_days = 3;
+    let a = SpecSim::new(&t1, &topo).run(&cfg).unwrap();
+    let b = SpecSim::new(&t2, &topo).run(&cfg).unwrap();
+    assert_eq!(a.speculative, b.speculative);
+    assert_eq!(a.baseline, b.baseline);
+
+    let d1 = DisseminationSim::new(&t1, &topo)
+        .unwrap()
+        .run(&DisseminationConfig::default(), &[])
+        .unwrap();
+    let d2 = DisseminationSim::new(&t2, &topo)
+        .unwrap()
+        .run(&DisseminationConfig::default(), &[])
+        .unwrap();
+    assert_eq!(d1.baseline, d2.baseline);
+    assert!((d1.reduction - d2.reduction).abs() < 1e-15);
+}
+
+#[test]
+fn update_events_flow_into_both_protocols() {
+    use specweb::trace::updates::UpdateEvent;
+    let topo = topo();
+    let trace = small_trace(1007, 10);
+
+    // Deterministically update the most popular disseminated document.
+    let sim = DisseminationSim::new(&trace, &topo).unwrap();
+    let cfg = DisseminationConfig {
+        count_update_traffic: true,
+        ..DisseminationConfig::default()
+    };
+    let profile = &sim.profiles()[0];
+    let budget = Bytes::new((profile.remotely_accessed_bytes().as_f64() * cfg.fraction) as u64);
+    let hot = profile.top_docs_for_traffic(budget)[0].0;
+    let updates = vec![UpdateEvent { day: 1, doc: hot }];
+    let out = sim.run(&cfg, &updates).unwrap();
+    assert!(out.push_traffic.get() > 0);
+
+    // Classification flags frequently-updated docs from a real history.
+    let history = UpdateProcess::default().generate(&SeedTree::new(1007), &trace.catalog, 120);
+    let classified = Classifier::default().classify(&trace, &history, 120);
+    assert_eq!(classified.len(), trace.catalog.len());
+}

@@ -1,0 +1,216 @@
+//! Workspace-level property-based tests (proptest): invariants that
+//! must hold for *any* configuration, not just the hand-picked ones in
+//! the unit suites.
+
+use proptest::prelude::*;
+use specweb::prelude::*;
+
+// ---------------------------------------------------------------------
+// Allocation optimizer invariants
+// ---------------------------------------------------------------------
+
+fn server_models() -> impl Strategy<Value = Vec<ServerModel>> {
+    prop::collection::vec(
+        (1e-8f64..1e-4, 0.0f64..1e7).prop_map(|(lambda, demand)| ServerModel { lambda, demand }),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocation_is_feasible_and_nonnegative(
+        servers in server_models(),
+        b0_kib in 1u64..100_000,
+    ) {
+        let b0 = Bytes::from_kib(b0_kib);
+        let alloc = optimize(&servers, b0).unwrap();
+        let total: u64 = alloc.bytes.iter().map(|b| b.get()).sum();
+        prop_assert!(total <= b0.get(), "allocated {total} > budget {}", b0.get());
+        // Nonnegativity is structural (Bytes is unsigned); check alpha.
+        prop_assert!((0.0..=1.0).contains(&alloc.alpha));
+        // Full budget is used whenever any server has positive demand
+        // (H is strictly increasing, so never allocating is suboptimal).
+        if servers.iter().any(|s| s.demand > 0.0) {
+            prop_assert_eq!(total, b0.get());
+        }
+    }
+
+    #[test]
+    fn optimizer_never_beaten_by_baselines(
+        servers in server_models(),
+        b0_kib in 1u64..50_000,
+    ) {
+        let b0 = Bytes::from_kib(b0_kib);
+        let opt = optimize(&servers, b0).unwrap();
+        let uni = allocate_uniform(&servers, b0).unwrap();
+        let pro = allocate_proportional(&servers, b0).unwrap();
+        // Tolerance covers whole-byte rounding of the closed form.
+        prop_assert!(opt.alpha >= uni.alpha - 1e-6,
+            "uniform beat the optimum: {} > {}", uni.alpha, opt.alpha);
+        prop_assert!(opt.alpha >= pro.alpha - 1e-6,
+            "proportional beat the optimum: {} > {}", pro.alpha, opt.alpha);
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_budget(
+        servers in server_models(),
+        b0_kib in 1u64..10_000,
+    ) {
+        let small = optimize(&servers, Bytes::from_kib(b0_kib)).unwrap();
+        let large = optimize(&servers, Bytes::from_kib(b0_kib * 2)).unwrap();
+        prop_assert!(large.alpha >= small.alpha - 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exponential popularity model invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hit_probability_is_monotone_cdf(
+        lambda in 1e-9f64..1e-3,
+        b1 in 0u64..1_000_000_000,
+        b2 in 0u64..1_000_000_000,
+    ) {
+        let m = ExponentialPopularity::new(lambda).unwrap();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let h_lo = m.hit_probability(Bytes::new(lo));
+        let h_hi = m.hit_probability(Bytes::new(hi));
+        prop_assert!((0.0..=1.0).contains(&h_lo));
+        prop_assert!((0.0..=1.0).contains(&h_hi));
+        prop_assert!(h_lo <= h_hi + 1e-15);
+    }
+
+    #[test]
+    fn sizing_roundtrips(
+        lambda in 1e-8f64..1e-4,
+        alpha in 0.01f64..0.99,
+    ) {
+        let m = ExponentialPopularity::new(lambda).unwrap();
+        let b = m.bytes_for_fraction(alpha).unwrap();
+        let back = m.hit_probability(b);
+        // Ceil-to-byte only ever overshoots, and by at most λ.
+        prop_assert!(back >= alpha - 1e-9);
+        prop_assert!(back <= alpha + lambda + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dependency matrix invariants
+// ---------------------------------------------------------------------
+
+/// Random (client, doc, gap) access streams.
+fn access_stream() -> impl Strategy<Value = Vec<(u8, u8, u16)>> {
+    prop::collection::vec((0u8..4, 0u8..12, 0u16..8_000), 2..200)
+}
+
+fn build_accesses(raw: &[(u8, u8, u16)]) -> Vec<Access> {
+    use specweb::trace::clients::Locality;
+    let mut t = 0u64;
+    raw.iter()
+        .map(|&(c, d, gap)| {
+            t += u64::from(gap);
+            Access {
+                time: SimTime::from_millis(t),
+                client: ClientId::new(u32::from(c)),
+                doc: DocId::new(u32::from(d)),
+                server: ServerId::new(0),
+                locality: Locality::Remote,
+                session: 0,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dep_matrix_probabilities_are_valid(raw in access_stream()) {
+        let accesses = build_accesses(&raw);
+        let m = DepMatrixBuilder::estimate(&accesses, Duration::from_secs(5), 1);
+        for (i, j, p) in m.entries() {
+            prop_assert!((0.0..=1.0).contains(&p), "p[{i},{j}] = {p}");
+            prop_assert!(i != j, "self-dependency stored");
+        }
+    }
+
+    #[test]
+    fn closure_dominates_and_stays_valid(raw in access_stream()) {
+        let accesses = build_accesses(&raw);
+        let m = DepMatrixBuilder::estimate(&accesses, Duration::from_secs(5), 1);
+        let c = m.closure(0.01, 64).unwrap();
+        for (i, j, p) in m.entries() {
+            if p >= 0.01 {
+                prop_assert!(c.get(i, j) >= p - 1e-12,
+                    "closure lost direct edge ({i},{j},{p})");
+            }
+        }
+        for (_, _, p) in c.entries() {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn wider_windows_never_lose_pairs(raw in access_stream()) {
+        let accesses = build_accesses(&raw);
+        let narrow = DepMatrixBuilder::estimate(&accesses, Duration::from_secs(2), 1);
+        let wide = DepMatrixBuilder::estimate(&accesses, Duration::from_secs(20), 1);
+        for (i, j, _) in narrow.entries() {
+            prop_assert!(wide.get(i, j) > 0.0,
+                "pair ({i},{j}) vanished when the window grew");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator invariants over random configurations
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case runs two full replays; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_invariants_hold_for_any_threshold(
+        tp in 0.05f64..1.0,
+        seed in 0u64..4,
+        max_kib in prop::option::of(1u64..64),
+    ) {
+        let topo = Topology::balanced(2, 3, 4);
+        let mut tc = TraceConfig::small(3_000 + seed);
+        tc.duration_days = 8;
+        tc.sessions_per_day = 30;
+        let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+
+        let mut cfg = SpecConfig::baseline(tp);
+        cfg.estimator.history_days = 6;
+        // Measure the whole trace: with a warmup window, unmeasured
+        // pushes prepopulate caches and the measured bandwidth ratio
+        // can legitimately dip below 1. At warmup 0 every pushed byte
+        // is counted, so the ≥ 1 bound is exact.
+        cfg.warmup_days = 0;
+        if let Some(k) = max_kib {
+            cfg.max_size = Bytes::from_kib(k);
+        }
+        let out = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+
+        // Speculation can only add traffic…
+        prop_assert!(out.ratios.bandwidth >= 1.0 - 1e-12);
+        // …and only remove load / time / misses.
+        prop_assert!(out.ratios.server_load <= 1.0 + 1e-12);
+        prop_assert!(out.ratios.service_time <= 1.0 + 1e-12);
+        prop_assert!(out.ratios.miss_rate <= 1.0 + 1e-12);
+        // Demand is identical across replays.
+        prop_assert_eq!(out.speculative.accesses, out.baseline.accesses);
+        prop_assert_eq!(out.speculative.accessed_bytes, out.baseline.accessed_bytes);
+        // Conservation.
+        prop_assert!(out.speculative.bytes_sent >= out.speculative.miss_bytes);
+        prop_assert!(out.wasted_pushes <= out.pushes);
+    }
+}

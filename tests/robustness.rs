@@ -1,0 +1,176 @@
+//! Robustness tests: degenerate topologies, pathological configurations
+//! and hostile inputs must produce errors or graceful no-ops — never
+//! panics or nonsense metrics.
+
+use specweb::prelude::*;
+use specweb::spec::policy::Policy;
+use specweb::trace::cleaning::{clean, CleaningConfig};
+use specweb::trace::import::{trace_from_records, ImportConfig};
+use specweb::trace::logfmt;
+
+/// A topology with no interior nodes at all: root + leaves.
+fn flat_topology() -> Topology {
+    Topology::balanced(0, 1, 6)
+}
+
+#[test]
+fn dissemination_without_proxy_candidates_is_a_no_op() {
+    let topo = flat_topology();
+    let mut tc = TraceConfig::small(700);
+    tc.duration_days = 4;
+    tc.sessions_per_day = 30;
+    let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+    let sim = DisseminationSim::new(&trace, &topo).unwrap();
+    let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
+    // No interior nodes → nowhere to put proxies → exactly the baseline.
+    assert_eq!(out.proxy_hits, 0);
+    assert!(out.reduction.abs() < 1e-12);
+}
+
+#[test]
+fn speculation_on_flat_topology_works() {
+    // Clients one hop from the server: speculation is about caching, not
+    // distance, so it must still function.
+    let topo = flat_topology();
+    let mut tc = TraceConfig::small(701);
+    tc.duration_days = 8;
+    tc.sessions_per_day = 40;
+    let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+    let mut cfg = SpecConfig::baseline(0.3);
+    cfg.estimator.history_days = 6;
+    cfg.warmup_days = 2;
+    let out = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+    assert!(out.ratios.server_load < 1.0);
+}
+
+#[test]
+fn single_client_trace_is_fine() {
+    let topo = Topology::two_level(2, 2);
+    let mut tc = TraceConfig::small(702);
+    tc.clients.n_clients = 1;
+    tc.clients.local_fraction = 0.0;
+    tc.duration_days = 4;
+    tc.sessions_per_day = 10;
+    let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+    assert!(trace.active_clients() <= 1);
+    let mut cfg = SpecConfig::baseline(0.5);
+    cfg.estimator.history_days = 3;
+    cfg.warmup_days = 1;
+    let out = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+    assert!(out.ratios.bandwidth.is_finite());
+}
+
+#[test]
+fn hostile_log_lines_never_panic() {
+    let hostile = [
+        "client4294967295 - - [18446744073709551615] \"GET /doc/4294967295 HTTP/1.0\" 65535 18446744073709551615",
+        "client1 - - [0] \"GET  HTTP/1.0\" 200 5",
+        "client1 - - [[0]] \"GET / HTTP/1.0\" 200 5",
+        "client1 - - [0] \"\" 200 5",
+        "client-1 - - [0] \"GET / HTTP/1.0\" 200 5",
+        "client1 - - [0] \"GET / HTTP/1.0\" 200 -5",
+        "\u{0}\u{1}\u{2}",
+        "client1 - - [0] \"GET /../../etc/passwd HTTP/1.0\" 200 5",
+    ];
+    for line in hostile {
+        // Must return Ok or Err, never panic.
+        let _ = logfmt::LogRecord::parse(line, 1);
+    }
+    // The bulk parser reports, not dies.
+    let text = hostile.join("\n");
+    let (records, bad) = logfmt::parse_log(&text);
+    assert_eq!(records.len() + bad.len(), hostile.len());
+}
+
+#[test]
+fn import_survives_a_cleaned_hostile_log() {
+    let text = "client1 - - [0] \"GET /a HTTP/1.0\" 200 10\n\
+                garbage line\n\
+                client2 - - [500] \"GET /cgi-bin/x HTTP/1.0\" 200 10\n\
+                client1 - - [1000] \"GET /missing HTTP/1.0\" 404 0\n\
+                client3 - - [2000] \"GET /a HTTP/1.0\" 200 10\n";
+    let (records, bad) = logfmt::parse_log(text);
+    assert_eq!(bad.len(), 1);
+    let (cleaned, _) = clean(records, &CleaningConfig::typical());
+    let topo = Topology::two_level(2, 3);
+    let trace = trace_from_records(&cleaned, &topo, &ImportConfig::default(), |_| false).unwrap();
+    assert_eq!(trace.len(), 2); // the two good, non-script, 200 lines
+    assert_eq!(trace.catalog.len(), 1); // both hit /a
+}
+
+#[test]
+fn imported_trace_runs_both_simulators() {
+    // Full external-data path: synthetic → log text → parse → clean →
+    // import → simulate. This is the workflow for real logs.
+    let topo = Topology::balanced(2, 3, 4);
+    let mut tc = TraceConfig::small(703);
+    tc.duration_days = 8;
+    tc.sessions_per_day = 50;
+    let orig = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+    let text = logfmt::write_log(&orig);
+    let (records, _) = logfmt::parse_log(&text);
+    let (cleaned, _) = clean(records, &CleaningConfig::typical());
+    let trace = trace_from_records(&cleaned, &topo, &ImportConfig::default(), |raw| {
+        orig.clients.get(raw).locality == specweb::trace::clients::Locality::Local
+    })
+    .unwrap();
+
+    let mut cfg = SpecConfig::baseline(0.3);
+    cfg.estimator.history_days = 6;
+    cfg.warmup_days = 2;
+    let s = SpecSim::new(&trace, &topo).run(&cfg).unwrap();
+    assert!(s.ratios.server_load < 1.0, "{:?}", s.ratios);
+
+    let d = DisseminationSim::new(&trace, &topo)
+        .unwrap()
+        .run(&DisseminationConfig::default(), &[])
+        .unwrap();
+    assert!(d.reduction > 0.0);
+}
+
+#[test]
+fn extreme_policies_stay_sane() {
+    let topo = Topology::two_level(3, 4);
+    let mut tc = TraceConfig::small(704);
+    tc.duration_days = 6;
+    tc.sessions_per_day = 30;
+    let trace = TraceGenerator::new(tc).unwrap().generate(&topo).unwrap();
+    let sim = SpecSim::new(&trace, &topo);
+
+    // MaxSize = 1 byte: nothing can be pushed.
+    let mut cfg = SpecConfig::baseline(0.1);
+    cfg.estimator.history_days = 4;
+    cfg.warmup_days = 2;
+    cfg.max_size = Bytes::new(1);
+    let out = sim.run(&cfg).unwrap();
+    assert_eq!(out.pushes, 0);
+    assert!((out.ratios.bandwidth - 1.0).abs() < 1e-12);
+
+    // TopK with an enormous k: bounded by the closure rows.
+    let mut cfg = SpecConfig::baseline(0.1);
+    cfg.estimator.history_days = 4;
+    cfg.warmup_days = 2;
+    cfg.policy = Policy::TopK {
+        k: usize::MAX,
+        floor: 0.05,
+    };
+    let out = sim.run(&cfg).unwrap();
+    assert!(out.ratios.bandwidth.is_finite());
+}
+
+#[test]
+fn zero_budget_allocation_is_all_zero() {
+    let servers = [
+        ServerModel {
+            lambda: 1e-6,
+            demand: 100.0,
+        },
+        ServerModel {
+            lambda: 1e-6,
+            demand: 200.0,
+        },
+    ];
+    let a = optimize(&servers, Bytes::ZERO).unwrap();
+    assert!(a.bytes.iter().all(|&b| b == Bytes::ZERO));
+    assert_eq!(a.alpha, 0.0);
+}
