@@ -734,6 +734,9 @@ mod tests {
 
     #[test]
     fn tailoring_helps_or_ties() {
+        // At Quick scale a proxy subtree sees few accesses per
+        // server, so tailored rankings carry sampling noise; assert
+        // ties-within-noise rather than strict improvement.
         let r = exp_tailored(S, 32).unwrap();
         for row in r.json.as_array().unwrap() {
             let shared = row["shared"].as_f64().unwrap();

@@ -35,6 +35,19 @@ pub enum CoreError {
     },
     /// An I/O failure, flattened to a string so the error stays `Clone`.
     Io(String),
+    /// A peer violated the wire protocol (malformed message, oversized
+    /// line, digest past the cardinality cap, …).
+    Protocol {
+        /// What the peer sent, or how it broke the framing.
+        reason: String,
+    },
+    /// A server refused or degraded service because it is overloaded.
+    Overload {
+        /// What the server shed ("speculation", "connection", …).
+        shed: &'static str,
+        /// Human-readable context (active connections, limits, …).
+        detail: String,
+    },
 }
 
 impl CoreError {
@@ -52,6 +65,28 @@ impl CoreError {
             line,
             reason: reason.into(),
         }
+    }
+
+    /// Convenience constructor for wire-protocol violations.
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        CoreError::Protocol {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for overload refusals.
+    pub fn overload(shed: &'static str, detail: impl Into<String>) -> Self {
+        CoreError::Overload {
+            shed,
+            detail: detail.into(),
+        }
+    }
+
+    /// True for failures worth retrying after a backoff: transient
+    /// overload and I/O hiccups. Protocol and configuration errors are
+    /// deterministic — retrying resends the same poison.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Io(_) | CoreError::Overload { .. })
     }
 }
 
@@ -73,6 +108,10 @@ impl fmt::Display for CoreError {
                 }
             }
             CoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CoreError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            CoreError::Overload { shed, detail } => {
+                write!(f, "server overloaded (shed {shed}): {detail}")
+            }
         }
     }
 }
@@ -107,6 +146,22 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: truncated");
         let e = CoreError::Estimation("empty curve".into());
         assert_eq!(e.to_string(), "estimation failed: empty curve");
+        let e = CoreError::protocol("line exceeds 4096 bytes");
+        assert_eq!(e.to_string(), "protocol violation: line exceeds 4096 bytes");
+        let e = CoreError::overload("speculation", "97/96 connections");
+        assert_eq!(
+            e.to_string(),
+            "server overloaded (shed speculation): 97/96 connections"
+        );
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(CoreError::Io("reset".into()).is_transient());
+        assert!(CoreError::overload("connection", "full").is_transient());
+        assert!(!CoreError::protocol("garbage").is_transient());
+        assert!(!CoreError::invalid_config("x", "bad").is_transient());
+        assert!(!CoreError::parse(1, "bad").is_transient());
     }
 
     #[test]

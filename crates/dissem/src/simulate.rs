@@ -28,6 +28,7 @@ use specweb_core::units::{ByteHops, Bytes};
 use specweb_core::{CoreError, Result};
 use specweb_netsim::cluster::{Cluster, ClusterMap};
 use specweb_netsim::cost::TrafficAccount;
+use specweb_netsim::fault::FaultPlan;
 use specweb_netsim::proxystore::ProxyStore;
 use specweb_netsim::routing::Router;
 use specweb_netsim::topology::Topology;
@@ -109,6 +110,40 @@ pub struct DisseminationOutcome {
     pub reduction: f64,
     /// Fraction of requests intercepted (the realized α).
     pub intercepted_fraction: f64,
+}
+
+/// Counters accumulated by a faulted replay.
+#[derive(Debug, Default, Clone, Copy)]
+struct FaultTally {
+    fault_denied: u64,
+    retries: u64,
+    unavailable: u64,
+}
+
+/// Results of [`DisseminationSim::run_with_faults`]: the faulted
+/// outcome, its healthy twin, and the degraded-mode metrics connecting
+/// them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradedDisseminationOutcome {
+    /// The outcome measured while the fault plan was active.
+    pub outcome: DisseminationOutcome,
+    /// The same configuration replayed with no faults.
+    pub healthy: DisseminationOutcome,
+    /// Interception opportunities denied by a crash, a broken path or a
+    /// capacity fault (the request fell through toward the origin).
+    pub fault_denied: u64,
+    /// Client retries caused by faults (fall-throughs + waits for the
+    /// origin path to recover).
+    pub retries: u64,
+    /// Requests that could not be served at all: the path to the home
+    /// server never recovered inside the plan's horizon.
+    pub unavailable: u64,
+    /// Fraction of requests served (`1 −` unavailable/attempted).
+    pub availability: f64,
+    /// Faulted `bytes×hops` (requests + pushes) over the healthy run's
+    /// — how much extra traffic the faults induced (> 1 when fall-
+    /// throughs outweigh the traffic removed by unavailability).
+    pub byte_hops_inflation: f64,
 }
 
 /// The dissemination simulator.
@@ -220,6 +255,53 @@ impl<'a> DisseminationSim<'a> {
         cfg: &DisseminationConfig,
         updates: &[UpdateEvent],
     ) -> Result<DisseminationOutcome> {
+        Ok(self.run_inner(cfg, updates, None)?.0)
+    }
+
+    /// Runs the simulation twice — once healthy, once against `plan` —
+    /// and reports degraded-mode metrics alongside the faulted outcome.
+    ///
+    /// Fault semantics during replay: a proxy that is crashed,
+    /// unreachable (a down link between client and proxy), or out of
+    /// capacity is skipped — the request falls through toward the home
+    /// server exactly like a §2.3 shed, costing one retry. A request
+    /// that cannot even reach the home server waits for the path to
+    /// recover (one more retry) or, if the path never recovers inside
+    /// the plan's horizon, goes unserved.
+    pub fn run_with_faults(
+        &self,
+        cfg: &DisseminationConfig,
+        updates: &[UpdateEvent],
+        plan: &FaultPlan,
+    ) -> Result<DegradedDisseminationOutcome> {
+        let healthy = self.run_inner(cfg, updates, None)?.0;
+        let (outcome, tally) = self.run_inner(cfg, updates, Some(plan))?;
+        let attempted = outcome.proxy_hits + outcome.origin_hits + tally.unavailable;
+        let availability = if attempted == 0 {
+            1.0
+        } else {
+            (attempted - tally.unavailable) as f64 / attempted as f64
+        };
+        let faulted_total = outcome.with_dissemination.byte_hops + outcome.push_traffic;
+        let healthy_total = healthy.with_dissemination.byte_hops + healthy.push_traffic;
+        let byte_hops_inflation = faulted_total.ratio(healthy_total);
+        Ok(DegradedDisseminationOutcome {
+            healthy,
+            outcome,
+            fault_denied: tally.fault_denied,
+            retries: tally.retries,
+            unavailable: tally.unavailable,
+            availability,
+            byte_hops_inflation,
+        })
+    }
+
+    fn run_inner(
+        &self,
+        cfg: &DisseminationConfig,
+        updates: &[UpdateEvent],
+        faults: Option<&FaultPlan>,
+    ) -> Result<(DisseminationOutcome, FaultTally)> {
         if !(0.0..=1.0).contains(&cfg.fraction) {
             return Err(CoreError::invalid_config(
                 "dissem.fraction",
@@ -296,6 +378,10 @@ impl<'a> DisseminationSim<'a> {
         // Per-proxy request counters, reset daily (for shedding).
         let mut day_counters: HashMap<NodeId, u64> = HashMap::new();
         let mut current_day = u64::MAX;
+        let mut tally = FaultTally::default();
+        // Deterministic thinning at capacity-degraded proxies:
+        // (seen, served) per proxy, counted inside fault windows only.
+        let mut cap_counters: HashMap<NodeId, (u64, u64)> = HashMap::new();
 
         for a in &self.trace.accesses {
             if cfg.remote_only && a.locality == specweb_trace::clients::Locality::Local {
@@ -318,6 +404,26 @@ impl<'a> DisseminationSim<'a> {
                 if !holds {
                     continue;
                 }
+                if let Some(plan) = faults {
+                    if !plan.proxy_up(itc.proxy, a.time)
+                        || !plan.path_up(self.topo, client_node, itc.proxy, a.time)
+                    {
+                        tally.fault_denied += 1;
+                        tally.retries += 1;
+                        continue; // fall through toward the home server
+                    }
+                    let f = plan.capacity_factor(itc.proxy, a.time);
+                    if f < 1.0 {
+                        let c = cap_counters.entry(itc.proxy).or_insert((0u64, 0u64));
+                        c.0 += 1;
+                        if (c.1 + 1) as f64 > f * c.0 as f64 {
+                            tally.fault_denied += 1;
+                            tally.retries += 1;
+                            continue; // degraded proxy sheds this request
+                        }
+                        c.1 += 1;
+                    }
+                }
                 if let Some(cap) = cfg.proxy_daily_request_cap {
                     let ctr = day_counters.entry(itc.proxy).or_insert(0);
                     if *ctr >= cap {
@@ -335,6 +441,21 @@ impl<'a> DisseminationSim<'a> {
                     with_d.record(size, route.served_hops(Some(i)));
                 }
                 None => {
+                    if let Some(plan) = faults {
+                        if !plan.path_up(self.topo, client_node, Topology::ROOT, a.time) {
+                            if plan
+                                .path_recovery(self.topo, client_node, Topology::ROOT, a.time)
+                                .is_some()
+                            {
+                                // Served after the path recovers: one
+                                // client retry, full origin cost.
+                                tally.retries += 1;
+                            } else {
+                                tally.unavailable += 1;
+                                continue;
+                            }
+                        }
+                    }
                     origin_hits += 1;
                     with_d.record(size, route.origin_hops);
                 }
@@ -350,17 +471,20 @@ impl<'a> DisseminationSim<'a> {
             proxy_hits as f64 / total_requests as f64
         };
 
-        Ok(DisseminationOutcome {
-            baseline,
-            with_dissemination: with_d,
-            push_traffic,
-            proxy_hits,
-            origin_hits,
-            shed_requests: shed,
-            total_proxy_storage: total_storage,
-            reduction,
-            intercepted_fraction,
-        })
+        Ok((
+            DisseminationOutcome {
+                baseline,
+                with_dissemination: with_d,
+                push_traffic,
+                proxy_hits,
+                origin_hits,
+                shed_requests: shed,
+                total_proxy_storage: total_storage,
+                reduction,
+                intercepted_fraction,
+            },
+            tally,
+        ))
     }
 
     /// The tailored replica for a proxy: rank the server's documents by
@@ -380,14 +504,20 @@ impl<'a> DisseminationSim<'a> {
             if a.server != profile.server {
                 continue;
             }
+            // Only remote demand matters: proxies never see an
+            // organization's local requests, so counting them would
+            // spend replica budget on documents the proxy cannot serve.
+            if a.locality == specweb_trace::clients::Locality::Local {
+                continue;
+            }
             let node = self.trace.clients.get(a.client).node;
             if self.topo.is_ancestor(proxy, node) {
                 *counts.entry(a.doc).or_insert(0.0) += 1.0;
             }
         }
-        // Blend in the global popularity as a prior.
-        for &(doc, _, remote, local) in &profile.docs {
-            let global = (remote + local) as f64;
+        // Blend in the global remote popularity as a prior.
+        for &(doc, _, remote, _) in &profile.docs {
+            let global = remote as f64;
             if global > 0.0 {
                 *counts.entry(doc).or_insert(0.0) += GLOBAL_PRIOR_WEIGHT * global;
             }
@@ -421,6 +551,7 @@ impl<'a> DisseminationSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specweb_netsim::fault::FaultWindow;
     use specweb_trace::generator::{TraceConfig, TraceGenerator};
 
     fn setup(seed: u64) -> (Trace, Topology) {
@@ -672,5 +803,80 @@ mod tests {
         let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
         let expect = out.proxy_hits as f64 / (out.proxy_hits + out.origin_hits) as f64;
         assert!((out.intercepted_fraction - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_replay_is_bit_for_bit_deterministic() {
+        let (trace, topo) = setup(90);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig::default();
+        let fcfg = specweb_netsim::fault::FaultConfig::light(trace.duration);
+        let seed = specweb_core::rng::SeedTree::new(901);
+        let plan_a = FaultPlan::generate(&seed, &topo, &fcfg).unwrap();
+        let plan_b = FaultPlan::generate(&seed, &topo, &fcfg).unwrap();
+        let a = sim.run_with_faults(&cfg, &[], &plan_a).unwrap();
+        let b = sim.run_with_faults(&cfg, &[], &plan_b).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must replay identically"
+        );
+    }
+
+    #[test]
+    fn faults_degrade_gracefully_and_conserve_requests() {
+        let (trace, topo) = setup(91);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig::default();
+        let fcfg = specweb_netsim::fault::FaultConfig::light(trace.duration);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(911), &topo, &fcfg).unwrap();
+        let d = sim.run_with_faults(&cfg, &[], &plan).unwrap();
+        // Every attempted request is accounted for exactly once.
+        assert_eq!(
+            d.outcome.proxy_hits + d.outcome.origin_hits + d.unavailable,
+            d.healthy.proxy_hits + d.healthy.origin_hits,
+            "requests leaked in the faulted replay"
+        );
+        assert!((0.0..=1.0).contains(&d.availability));
+        assert!(
+            d.outcome.proxy_hits <= d.healthy.proxy_hits,
+            "faults cannot create interceptions"
+        );
+        assert!(d.byte_hops_inflation.is_finite());
+    }
+
+    #[test]
+    fn crashed_proxies_fall_through_to_the_home_server() {
+        let (trace, topo) = setup(92);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig::default();
+        // Every interior node is crashed for the entire horizon.
+        let mut plan = FaultPlan::none();
+        plan.horizon = specweb_core::time::SimTime::ZERO.saturating_add(trace.duration);
+        let whole = FaultWindow {
+            start: specweb_core::time::SimTime::ZERO,
+            end: plan.horizon,
+        };
+        for n in topo.interior_nodes() {
+            plan.crashes.insert(n, vec![whole]);
+        }
+        let d = sim.run_with_faults(&cfg, &[], &plan).unwrap();
+        assert_eq!(d.outcome.proxy_hits, 0, "crashed proxies served requests");
+        assert_eq!(d.unavailable, 0, "links were healthy: origin must serve");
+        assert_eq!(
+            d.outcome.origin_hits,
+            d.healthy.proxy_hits + d.healthy.origin_hits
+        );
+        // Each request is denied at every crashed proxy that held its
+        // document, so denials are at least the healthy interceptions.
+        assert!(d.fault_denied >= d.healthy.proxy_hits);
+        // All interceptions lost: traffic inflates back toward baseline.
+        assert!(
+            d.byte_hops_inflation >= 1.0,
+            "inflation {} < 1 with all proxies down",
+            d.byte_hops_inflation
+        );
+        assert!((d.availability - 1.0).abs() < 1e-12);
     }
 }

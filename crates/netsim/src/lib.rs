@@ -18,7 +18,10 @@
 //! * [`proxystore`] — proxy replica storage with per-server quotas
 //!   (`B_i`) and the dynamic load-shedding of §2.3;
 //! * [`queueing`] — an M/G/1 server model translating the paper's
-//!   request-count "server load" into response time under load.
+//!   request-count "server load" into response time under load;
+//! * [`fault`] — deterministic fault-injection plans (link failures and
+//!   delays, proxy crash/recovery windows, capacity faults) for
+//!   degraded-mode evaluation.
 //!
 //! The substrate is deliberately *analytic*, not packet-level: the
 //! paper's evaluation needs hop-weighted byte counts and a
@@ -29,6 +32,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod fault;
 pub mod proxystore;
 pub mod queueing;
 pub mod routing;
@@ -36,6 +40,7 @@ pub mod topology;
 
 pub use cluster::{Cluster, ClusterMap};
 pub use cost::{CostModel, LatencyModel, TrafficAccount};
+pub use fault::{FaultConfig, FaultPlan, FaultRate, FaultWindow, RetrySchedule};
 pub use proxystore::ProxyStore;
 pub use routing::Router;
 pub use topology::{NodeKind, Topology, TopologyBuilder};

@@ -240,6 +240,78 @@ mod tests {
     }
 
     #[test]
+    fn shed_to_zero_forces_every_request_back_to_the_home_server() {
+        let mut p = store_with_quota(1_000, 600);
+        let docs = [DocId(1), DocId(2), DocId(3)];
+        for d in docs {
+            p.install(S, d, Bytes::new(200)).unwrap();
+        }
+        // Before shedding the proxy absorbs every request; afterwards
+        // they all fall through — none are lost, just served upstream.
+        let route = |p: &ProxyStore| {
+            let (mut proxy_hits, mut origin_hits) = (0, 0);
+            for d in docs {
+                if p.contains(S, d) {
+                    proxy_hits += 1;
+                } else {
+                    origin_hits += 1;
+                }
+            }
+            (proxy_hits, origin_hits)
+        };
+        assert_eq!(route(&p), (3, 0));
+        p.shed(0.0).unwrap();
+        assert_eq!(route(&p), (0, 3), "shed work lands on the home server");
+        assert_eq!(p.used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn counters_are_conserved_through_shed_and_recovery() {
+        let mut p = ProxyStore::new(Bytes::new(2_000));
+        p.set_quota(ServerId(0), Bytes::new(600));
+        p.set_quota(ServerId(1), Bytes::new(400));
+        p.install(ServerId(0), DocId(1), Bytes::new(300)).unwrap();
+        p.install(ServerId(0), DocId(2), Bytes::new(300)).unwrap();
+        p.install(ServerId(1), DocId(3), Bytes::new(400)).unwrap();
+
+        let check = |p: &ProxyStore| {
+            let total = p.used_by(ServerId(0)) + p.used_by(ServerId(1));
+            assert_eq!(p.used(), total, "proxy total must equal replica sum");
+            assert!(p.used() <= p.capacity());
+            assert!(p.used_by(ServerId(0)) <= p.quota(ServerId(0)));
+            assert!(p.used_by(ServerId(1)) <= p.quota(ServerId(1)));
+        };
+        check(&p);
+        p.shed(0.5).unwrap();
+        check(&p);
+        p.shed(0.0).unwrap();
+        check(&p);
+        assert_eq!(p.used(), Bytes::ZERO);
+        // Recovery: quotas restored, the store accepts replicas again.
+        p.set_quota(ServerId(0), Bytes::new(600));
+        p.install(ServerId(0), DocId(1), Bytes::new(300)).unwrap();
+        check(&p);
+    }
+
+    #[test]
+    fn recovery_after_shedding_restores_service() {
+        let mut p = store_with_quota(1_000, 400);
+        p.install(S, DocId(1), Bytes::new(200)).unwrap(); // most popular
+        p.install(S, DocId(2), Bytes::new(200)).unwrap();
+        p.shed(0.5).unwrap();
+        assert!(p.contains(S, DocId(1)), "survivors are the most popular");
+        assert!(!p.contains(S, DocId(2)));
+        // Load subsides: the quota is restored and the next
+        // dissemination cycle re-installs what was evicted.
+        p.set_quota(S, Bytes::new(400));
+        p.install(S, DocId(2), Bytes::new(200)).unwrap();
+        assert!(p.contains(S, DocId(1)));
+        assert!(p.contains(S, DocId(2)));
+        assert_eq!(p.used(), Bytes::new(400));
+        assert_eq!(p.doc_count(S), 2);
+    }
+
+    #[test]
     fn unknown_server_queries_are_zero() {
         let p = ProxyStore::new(Bytes::new(100));
         assert_eq!(p.quota(S), Bytes::ZERO);

@@ -1,0 +1,34 @@
+//! # specweb-serve
+//!
+//! A hardened, multi-threaded TCP implementation of the speculative
+//! service protocol — the paper's §4 ("work in progress involves the
+//! development of prototypes to test and evaluate these protocols"),
+//! grown from a demo into a fault-tolerant server:
+//!
+//! * [`protocol`] — the line-oriented wire format with bounded parsing:
+//!   line-length and `HAVE`-digest caps turn hostile input into typed
+//!   [`CoreError::Protocol`](specweb_core::CoreError) errors;
+//! * [`overload`] — the graceful-degradation ladder: shed speculation
+//!   first (demand-only service, the §2.3 move), refuse connections
+//!   only at the hard cap;
+//! * [`shutdown`] — cooperative shutdown tokens;
+//! * [`server`] — the accept loop and per-connection handlers, with
+//!   read/write deadlines and a graceful drain on shutdown;
+//! * [`client`] — a retrying client: capped exponential backoff with
+//!   seeded jitter on transient failures (`BUSY`, I/O), a speculative
+//!   cache, and §3.4 cooperative `HAVE` digests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod overload;
+pub mod protocol;
+pub mod server;
+pub mod shutdown;
+
+pub use client::{ClientConfig, FetchResult, RetryConfig, SpecClient};
+pub use overload::{OverloadController, OverloadPolicy, ServiceLevel};
+pub use protocol::{ProtocolLimits, Request, ServerMsg};
+pub use server::{ServerConfig, ServerHandle, ServerKnowledge, SpecServer, StatsSnapshot};
+pub use shutdown::ShutdownToken;

@@ -1,0 +1,223 @@
+//! Graceful degradation under load.
+//!
+//! The §2.3 insight, applied to the live server: speculation is the
+//! *optional* part of the service, so it is the first thing to go. The
+//! controller tracks active connections against two thresholds:
+//!
+//! * below `demand_only_at` — **full service**: every response carries
+//!   the policy's speculative pushes;
+//! * at or above `demand_only_at` — **demand-only**: requests are still
+//!   answered, but speculation is shed (`Threshold(T_p)` effectively
+//!   becomes `T_p = ∞`), trading the service-time win for capacity;
+//! * at `max_connections` — **refusing**: new connections wait briefly
+//!   for a slot (accept-loop backpressure) and are then turned away
+//!   with `BUSY`, a transient error the client retries.
+//!
+//! Existing connections are never torn down by the controller — load
+//! shedding degrades service quality before it degrades availability.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use specweb_core::{CoreError, Result};
+
+/// What quality of service the server is currently giving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// Normal operation: demand service plus speculative pushes.
+    Full,
+    /// Overloaded: demand service only, speculation shed (§2.3).
+    DemandOnly,
+    /// Saturated: new connections are refused with `BUSY`.
+    Refusing,
+}
+
+/// Connection-count thresholds for the degradation ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadPolicy {
+    /// Hard cap on concurrent connections.
+    pub max_connections: usize,
+    /// Active-connection count at which speculation is shed.
+    pub demand_only_at: usize,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            max_connections: 64,
+            demand_only_at: 48,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// Checks the thresholds are ordered and positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_connections == 0 {
+            return Err(CoreError::invalid_config(
+                "serve.max_connections",
+                "must be positive",
+            ));
+        }
+        if self.demand_only_at == 0 || self.demand_only_at > self.max_connections {
+            return Err(CoreError::invalid_config(
+                "serve.demand_only_at",
+                format!(
+                    "must be in [1, max_connections={}], got {}",
+                    self.max_connections, self.demand_only_at
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Shared connection accounting; hands out RAII admission guards.
+#[derive(Debug)]
+pub struct OverloadController {
+    policy: OverloadPolicy,
+    active: AtomicUsize,
+}
+
+impl OverloadController {
+    /// Builds a controller after validating the policy.
+    pub fn new(policy: OverloadPolicy) -> Result<OverloadController> {
+        policy.validate()?;
+        Ok(OverloadController {
+            policy,
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of currently admitted connections.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// The service level implied by the current load.
+    pub fn level(&self) -> ServiceLevel {
+        let n = self.active();
+        if n >= self.policy.max_connections {
+            ServiceLevel::Refusing
+        } else if n >= self.policy.demand_only_at {
+            ServiceLevel::DemandOnly
+        } else {
+            ServiceLevel::Full
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
+    /// Tries to admit one connection; `None` when the server is full.
+    /// The returned guard releases the slot on drop.
+    pub fn try_admit(self: &Arc<Self>) -> Option<ConnectionGuard> {
+        let mut n = self.active.load(Ordering::Acquire);
+        loop {
+            if n >= self.policy.max_connections {
+                return None;
+            }
+            match self
+                .active
+                .compare_exchange_weak(n, n + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    return Some(ConnectionGuard {
+                        ctl: Arc::clone(self),
+                    })
+                }
+                Err(cur) => n = cur,
+            }
+        }
+    }
+}
+
+/// RAII admission: one admitted connection; the slot frees on drop.
+#[derive(Debug)]
+pub struct ConnectionGuard {
+    ctl: Arc<OverloadController>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.ctl.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(max: usize, demand_only: usize) -> Arc<OverloadController> {
+        Arc::new(
+            OverloadController::new(OverloadPolicy {
+                max_connections: max,
+                demand_only_at: demand_only,
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_speculation_before_connections() {
+        let c = ctl(3, 2);
+        assert_eq!(c.level(), ServiceLevel::Full);
+        let g1 = c.try_admit().unwrap();
+        assert_eq!(c.level(), ServiceLevel::Full);
+        let g2 = c.try_admit().unwrap();
+        // Two active: speculation shed, connections still accepted.
+        assert_eq!(c.level(), ServiceLevel::DemandOnly);
+        let g3 = c.try_admit().unwrap();
+        assert_eq!(c.level(), ServiceLevel::Refusing);
+        assert!(c.try_admit().is_none());
+        drop(g3);
+        assert_eq!(c.level(), ServiceLevel::DemandOnly);
+        assert!(c.try_admit().is_some()); // guard dropped immediately
+        drop(g2);
+        drop(g1);
+        assert_eq!(c.active(), 0);
+        assert_eq!(c.level(), ServiceLevel::Full);
+    }
+
+    #[test]
+    fn guards_release_under_concurrency() {
+        let c = ctl(8, 8);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if let Some(g) = c.try_admit() {
+                        assert!(c.active() >= 1);
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.active(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_policies() {
+        assert!(OverloadController::new(OverloadPolicy {
+            max_connections: 0,
+            demand_only_at: 0,
+        })
+        .is_err());
+        assert!(OverloadController::new(OverloadPolicy {
+            max_connections: 4,
+            demand_only_at: 5,
+        })
+        .is_err());
+        assert!(OverloadController::new(OverloadPolicy {
+            max_connections: 4,
+            demand_only_at: 0,
+        })
+        .is_err());
+    }
+}

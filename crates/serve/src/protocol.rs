@@ -1,0 +1,391 @@
+//! The wire protocol, hardened against hostile peers.
+//!
+//! The same line-oriented exchange the §4 prototype sketched:
+//!
+//! ```text
+//! client → server:  GET <doc-id> [HAVE <id>,<id>,…]\n   |  QUIT\n
+//! server → client:  DOC <doc-id> <size>\n
+//!                   PUSH <doc-id> <size>\n               (zero or more)
+//!                   END\n
+//! errors:           ERR <reason>\n                       (protocol violation)
+//! overload:         BUSY <detail>\n                      (connection refused)
+//! ```
+//!
+//! Unlike the prototype, every input is **bounded before it is parsed**:
+//! a request line is read through [`read_bounded_line`], which refuses to
+//! buffer more than [`ProtocolLimits::max_line_bytes`], and the `HAVE`
+//! digest is capped at [`ProtocolLimits::max_have_ids`] entries. A peer
+//! that exceeds either cap gets a typed [`CoreError::Protocol`] — never
+//! an unbounded allocation.
+
+use std::fmt;
+use std::io::BufRead;
+
+use specweb_core::{CoreError, DocId, Result};
+
+/// Caps on what the parser will accept from the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolLimits {
+    /// Longest request or response line, in bytes (excluding the `\n`).
+    pub max_line_bytes: usize,
+    /// Most ids accepted in one `HAVE` digest.
+    pub max_have_ids: usize,
+}
+
+impl Default for ProtocolLimits {
+    fn default() -> Self {
+        ProtocolLimits {
+            max_line_bytes: 4096,
+            max_have_ids: 256,
+        }
+    }
+}
+
+impl ProtocolLimits {
+    /// Checks the caps are usable.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_line_bytes < 16 {
+            return Err(CoreError::invalid_config(
+                "serve.max_line_bytes",
+                "must be at least 16 bytes",
+            ));
+        }
+        if self.max_have_ids == 0 {
+            return Err(CoreError::invalid_config(
+                "serve.max_have_ids",
+                "must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `GET <doc> [HAVE <id>,…]` — fetch a document, optionally
+    /// piggybacking a cache digest (§3.4 cooperative clients).
+    Get {
+        /// The requested document.
+        doc: DocId,
+        /// Ids the client already holds (pushes for these are wasted).
+        have: Vec<DocId>,
+    },
+    /// Orderly end of the session.
+    Quit,
+}
+
+impl Request {
+    /// Parses one request line. Hostile input yields
+    /// [`CoreError::Protocol`], never a panic or an unbounded `Vec`.
+    pub fn parse(line: &str, limits: &ProtocolLimits) -> Result<Request> {
+        let msg = line.trim();
+        if msg == "QUIT" {
+            return Ok(Request::Quit);
+        }
+        let Some(rest) = msg.strip_prefix("GET ") else {
+            return Err(CoreError::protocol(format!(
+                "expected GET or QUIT, got {:?}",
+                truncate(msg, 32)
+            )));
+        };
+        let (id_part, have_part) = match rest.split_once(" HAVE ") {
+            Some((a, b)) => (a, Some(b)),
+            None => (rest, None),
+        };
+        let doc = parse_id(id_part, "document id")?;
+        let mut have = Vec::new();
+        if let Some(h) = have_part {
+            for s in h.split(',') {
+                if have.len() >= limits.max_have_ids {
+                    return Err(CoreError::protocol(format!(
+                        "HAVE digest exceeds {} ids",
+                        limits.max_have_ids
+                    )));
+                }
+                have.push(parse_id(s, "HAVE id")?);
+            }
+        }
+        Ok(Request::Get { doc, have })
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Get { doc, have } => {
+                write!(f, "GET {}", doc.raw())?;
+                for (i, id) in have.iter().enumerate() {
+                    if i == 0 {
+                        write!(f, " HAVE {}", id.raw())?;
+                    } else {
+                        write!(f, ",{}", id.raw())?;
+                    }
+                }
+                Ok(())
+            }
+            Request::Quit => write!(f, "QUIT"),
+        }
+    }
+}
+
+/// A parsed server response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// The requested document.
+    Doc {
+        /// Its id.
+        doc: DocId,
+        /// Its size in bytes.
+        size: u64,
+    },
+    /// A speculative push riding on the response.
+    Push {
+        /// The pushed document.
+        doc: DocId,
+        /// Its size in bytes.
+        size: u64,
+    },
+    /// End of this response.
+    End,
+    /// The server refused the connection or request under overload;
+    /// retry after a backoff.
+    Busy {
+        /// Human-readable overload context.
+        detail: String,
+    },
+    /// The peer violated the protocol; the connection will close.
+    Err {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl ServerMsg {
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<ServerMsg> {
+        let msg = line.trim();
+        if msg == "END" {
+            return Ok(ServerMsg::End);
+        }
+        if let Some(rest) = msg.strip_prefix("DOC ") {
+            let (doc, size) = parse_id_size(rest)?;
+            return Ok(ServerMsg::Doc { doc, size });
+        }
+        if let Some(rest) = msg.strip_prefix("PUSH ") {
+            let (doc, size) = parse_id_size(rest)?;
+            return Ok(ServerMsg::Push { doc, size });
+        }
+        if let Some(rest) = msg.strip_prefix("BUSY") {
+            return Ok(ServerMsg::Busy {
+                detail: rest.trim().to_string(),
+            });
+        }
+        if let Some(rest) = msg.strip_prefix("ERR") {
+            return Ok(ServerMsg::Err {
+                reason: rest.trim().to_string(),
+            });
+        }
+        Err(CoreError::protocol(format!(
+            "unknown server message {:?}",
+            truncate(msg, 32)
+        )))
+    }
+}
+
+impl fmt::Display for ServerMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerMsg::Doc { doc, size } => write!(f, "DOC {} {size}", doc.raw()),
+            ServerMsg::Push { doc, size } => write!(f, "PUSH {} {size}", doc.raw()),
+            ServerMsg::End => write!(f, "END"),
+            ServerMsg::Busy { detail } => write!(f, "BUSY {detail}"),
+            ServerMsg::Err { reason } => write!(f, "ERR {reason}"),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `max_bytes`. Returns `Ok(None)` on a clean EOF before any bytes.
+///
+/// This is the hostile-input chokepoint: `BufRead::read_line` would
+/// happily grow its `String` until memory runs out on a peer that never
+/// sends a newline; this reader fails fast with a typed error instead.
+pub fn read_bounded_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(CoreError::protocol("connection closed mid-line"));
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i > max_bytes {
+                    return Err(CoreError::protocol(format!(
+                        "line exceeds {max_bytes} bytes"
+                    )));
+                }
+                buf.extend_from_slice(&chunk[..i]);
+                reader.consume(i + 1);
+                let s = String::from_utf8(buf)
+                    .map_err(|_| CoreError::protocol("line is not valid UTF-8"))?;
+                return Ok(Some(s));
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max_bytes {
+                    return Err(CoreError::protocol(format!(
+                        "line exceeds {max_bytes} bytes"
+                    )));
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn parse_id(s: &str, what: &str) -> Result<DocId> {
+    s.trim()
+        .parse::<u32>()
+        .map(DocId::new)
+        .map_err(|_| CoreError::protocol(format!("bad {what} {:?}", truncate(s.trim(), 32))))
+}
+
+fn parse_id_size(rest: &str) -> Result<(DocId, u64)> {
+    let mut parts = rest.split_whitespace();
+    let doc = parse_id(parts.next().unwrap_or(""), "document id")?;
+    let size = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| CoreError::protocol("missing or bad size"))?;
+    Ok((doc, size))
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn limits() -> ProtocolLimits {
+        ProtocolLimits::default()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request::Quit,
+            Request::Get {
+                doc: DocId::new(7),
+                have: vec![],
+            },
+            Request::Get {
+                doc: DocId::new(7),
+                have: vec![DocId::new(1), DocId::new(2)],
+            },
+        ] {
+            let line = req.to_string();
+            assert_eq!(Request::parse(&line, &limits()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn server_msg_round_trips() {
+        for msg in [
+            ServerMsg::Doc {
+                doc: DocId::new(3),
+                size: 1024,
+            },
+            ServerMsg::Push {
+                doc: DocId::new(4),
+                size: 2,
+            },
+            ServerMsg::End,
+            ServerMsg::Busy {
+                detail: "64/64 connections".into(),
+            },
+            ServerMsg::Err {
+                reason: "bad id".into(),
+            },
+        ] {
+            let line = msg.to_string();
+            assert_eq!(ServerMsg::parse(&line).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn hostile_requests_yield_typed_errors() {
+        let l = limits();
+        for bad in [
+            "",
+            "FETCH 1",
+            "GET ",
+            "GET abc",
+            "GET 1 HAVE x",
+            "GET 4294967296",
+            "GET 1 HAVE 1,,2",
+        ] {
+            let e = Request::parse(bad, &l).unwrap_err();
+            assert!(
+                matches!(e, CoreError::Protocol { .. }),
+                "{bad:?} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn have_digest_is_capped() {
+        let l = ProtocolLimits {
+            max_have_ids: 4,
+            ..limits()
+        };
+        let ok = format!("GET 0 HAVE {}", ["1"; 4].join(","));
+        assert!(Request::parse(&ok, &l).is_ok());
+        let bad = format!("GET 0 HAVE {}", ["1"; 5].join(","));
+        let e = Request::parse(&bad, &l).unwrap_err();
+        assert!(e.to_string().contains("exceeds 4 ids"));
+    }
+
+    #[test]
+    fn bounded_reader_enforces_the_line_cap() {
+        let long = [b'a'; 100];
+        let mut r = BufReader::new(&long[..]);
+        let e = read_bounded_line(&mut r, 64).unwrap_err();
+        assert!(matches!(e, CoreError::Protocol { .. }));
+        assert!(e.to_string().contains("exceeds 64 bytes"));
+    }
+
+    #[test]
+    fn bounded_reader_reads_lines_and_eof() {
+        let data = b"GET 1\nQUIT\n".to_vec();
+        let mut r = BufReader::new(&data[..]);
+        assert_eq!(read_bounded_line(&mut r, 64).unwrap().unwrap(), "GET 1");
+        assert_eq!(read_bounded_line(&mut r, 64).unwrap().unwrap(), "QUIT");
+        assert!(read_bounded_line(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_line_eof_is_a_protocol_error() {
+        let data = b"GET 1".to_vec(); // no newline
+        let mut r = BufReader::new(&data[..]);
+        let e = read_bounded_line(&mut r, 64).unwrap_err();
+        assert!(e.to_string().contains("mid-line"));
+    }
+
+    #[test]
+    fn non_utf8_is_rejected() {
+        let data = [0xff, 0xfe, b'\n'];
+        let mut r = BufReader::new(&data[..]);
+        assert!(read_bounded_line(&mut r, 64).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! The hardened speculative-service server.
+//!
+//! A multi-threaded TCP server speaking the [`crate::protocol`] wire
+//! format, built around four robustness mechanisms the §4 prototype
+//! lacked:
+//!
+//! * **bounded parsing** — request lines go through
+//!   [`read_bounded_line`] and [`Request::parse`], so hostile peers hit
+//!   typed [`CoreError::Protocol`] errors, never unbounded buffers;
+//! * **deadlines** — every connection carries read and write timeouts;
+//!   a stalled peer costs one handler thread for at most one timeout;
+//! * **graceful degradation** — an [`OverloadController`] sheds
+//!   speculation first (demand-only service, the §2.3 move) and only
+//!   refuses connections at the hard cap, after waiting `admit_timeout`
+//!   for a slot (accept-loop backpressure);
+//! * **graceful shutdown** — a [`ShutdownToken`] asks the accept loop
+//!   and every handler to finish the request in flight and exit;
+//!   [`ServerHandle::shutdown`] joins them all.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use specweb_core::{Bytes, CoreError, Result};
+use specweb_spec::deps::DepMatrix;
+use specweb_spec::policy::{decide, Policy};
+use specweb_trace::document::Catalog;
+
+use crate::overload::{OverloadController, OverloadPolicy, ServiceLevel};
+use crate::protocol::{read_bounded_line, ProtocolLimits, Request, ServerMsg};
+use crate::shutdown::ShutdownToken;
+
+/// Everything the server needs to answer and speculate, fixed at
+/// startup — the output of the §3.2 off-line estimation step.
+pub struct ServerKnowledge {
+    /// The document catalog (ids and sizes).
+    pub catalog: Catalog,
+    /// The direct dependency matrix `P`.
+    pub direct: DepMatrix,
+    /// Its transitive closure `P*`.
+    pub closure: DepMatrix,
+    /// The speculation policy.
+    pub policy: Policy,
+    /// `MaxSize`: documents larger than this are never pushed.
+    pub max_size: Bytes,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Wire-format caps.
+    pub limits: ProtocolLimits,
+    /// Degradation thresholds.
+    pub overload: OverloadPolicy,
+    /// Per-connection read deadline: a peer silent for longer is
+    /// disconnected.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// How long the accept loop waits for a free slot before refusing a
+    /// connection with `BUSY`.
+    pub admit_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            limits: ProtocolLimits::default(),
+            overload: OverloadPolicy::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            admit_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Checks all knobs.
+    pub fn validate(&self) -> Result<()> {
+        self.limits.validate()?;
+        self.overload.validate()?;
+        if self.read_timeout.is_zero() || self.write_timeout.is_zero() {
+            return Err(CoreError::invalid_config(
+                "serve.timeouts",
+                "read and write timeouts must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Monotonic event counters, shared with the handler threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    pushes: AtomicU64,
+    shed_speculation: AtomicU64,
+    refused_connections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections admitted.
+    pub connections: u64,
+    /// `GET` requests served.
+    pub requests: u64,
+    /// Documents pushed speculatively.
+    pub pushes: u64,
+    /// Requests served demand-only because speculation was shed.
+    pub shed_speculation: u64,
+    /// Connections refused with `BUSY` at the hard cap.
+    pub refused_connections: u64,
+    /// Connections dropped for violating the protocol.
+    pub protocol_errors: u64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            shed_speculation: self.shed_speculation.load(Ordering::Relaxed),
+            refused_connections: self.refused_connections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The server. Construct with [`SpecServer::spawn`].
+pub struct SpecServer;
+
+impl SpecServer {
+    /// Binds an ephemeral localhost port, starts the accept loop on a
+    /// background thread, and returns a handle controlling it.
+    pub fn spawn(knowledge: ServerKnowledge, config: ServerConfig) -> Result<ServerHandle> {
+        config.validate()?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let token = ShutdownToken::new();
+        let stats = Arc::new(ServerStats::default());
+        let ctl = Arc::new(OverloadController::new(config.overload)?);
+
+        let accept = AcceptLoop {
+            listener,
+            knowledge: Arc::new(knowledge),
+            config,
+            token: token.clone(),
+            stats: Arc::clone(&stats),
+            ctl: Arc::clone(&ctl),
+        };
+        let join = thread::Builder::new()
+            .name("specweb-accept".into())
+            .spawn(move || accept.run())
+            .map_err(|e| CoreError::Io(e.to_string()))?;
+
+        Ok(ServerHandle {
+            addr,
+            token,
+            stats,
+            ctl,
+            join: Some(join),
+        })
+    }
+}
+
+/// Control handle for a running [`SpecServer`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the event counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The current service level.
+    pub fn service_level(&self) -> ServiceLevel {
+        self.ctl.level()
+    }
+
+    /// A token that can request shutdown from elsewhere.
+    pub fn shutdown_token(&self) -> ShutdownToken {
+        self.token.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// complete (or fail its deadline), and join all threads.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.token.trigger();
+        // Wake the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            join.join()
+                .map_err(|_| CoreError::Io("server accept thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort stop if the user never called shutdown(); the
+        // accept thread is detached rather than joined here.
+        self.token.trigger();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+struct AcceptLoop {
+    listener: TcpListener,
+    knowledge: Arc<ServerKnowledge>,
+    config: ServerConfig,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.token.is_triggered() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            handlers.retain(|h| !h.is_finished());
+
+            // Admission with backpressure: wait up to admit_timeout for
+            // a slot (connections queue in the OS backlog meanwhile),
+            // then refuse with BUSY. Speculation shedding has already
+            // happened at demand_only_at — refusal is the last rung.
+            let deadline = std::time::Instant::now() + self.config.admit_timeout;
+            let guard = loop {
+                match self.ctl.try_admit() {
+                    Some(g) => break Some(g),
+                    None if self.token.is_triggered() => break None,
+                    None if std::time::Instant::now() >= deadline => break None,
+                    None => thread::sleep(Duration::from_millis(5)),
+                }
+            };
+            let Some(guard) = guard else {
+                ServerStats::bump(&self.stats.refused_connections);
+                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                let mut s = stream;
+                let busy = ServerMsg::Busy {
+                    detail: format!(
+                        "{}/{} connections",
+                        self.ctl.active(),
+                        self.ctl.policy().max_connections
+                    ),
+                };
+                let _ = writeln!(s, "{busy}");
+                continue;
+            };
+
+            ServerStats::bump(&self.stats.connections);
+            let conn = Connection {
+                knowledge: Arc::clone(&self.knowledge),
+                config: self.config,
+                token: self.token.clone(),
+                stats: Arc::clone(&self.stats),
+                ctl: Arc::clone(&self.ctl),
+            };
+            match thread::Builder::new()
+                .name("specweb-conn".into())
+                .spawn(move || {
+                    let _guard = guard;
+                    let _ = conn.handle(stream);
+                }) {
+                Ok(h) => handlers.push(h),
+                Err(_) => continue, // stream and guard dropped: refused
+            }
+        }
+        // Graceful drain: every handler finishes its in-flight request
+        // and exits — blocked reads fail within one read_timeout.
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Connection {
+    knowledge: Arc<ServerKnowledge>,
+    config: ServerConfig,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+}
+
+impl Connection {
+    fn handle(&self, stream: TcpStream) -> Result<()> {
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut out = stream;
+        let limits = self.config.limits;
+
+        loop {
+            if self.token.is_triggered() {
+                return Ok(());
+            }
+            let line = match read_bounded_line(&mut reader, limits.max_line_bytes) {
+                Ok(Some(line)) => line,
+                Ok(None) => return Ok(()), // clean EOF
+                Err(e @ CoreError::Protocol { .. }) => {
+                    ServerStats::bump(&self.stats.protocol_errors);
+                    let msg = ServerMsg::Err {
+                        reason: e.to_string(),
+                    };
+                    let _ = writeln!(out, "{msg}");
+                    return Err(e);
+                }
+                // Read deadline or transport failure: drop the peer.
+                Err(e) => return Err(e),
+            };
+            let req = match Request::parse(&line, &limits) {
+                Ok(req) => req,
+                Err(e) => {
+                    ServerStats::bump(&self.stats.protocol_errors);
+                    let msg = ServerMsg::Err {
+                        reason: e.to_string(),
+                    };
+                    let _ = writeln!(out, "{msg}");
+                    return Err(e);
+                }
+            };
+            match req {
+                Request::Quit => return Ok(()),
+                Request::Get { doc, have } => {
+                    ServerStats::bump(&self.stats.requests);
+                    let k = &self.knowledge;
+                    if doc.index() >= k.catalog.len() {
+                        // Well-formed but unknown: report and keep the
+                        // session alive.
+                        let msg = ServerMsg::Err {
+                            reason: format!("no such document {}", doc.raw()),
+                        };
+                        writeln!(out, "{msg}").map_err(CoreError::from)?;
+                        continue;
+                    }
+                    let doc_msg = ServerMsg::Doc {
+                        doc,
+                        size: k.catalog.size(doc).get(),
+                    };
+                    writeln!(out, "{doc_msg}").map_err(CoreError::from)?;
+
+                    // Speculation is the first load to shed (§2.3):
+                    // under DemandOnly the response carries no pushes.
+                    if self.ctl.level() == ServiceLevel::Full {
+                        let decision = decide(
+                            &k.policy,
+                            &k.closure,
+                            &k.direct,
+                            doc,
+                            &k.catalog,
+                            k.max_size,
+                            |j| have.contains(&j),
+                        );
+                        for (j, _) in decision.push {
+                            if j == doc {
+                                continue;
+                            }
+                            ServerStats::bump(&self.stats.pushes);
+                            let push = ServerMsg::Push {
+                                doc: j,
+                                size: k.catalog.size(j).get(),
+                            };
+                            writeln!(out, "{push}").map_err(CoreError::from)?;
+                        }
+                    } else {
+                        ServerStats::bump(&self.stats.shed_speculation);
+                    }
+                    writeln!(out, "{}", ServerMsg::End).map_err(CoreError::from)?;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Cooperative shutdown signalling.
+//!
+//! A [`ShutdownToken`] is a cheap clonable flag shared by the accept
+//! loop and every connection handler. Triggering it asks each of them
+//! to finish the request in flight and exit; nothing is torn down
+//! forcibly, so a graceful shutdown completes within one read-timeout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way "stop" flag.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownToken(Arc<AtomicBool>);
+
+impl ShutdownToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> ShutdownToken {
+        ShutdownToken::default()
+    }
+
+    /// Requests shutdown. Idempotent.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = ShutdownToken::new();
+        let u = t.clone();
+        assert!(!t.is_triggered());
+        assert!(!u.is_triggered());
+        u.trigger();
+        assert!(t.is_triggered());
+        t.trigger(); // idempotent
+        assert!(u.is_triggered());
+    }
+}

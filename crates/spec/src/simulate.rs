@@ -25,6 +25,7 @@ use specweb_core::metrics::{CostWeights, Ratios, RunTotals};
 use specweb_core::units::Bytes;
 use specweb_core::Result;
 use specweb_netsim::cost::LatencyModel;
+use specweb_netsim::fault::{FaultPlan, RetrySchedule};
 use specweb_netsim::topology::Topology;
 use specweb_trace::generator::Trace;
 
@@ -110,6 +111,9 @@ pub struct SpecSim<'a> {
     trace: &'a Trace,
     /// Per-client hop distance to the home servers (at the tree root).
     hops: Vec<u32>,
+    /// Per-client edge-owning nodes on the path to the root (for fault
+    /// lookups; the root owns no edge and is excluded).
+    paths: Vec<Vec<specweb_core::ids::NodeId>>,
 }
 
 #[derive(Default)]
@@ -117,6 +121,41 @@ struct ReplayCounters {
     pushes: u64,
     wasted_pushes: u64,
     prefetches: u64,
+    retries: u64,
+    unavailable: u64,
+    retry_wait_ms: u64,
+}
+
+/// Fault context threaded through a degraded replay.
+struct FaultCtx<'p> {
+    plan: &'p FaultPlan,
+    retry: RetrySchedule,
+}
+
+/// Results of [`SpecSim::run_with_faults`]: the (degraded) outcome plus
+/// availability and retry-traffic metrics. Both replays — speculative
+/// and baseline — run against the same fault plan, so the ratios
+/// compare like with like.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradedSpecOutcome {
+    /// The paper's outcome, measured under faults.
+    pub outcome: SpecOutcome,
+    /// Retry attempts in the speculative replay (measured window).
+    pub retries: u64,
+    /// Requests never served: the client's path to the server stayed
+    /// down through every backoff attempt (measured window).
+    pub unavailable: u64,
+    /// Total backoff the speculative replay's clients waited through,
+    /// in milliseconds (already included in the latency totals).
+    pub retry_wait_ms: u64,
+    /// Fraction of accesses served (cache hits count as served).
+    pub availability: f64,
+    /// Retry attempts in the baseline replay — more misses mean more
+    /// exposure to the same faults; the gap is speculation's
+    /// availability benefit.
+    pub baseline_retries: u64,
+    /// Unserved requests in the baseline replay.
+    pub baseline_unavailable: u64,
 }
 
 /// Where a replay gets its `P`/`P*` matrices from.
@@ -144,7 +183,16 @@ impl<'a> SpecSim<'a> {
     /// live on.
     pub fn new(trace: &'a Trace, topo: &Topology) -> SpecSim<'a> {
         let hops = trace.clients.iter().map(|c| topo.depth(c.node)).collect();
-        SpecSim { trace, hops }
+        let paths = trace
+            .clients
+            .iter()
+            .map(|c| {
+                let mut p = topo.path_to_root(c.node);
+                p.pop(); // the root owns no edge
+                p
+            })
+            .collect();
+        SpecSim { trace, hops, paths }
     }
 
     /// Runs both replays and computes the ratios.
@@ -171,8 +219,8 @@ impl<'a> SpecSim<'a> {
                 ));
             }
         }
-        let (speculative, counters) = self.replay(cfg, true, store)?;
-        let (baseline, _) = self.replay(cfg, false, store)?;
+        let (speculative, counters) = self.replay(cfg, true, store, None)?;
+        let (baseline, _) = self.replay(cfg, false, store, None)?;
         let ratios = Ratios::between(&speculative, &baseline);
         Ok(SpecOutcome {
             cost_speculative: cfg.cost.total_cost(&speculative),
@@ -186,12 +234,58 @@ impl<'a> SpecSim<'a> {
         })
     }
 
+    /// Runs both replays under a deterministic fault plan and reports
+    /// the paper's ratios alongside availability and retry-traffic
+    /// metrics. A miss whose path to the root crosses a down link (or a
+    /// crashed node's edge) is retried on the [`RetrySchedule`]'s capped
+    /// exponential backoff; if the path never recovers within the
+    /// schedule the request is counted unavailable and the client goes
+    /// unserved. Slow links inflate fetch latency by the plan's delay
+    /// factor. The replay consumes no randomness, so the same plan
+    /// yields bit-for-bit identical outcomes.
+    pub fn run_with_faults(
+        &self,
+        cfg: &SpecConfig,
+        plan: &FaultPlan,
+        retry: RetrySchedule,
+    ) -> Result<DegradedSpecOutcome> {
+        cfg.policy.validate()?;
+        cfg.estimator.validate()?;
+        retry.validate()?;
+        let ctx = FaultCtx { plan, retry };
+        let (speculative, counters) = self.replay(cfg, true, None, Some(&ctx))?;
+        let (baseline, base_counters) = self.replay(cfg, false, None, Some(&ctx))?;
+        let ratios = Ratios::between(&speculative, &baseline);
+        let outcome = SpecOutcome {
+            cost_speculative: cfg.cost.total_cost(&speculative),
+            cost_baseline: cfg.cost.total_cost(&baseline),
+            speculative,
+            baseline,
+            ratios,
+            pushes: counters.pushes,
+            wasted_pushes: counters.wasted_pushes,
+            prefetches: counters.prefetches,
+        };
+        let attempted = outcome.speculative.accesses.max(1);
+        Ok(DegradedSpecOutcome {
+            availability: (attempted - counters.unavailable.min(attempted)) as f64
+                / attempted as f64,
+            retries: counters.retries,
+            unavailable: counters.unavailable,
+            retry_wait_ms: counters.retry_wait_ms,
+            baseline_retries: base_counters.retries,
+            baseline_unavailable: base_counters.unavailable,
+            outcome,
+        })
+    }
+
     /// One replay pass.
     fn replay(
         &self,
         cfg: &SpecConfig,
         speculate: bool,
         store: Option<&MatrixStore>,
+        faults: Option<&FaultCtx<'_>>,
     ) -> Result<(RunTotals, ReplayCounters)> {
         let trace = self.trace;
         let catalog = &trace.catalog;
@@ -256,12 +350,47 @@ impl<'a> SpecSim<'a> {
                 continue;
             }
 
-            // Miss: fetch from the server.
+            // Miss: fetch from the server — but under faults the path
+            // to the root may be down. Retry on the backoff schedule;
+            // an exhausted schedule leaves the request unserved.
+            let mut fetch_time = a.time;
+            let mut delay_factor = 1.0;
+            if let Some(f) = faults {
+                let edges = &self.paths[ci];
+                if !f.plan.edges_up(edges, fetch_time) {
+                    let mut reached = false;
+                    for attempt in 0..f.retry.max_attempts {
+                        fetch_time = fetch_time.saturating_add(f.retry.delay(attempt));
+                        if measured {
+                            counters.retries += 1;
+                        }
+                        if f.plan.edges_up(edges, fetch_time) {
+                            reached = true;
+                            break;
+                        }
+                    }
+                    if !reached {
+                        if measured {
+                            counters.unavailable += 1;
+                        }
+                        if needs_profiles {
+                            profiles[ci].record(a.time, a.doc);
+                        }
+                        continue;
+                    }
+                    if measured {
+                        counters.retry_wait_ms += fetch_time.since(a.time).as_millis();
+                    }
+                }
+                delay_factor = f.plan.edges_delay_factor(edges, fetch_time);
+            }
             if measured {
                 totals.miss_bytes += size;
                 totals.server_requests += 1;
                 totals.bytes_sent += size;
-                totals.latency_ms += cfg.latency.fetch(size, hops).as_millis();
+                let fetch_ms = cfg.latency.fetch(size, hops).as_millis();
+                totals.latency_ms +=
+                    (fetch_ms as f64 * delay_factor) as u64 + fetch_time.since(a.time).as_millis();
             }
             caches[ci].insert(a.doc, size);
 
@@ -684,5 +813,70 @@ mod tests {
         let mut c = cfg(0.3);
         c.policy = Policy::Threshold { tp: 0.0 };
         assert!(sim.run(&c).is_err());
+    }
+
+    fn fault_config(days: u64) -> specweb_netsim::FaultConfig {
+        specweb_netsim::FaultConfig::light(specweb_core::time::Duration::from_days(days))
+    }
+
+    #[test]
+    fn faulted_replay_is_bit_for_bit_deterministic() {
+        let (trace, topo) = setup(220);
+        let sim = SpecSim::new(&trace, &topo);
+        let seed = specweb_core::rng::SeedTree::new(1009);
+        let fcfg = fault_config(14);
+        let plan_a = FaultPlan::generate(&seed, &topo, &fcfg).unwrap();
+        let plan_b = FaultPlan::generate(&seed, &topo, &fcfg).unwrap();
+        let retry = RetrySchedule::default();
+        let a = sim.run_with_faults(&cfg(0.3), &plan_a, retry).unwrap();
+        let b = sim.run_with_faults(&cfg(0.3), &plan_b, retry).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn faults_reduce_availability_but_not_below_reason() {
+        let (trace, topo) = setup(221);
+        let sim = SpecSim::new(&trace, &topo);
+        // Harsh link faults: down half the time on average.
+        let mut fcfg = fault_config(14);
+        fcfg.link.mean_up = specweb_core::time::Duration::from_days(1);
+        fcfg.link.mean_down = specweb_core::time::Duration::from_secs(12 * 3600);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(1013), &topo, &fcfg).unwrap();
+        let c = cfg(0.3);
+        let healthy = sim.run(&c).unwrap();
+        let degraded = sim
+            .run_with_faults(&c, &plan, RetrySchedule::default())
+            .unwrap();
+        assert!(
+            degraded.unavailable > 0,
+            "harsh faults must strand requests"
+        );
+        assert!(degraded.retries >= degraded.unavailable);
+        assert!(degraded.availability < 1.0 && degraded.availability > 0.2);
+        // Unserved misses never reach the server.
+        assert!(degraded.outcome.speculative.server_requests < healthy.speculative.server_requests);
+        // Both replays face the same plan; the baseline has more misses,
+        // hence at least as much fault exposure.
+        assert!(degraded.baseline_retries >= degraded.retries);
+    }
+
+    #[test]
+    fn no_faults_matches_the_healthy_run() {
+        let (trace, topo) = setup(222);
+        let sim = SpecSim::new(&trace, &topo);
+        let c = cfg(0.3);
+        let healthy = sim.run(&c).unwrap();
+        let degraded = sim
+            .run_with_faults(&c, &FaultPlan::none(), RetrySchedule::default())
+            .unwrap();
+        assert_eq!(degraded.unavailable, 0);
+        assert_eq!(degraded.retries, 0);
+        assert_eq!(degraded.availability, 1.0);
+        assert_eq!(degraded.outcome.speculative, healthy.speculative);
+        assert_eq!(degraded.outcome.baseline, healthy.baseline);
     }
 }

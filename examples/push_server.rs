@@ -2,113 +2,22 @@
 //! the paper's §4: *"Work in progress involves the development of
 //! prototypes to test and evaluate these protocols."*
 //!
-//! A tiny line-oriented protocol (HTTP/1.0 was not much fancier):
-//!
-//! ```text
-//! client → server:  GET <doc-id> [HAVE <id>,<id>,…]\n
-//! server → client:  DOC <doc-id> <size>\n
-//!                   PUSH <doc-id> <size>\n      (zero or more)
-//!                   END\n
-//! ```
-//!
-//! The server estimates `P`/`P*` from a synthetic trace at startup and
-//! pushes candidates with `p* ≥ T_p` on every request, skipping ids the
-//! client piggybacks in `HAVE` (§3.4's cooperative clients). The demo
-//! client browses a few sessions and reports how many of its requests
-//! were answered from the speculative cache without touching the wire.
+//! This is a thin driver over the hardened [`specweb::serve`] crate:
+//! the server runs with bounded request parsing, per-connection
+//! deadlines, and graceful overload degradation; the client retries
+//! transient failures with capped exponential backoff and piggybacks a
+//! §3.4 cooperative `HAVE` digest from its push-fed cache.
 //!
 //! ```text
 //! cargo run --release --example push_server
 //! ```
 
-use std::collections::HashSet;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
-use std::thread;
-
 use specweb::prelude::*;
-use specweb::spec::policy::{decide, Policy};
+use specweb::serve::client::{ClientConfig, SpecClient};
+use specweb::serve::server::{ServerConfig, ServerKnowledge, SpecServer};
+use specweb::spec::policy::Policy;
 
-/// Everything the server thread needs, fixed at startup.
-struct ServerState {
-    catalog: specweb::trace::document::Catalog,
-    direct: DepMatrix,
-    closure: DepMatrix,
-    policy: Policy,
-    max_size: Bytes,
-}
-
-fn serve(listener: TcpListener, state: Arc<ServerState>) {
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { break };
-        let state = Arc::clone(&state);
-        thread::spawn(move || {
-            let _ = handle_client(stream, &state);
-        });
-    }
-}
-
-fn handle_client(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut out = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
-        }
-        let msg = line.trim();
-        if msg == "QUIT" {
-            return Ok(());
-        }
-        let Some(rest) = msg.strip_prefix("GET ") else {
-            writeln!(out, "ERR bad request")?;
-            continue;
-        };
-        let (id_part, have_part) = match rest.split_once(" HAVE ") {
-            Some((a, b)) => (a, Some(b)),
-            None => (rest, None),
-        };
-        let Ok(raw) = id_part.trim().parse::<u32>() else {
-            writeln!(out, "ERR bad id")?;
-            continue;
-        };
-        let doc = DocId::new(raw);
-        if doc.index() >= state.catalog.len() {
-            writeln!(out, "ERR no such document")?;
-            continue;
-        }
-        // Cooperative digest, straight off the request line.
-        let have: HashSet<DocId> = have_part
-            .map(|h| {
-                h.split(',')
-                    .filter_map(|s| s.trim().parse::<u32>().ok())
-                    .map(DocId::new)
-                    .collect()
-            })
-            .unwrap_or_default();
-
-        writeln!(out, "DOC {} {}", doc.raw(), state.catalog.size(doc).get())?;
-        let decision = decide(
-            &state.policy,
-            &state.closure,
-            &state.direct,
-            doc,
-            &state.catalog,
-            state.max_size,
-            |j| have.contains(&j),
-        );
-        for (j, _) in decision.push {
-            if j != doc {
-                writeln!(out, "PUSH {} {}", j.raw(), state.catalog.size(j).get())?;
-            }
-        }
-        writeln!(out, "END")?;
-    }
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), CoreError> {
     // 1. Build the server's knowledge from a synthetic trace — exactly
     //    the off-line estimation step of §3.2.
     let topo = Topology::two_level(4, 6);
@@ -125,90 +34,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         closure.n_entries()
     );
 
-    let state = Arc::new(ServerState {
-        catalog: trace.catalog.clone(),
-        direct,
-        closure,
-        policy: Policy::Threshold { tp: 0.3 },
-        max_size: Bytes::INFINITE,
-    });
-
-    // 2. Start the server on an ephemeral local port.
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    let addr = listener.local_addr()?;
-    println!("server: listening on {addr} (T_p = 0.3, cooperative)");
-    let server_state = Arc::clone(&state);
-    thread::spawn(move || serve(listener, server_state));
+    // 2. Start the hardened server on an ephemeral local port.
+    let handle = SpecServer::spawn(
+        ServerKnowledge {
+            catalog: trace.catalog.clone(),
+            direct,
+            closure,
+            policy: Policy::Threshold { tp: 0.3 },
+            max_size: Bytes::INFINITE,
+        },
+        ServerConfig::default(),
+    )?;
+    println!(
+        "server: listening on {} (T_p = 0.3, cooperative, deadlines + overload control on)",
+        handle.addr()
+    );
 
     // 3. A client browses: replay a few real client streams from the
-    //    trace against the live server, maintaining a local cache.
-    let mut wire_requests = 0u64;
-    let mut cache_hits = 0u64;
-    let mut pushed_total = 0u64;
-    let mut cache: HashSet<DocId> = HashSet::new();
-
-    let stream = TcpStream::connect(addr)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut sock = stream;
-
-    let client = trace.accesses[0].client;
+    //    trace against the live server; the crate's client keeps the
+    //    push-fed cache and the HAVE digest for us.
+    let mut client = SpecClient::new(handle.addr(), ClientConfig::default())?;
+    let who = trace.accesses[0].client;
     let browse: Vec<DocId> = trace
         .accesses
         .iter()
-        .filter(|a| a.client == client)
+        .filter(|a| a.client == who)
         .map(|a| a.doc)
         .take(200)
         .collect();
-    println!("client: replaying {} requests of {client}", browse.len());
+    println!("client: replaying {} requests of {who}", browse.len());
 
+    let mut wire_requests = 0u64;
+    let mut cache_hits = 0u64;
+    let mut pushed_total = 0u64;
     for doc in browse {
-        if cache.contains(&doc) {
+        let r = client.fetch(doc)?;
+        if r.from_cache {
             cache_hits += 1;
-            continue;
-        }
-        // Piggyback a digest of (up to) 64 cached ids, §3.4-style.
-        let digest: Vec<String> = cache.iter().take(64).map(|d| d.raw().to_string()).collect();
-        if digest.is_empty() {
-            writeln!(sock, "GET {}", doc.raw())?;
         } else {
-            writeln!(sock, "GET {} HAVE {}", doc.raw(), digest.join(","))?;
-        }
-        wire_requests += 1;
-
-        let mut line = String::new();
-        loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Err("server closed unexpectedly".into());
-            }
-            let msg = line.trim();
-            if msg == "END" {
-                break;
-            } else if let Some(rest) = msg.strip_prefix("PUSH ") {
-                if let Some(id) = rest
-                    .split_whitespace()
-                    .next()
-                    .and_then(|s| s.parse::<u32>().ok())
-                {
-                    cache.insert(DocId::new(id));
-                    pushed_total += 1;
-                }
-            } else if let Some(rest) = msg.strip_prefix("DOC ") {
-                if let Some(id) = rest
-                    .split_whitespace()
-                    .next()
-                    .and_then(|s| s.parse::<u32>().ok())
-                {
-                    cache.insert(DocId::new(id));
-                }
-            } else if msg.starts_with("ERR") {
-                return Err(format!("server error: {msg}").into());
-            }
+            wire_requests += 1;
+            pushed_total += r.pushed.len() as u64;
         }
     }
-    writeln!(sock, "QUIT")?;
+    client.quit()?;
 
     let total = wire_requests + cache_hits;
+    let stats = handle.stats();
+    handle.shutdown()?;
+
     println!("\n== prototype session summary ==");
     println!("client accesses       : {total}");
     println!("requests on the wire  : {wire_requests}");
@@ -217,6 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache_hits as f64 / total as f64 * 100.0
     );
     println!("documents pushed      : {pushed_total}");
+    println!(
+        "server saw            : {} requests, {} pushes, {} protocol errors",
+        stats.requests, stats.pushes, stats.protocol_errors
+    );
     println!("\nThe protocol works end to end: one request on the wire carries");
     println!("the document plus the server's speculation, and the cooperative");
     println!("HAVE digest keeps the pushes from re-sending the client's cache.");

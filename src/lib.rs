@@ -26,9 +26,12 @@
 //!   trace statistics the paper reports, plus a log format and the
 //!   paper's log-cleaning pipeline;
 //! * [`netsim`] — the clientele tree, clusters, routing, cost/latency
-//!   models and proxy stores;
+//!   models, proxy stores, and deterministic fault-injection plans;
 //! * [`dissem`] / [`spec`] — the two protocols and their trace-driven
-//!   simulators.
+//!   simulators (each with a degraded-mode `run_with_faults` replay);
+//! * [`serve`] — a hardened multi-threaded TCP prototype of the §3/§4
+//!   speculative-service protocol, with bounded parsing, deadlines,
+//!   graceful overload degradation, and a retrying client.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@
 pub use specweb_core as core;
 pub use specweb_dissem as dissem;
 pub use specweb_netsim as netsim;
+pub use specweb_serve as serve;
 pub use specweb_spec as spec;
 pub use specweb_trace as trace;
 
@@ -82,7 +86,11 @@ pub mod prelude {
         DisseminationConfig, DisseminationOutcome, DisseminationSim,
     };
     pub use specweb_netsim::cost::{CostModel, LatencyModel};
+    pub use specweb_netsim::fault::{FaultConfig, FaultPlan, RetrySchedule};
     pub use specweb_netsim::topology::Topology;
+    pub use specweb_serve::client::{ClientConfig, SpecClient};
+    pub use specweb_serve::overload::{OverloadPolicy, ServiceLevel};
+    pub use specweb_serve::server::{ServerConfig, ServerKnowledge, SpecServer};
     pub use specweb_spec::cache::CacheModel;
     pub use specweb_spec::deps::{DepMatrix, DepMatrixBuilder};
     pub use specweb_spec::estimator::EstimatorConfig;

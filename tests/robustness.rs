@@ -2,6 +2,7 @@
 //! and hostile inputs must produce errors or graceful no-ops — never
 //! panics or nonsense metrics.
 
+use proptest::prelude::*;
 use specweb::prelude::*;
 use specweb::spec::policy::Policy;
 use specweb::trace::cleaning::{clean, CleaningConfig};
@@ -156,6 +157,61 @@ fn extreme_policies_stay_sane() {
     };
     let out = sim.run(&cfg).unwrap();
     assert!(out.ratios.bandwidth.is_finite());
+}
+
+/// Arbitrary (possibly control-character-ridden) text lines.
+fn arbitrary_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255u8, 0..160)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The whole external-log pipeline — single-line parse, bulk
+    /// reader, cleaning — digests arbitrary bytes without panicking,
+    /// and the bulk reader accounts for every line it saw.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_log_pipeline(
+        lines in prop::collection::vec(arbitrary_line(), 0..8),
+    ) {
+        for (i, line) in lines.iter().enumerate() {
+            let _ = logfmt::LogRecord::parse(line, i + 1);
+        }
+        let text = lines.join("\n");
+        let (records, bad) = logfmt::parse_log(&text);
+        prop_assert!(records.len() + bad.len() <= text.lines().count() + 1);
+        let parsed = records.len();
+        let (cleaned, report) = clean(records, &CleaningConfig::typical());
+        prop_assert_eq!(report.kept, cleaned.len());
+        prop_assert_eq!(
+            report.kept + report.non_existent + report.scripts + report.live,
+            parsed
+        );
+    }
+
+    /// Near-valid lines — the right shape with arbitrary field values —
+    /// parse to Ok or Err but never panic, and whatever parses survives
+    /// cleaning without a panic.
+    #[test]
+    fn near_valid_log_lines_never_panic(
+        client in 0u64..1u64 << 40,
+        stamp in prop::collection::vec(0u8..=255u8, 0..24),
+        path in prop::collection::vec(0u8..=127u8, 0..32),
+        status in 0u32..1200,
+        size in 0u64..u64::MAX,
+    ) {
+        let stamp = String::from_utf8_lossy(&stamp).into_owned();
+        let path = String::from_utf8_lossy(&path).into_owned();
+        let line = format!(
+            "client{client} - - [{stamp}] \"GET {path} HTTP/1.0\" {status} {size}"
+        );
+        let single = logfmt::LogRecord::parse(&line, 1);
+        let (records, bad) = logfmt::parse_log(&line);
+        // The bulk reader and the single-line parser must agree.
+        prop_assert_eq!(single.is_ok(), records.len() == 1 && bad.is_empty());
+        let _ = clean(records, &CleaningConfig::typical());
+    }
 }
 
 #[test]

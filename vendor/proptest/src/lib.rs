@@ -1,0 +1,496 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing subset this workspace uses: the
+//! [`proptest!`] macro, range / tuple / collection / option strategies,
+//! `prop_map`, [`prop_oneof!`], and `prop_assert*` macros. Case inputs
+//! are generated from a deterministic seed derived from the test name,
+//! so failures reproduce exactly across runs (there is no shrinking —
+//! the failing input is printed verbatim instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: strategies produce
+    /// final values directly and failures are not shrunk.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    );
+}
+
+/// `prop::collection`, `prop::option`, … — the combinator namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// An inclusive-exclusive size range for generated collections.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            pub min: usize,
+            pub max_exclusive: usize,
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max_exclusive: r.end() + 1,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        /// `Vec`s of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// `Option<T>` that is `Some` three times out of four (matching
+        /// real proptest's bias toward interesting values).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_range(0u32..4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// Runner configuration (`cases` is the only knob this stand-in
+    /// honors).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    /// Upstream's name for the runner config, as used in
+    /// `#![proptest_config(...)]`.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion (returned early by `prop_assert!`).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives `cases` generated inputs through the property `f`,
+    /// panicking (like a failed `#[test]`) on the first failure.
+    pub fn run_cases<S, F>(config: &Config, name: &str, strategy: &S, f: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Deterministic per-test seed: failures reproduce across runs.
+        // PROPTEST_SEED_OFFSET rotates the stream without code changes.
+        let offset = std::env::var("PROPTEST_SEED_OFFSET")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(fnv1a(name) ^ offset);
+        for case in 0..config.cases {
+            let input = strategy.generate(&mut rng);
+            let text = format!("{input:?}");
+            if let Err(e) = f(input) {
+                panic!(
+                    "proptest case {case}/{cases} failed: {msg}\n    input: {text}",
+                    cases = config.cases,
+                    msg = e.message,
+                );
+            }
+        }
+    }
+}
+
+pub use test_runner::TestCaseError;
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)*),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(
+            <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __strategy = ($($strat,)*);
+            $crate::test_runner::run_cases(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |($($arg,)*)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_and_option_shapes(
+            v in prop::collection::vec((0u8..4, 0u16..100), 1..9),
+            o in prop::option::of(1u64..64),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            if let Some(x) = o {
+                prop_assert!((1..64).contains(&x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            z in prop_oneof![
+                (0u8..4).prop_map(u32::from),
+                (10u8..14).prop_map(u32::from),
+            ],
+        ) {
+            prop_assert!(z < 4 || (10..14).contains(&z), "z = {}", z);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        use crate::strategy::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let strat = crate::prop::collection::vec(0u16..1000, 5..6);
+        let a = strat.generate(&mut StdRng::seed_from_u64(1));
+        let b = strat.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    // `proptest!` forwards attributes, so `#[should_panic]` rides along
+    // with `#[test]` — the generated test must fail with the case text.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn failures_panic_with_input(x in 0u8..2) {
+            prop_assert!(x > 200);
+        }
+    }
+}

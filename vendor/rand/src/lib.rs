@@ -1,0 +1,363 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This container has no network access and no vendored registry, so the
+//! workspace patches `rand` with this minimal, dependency-free subset of
+//! the 0.8 API (the parts `specweb` actually uses). The generator is
+//! xoshiro256++ seeded through SplitMix64 — a well-studied, public-domain
+//! algorithm with excellent statistical quality for simulation workloads.
+//!
+//! Provided surface:
+//!
+//! * [`rngs::StdRng`] — the workspace's only concrete generator;
+//! * [`Rng`] — `gen`, `gen_range` (integer + float ranges, half-open and
+//!   inclusive), `gen_bool`;
+//! * [`SeedableRng`] — `seed_from_u64` / `from_seed`.
+//!
+//! The streams differ from upstream `rand`'s (`StdRng` is ChaCha12 there),
+//! which is explicitly allowed: `rand` documents `StdRng` streams as
+//! non-portable across versions, and every consumer in this workspace
+//! derives its seeds from `specweb_core::rng::SeedTree` anyway.
+
+#![forbid(unsafe_code)]
+
+/// SplitMix64 — used to expand a `u64` seed into xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ (Blackman & Vigna, 2019). 256 bits of state, period
+    /// 2^256 − 1, passes BigCrush.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // All-zero state is the one forbidden xoshiro state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+}
+
+/// The raw generator interface (a subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// The full-entropy seed type.
+    type Seed;
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Builds a generator from a `u64` (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod dist {
+    use super::RngCore;
+
+    /// Types samplable uniformly over their full domain (`Rng::gen`).
+    pub trait Standard: Sized {
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Standard for u32 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Standard for u16 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+    impl Standard for u8 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+    impl Standard for usize {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Standard for i64 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Standard for i32 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> i32 {
+            rng.next_u32() as i32
+        }
+    }
+    impl Standard for bool {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    impl Standard for f64 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    impl Standard for f32 {
+        #[inline]
+        fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Unbiased sampling of an integer in `[0, bound)` via Lemire's
+    /// multiply-with-rejection method.
+    #[inline]
+    pub fn below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg() {
+                // Fast accept for the overwhelmingly common case.
+                return (m >> 64) as u64;
+            }
+            // Exact threshold check (rare path).
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Ranges usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let u = <$t as Standard>::sample_std(rng);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    let u = <$t as Standard>::sample_std(rng);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+}
+
+pub use dist::{SampleRange, Standard};
+
+/// User-facing random-value methods, blanket-implemented for every
+/// generator (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform sample over the value type's full domain (for floats:
+    /// `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_std(self)
+    }
+
+    /// A uniform sample from `range`.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample_std(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        let c: u64 = StdRng::seed_from_u64(43).gen();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_float_is_half_on_average() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

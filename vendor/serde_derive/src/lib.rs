@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits (which are value-tree based, see
+//! `vendor/serde`). The input is parsed directly from the
+//! `proc_macro::TokenStream` — no `syn`/`quote`, since the build
+//! environment has no registry access.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields;
+//! * tuple structs (arity 1 serializes as the inner value, matching
+//!   serde's newtype behavior and `#[serde(transparent)]`);
+//! * enums with unit and struct variants (externally tagged, like serde);
+//! * the `#[serde(transparent)]` attribute (a no-op for arity-1 tuple
+//!   structs, which already serialize transparently).
+//!
+//! Unsupported shapes (generics, tuple variants with >1 field, other
+//! `#[serde(...)]` attributes) panic at expansion time with a clear
+//! message rather than silently generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, name: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == name)
+}
+
+/// Validates a `#[serde(...)]` attribute body: only `transparent` is
+/// understood; anything else would change the wire shape, so bail loudly.
+fn check_serde_attr(group: &proc_macro::Group) {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.len() == 2 && is_ident(&toks[0], "serde") {
+        if let TokenTree::Group(args) = &toks[1] {
+            for tok in args.stream() {
+                match &tok {
+                    TokenTree::Ident(id) if id.to_string() == "transparent" => {}
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "serde stand-in: unsupported #[serde({other})] attribute \
+                         (only `transparent` is implemented)"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Skips attributes (recording serde ones) and visibility at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(tok) if is_punct(tok, '#') => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(t) if is_punct(t, '!')) {
+                    *i += 1;
+                }
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    check_serde_attr(g);
+                }
+                *i += 1;
+            }
+            Some(tok) if is_ident(tok, "pub") => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies / struct variants).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde stand-in: expected field name, found {other}"),
+        }
+        i += 1;
+        if !matches!(toks.get(i), Some(t) if is_punct(t, ':')) {
+            panic!(
+                "serde stand-in: expected `:` after field `{}`",
+                names.last().unwrap()
+            );
+        }
+        i += 1;
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in group.stream() {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => any = true,
+            },
+            _ => any = true,
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant, up to the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde stand-in: expected `struct` or `enum`, found {}",
+            toks[i]
+        );
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde stand-in: generic type `{name}` is not supported");
+    }
+    let data = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g))
+            }
+            _ => panic!("serde stand-in: malformed enum `{name}`"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Data::Struct(Fields::Unit),
+        }
+    };
+    Input { name, data }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Obj(__fields)");
+            s
+        }
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "::serde::Value::Arr(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __vf: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vf.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n{inner}\
+                             ::serde::Value::Obj(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Obj(__vf))]))\n}},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => \
+                         ::serde::Value::Obj(::std::vec::Vec::from([\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__f0))])),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = pats
+                            .iter()
+                            .map(|p| format!("::serde::Serialize::to_value({p})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => \
+                             ::serde::Value::Obj(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Arr(::std::vec::Vec::from([{}])))])),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let __obj = match _v {{\n\
+                 ::serde::Value::Obj(o) => o,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"{name}: expected object\")),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: match ::serde::obj_get(__obj, \"{f}\") {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"{name}: missing field `{f}`\")),\n}},\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(_v)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let __arr = match _v {{\n\
+                 ::serde::Value::Arr(a) if a.len() == {n} => a,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"{name}: expected array of {n}\")),\n}};\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = match _inner {{\n\
+                             ::serde::Value::Obj(o) => o,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vn}: expected object\")),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: match ::serde::obj_get(__obj, \"{f}\") {{\n\
+                                 ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::from_value(x)?,\n\
+                                 ::std::option::Option::None => \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}::{vn}: missing field `{f}`\")),\n}},\n"
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}},\n"));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(_inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut inner = format!(
+                            "let __arr = match _inner {{\n\
+                             ::serde::Value::Arr(a) if a.len() == {n} => a,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vn}: expected array of {n}\")),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for k in 0..*n {
+                            inner.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                            ));
+                        }
+                        inner.push_str("))");
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}},\n"));
+                    }
+                }
+            }
+            format!(
+                "match _v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 &format!(\"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Obj(o) if o.len() == 1 => {{\n\
+                 let (__tag, _inner) = &o[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 &format!(\"{name}: unknown variant `{{other}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected string or single-key object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(_v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde stand-in: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde stand-in: generated Deserialize impl must parse")
+}
