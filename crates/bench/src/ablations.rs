@@ -54,6 +54,16 @@ pub struct ClosureRow {
     pub direct: (f64, f64),
 }
 
+/// Machine-readable exp-closure result.
+#[derive(Debug, Serialize)]
+pub struct ClosureResult {
+    /// Per-threshold outcomes.
+    pub rows: Vec<ClosureRow>,
+    /// Closure rows truncated by the safety valve across all update
+    /// boundaries — nonzero means `P*` is approximate, not exact.
+    pub truncated_rows: u64,
+}
+
 /// Runs the closure-vs-direct ablation.
 pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
     let topo = crate::workloads::topology();
@@ -107,11 +117,26 @@ pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
          extra load reduction at extra traffic; the paper's policy is\n\
          defined on P*, and this ablation shows what that choice costs.\n",
     );
+    // No silent caps: if the closure's safety valve cut any row short,
+    // the comparison above is against an approximate P*. Say so.
+    let truncated_rows = store.truncated_rows();
+    if truncated_rows > 0 {
+        text.push_str(&format!(
+            "\nwarning: the closure safety valve truncated {truncated_rows} row(s)\n\
+             across the update boundaries — P* here is a truncated\n\
+             approximation, not the exact max-product closure.\n"
+        ));
+    } else {
+        text.push_str("\nclosure safety valve: 0 rows truncated (P* is exact here).\n");
+    }
     Ok(Report::new(
         "exp-closure",
         "ablation: speculating on P* vs direct P",
         text,
-        &rows,
+        &ClosureResult {
+            rows,
+            truncated_rows,
+        },
     ))
 }
 
@@ -402,9 +427,8 @@ pub fn exp_alloc(scale: Scale, seed: u64) -> Result<Report> {
     let days = tc.duration_days;
     let trace = TraceGenerator::new(tc)?.generate(&topo)?;
 
-    let profiles: Vec<ServerProfile> = (0..n_servers)
-        .map(|s| ServerProfile::from_trace(&trace, ServerId::from(s), days))
-        .collect::<Result<_>>()?;
+    let servers: Vec<ServerId> = (0..n_servers).map(ServerId::from).collect();
+    let profiles = ServerProfile::from_trace_many(&trace, &servers, days)?;
     let models: Vec<ServerModel> = profiles
         .iter()
         .map(|p| ServerModel {
@@ -693,7 +717,10 @@ mod tests {
     #[test]
     fn closure_reaches_further_than_direct() {
         let r = exp_closure(S, 30).unwrap();
-        for row in r.json.as_array().unwrap() {
+        // The safety-valve count is always reported, even when zero.
+        assert!(r.json["truncated_rows"].as_u64().is_some());
+        assert!(r.text.contains("safety valve") || r.text.contains("truncated"));
+        for row in r.json["rows"].as_array().unwrap() {
             let c_load = row["closure"][1].as_f64().unwrap();
             let d_load = row["direct"][1].as_f64().unwrap();
             let c_traffic = row["closure"][0].as_f64().unwrap();

@@ -4,117 +4,102 @@
 //! cargo run --release -p specweb-bench --bin figures -- all
 //! cargo run --release -p specweb-bench --bin figures -- fig5 fig6
 //! cargo run --release -p specweb-bench --bin figures -- --quick all
-//! cargo run --release -p specweb-bench --bin figures -- --seed 7 fig3
+//! cargo run --release -p specweb-bench --bin figures -- --seed 7 --jobs 4 fig3
 //! ```
 //!
-//! Text and JSON land in `results/`.
+//! Text and JSON land in `results/`, plus a `bench_timings.json` with
+//! per-experiment wall-clock times for the run. Experiments fan out on
+//! `--jobs` workers (default: `SPECWEB_JOBS` or the core count); the
+//! result files are byte-identical for every worker count — only
+//! `bench_timings.json` varies.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
-use specweb_bench::{ablations, exps, fig1, fig2, fig3, fig4, fig5, Report, Scale};
+use serde::Serialize;
+use specweb_bench::{ablations, cli, exps, fig1, fig2, fig3, fig4, fig5, Report, Scale};
 
-const ALL: &[&str] = &[
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "tab1",
-    "exp-upd",
-    "exp-size",
-    "exp-cache",
-    "exp-coop",
-    "exp-pref",
-    "exp-class",
-    "exp-sizing",
-    "exp-closure",
-    "exp-rank",
-    "exp-tailored",
-    "exp-shed",
-    "exp-hier",
-    "exp-alloc",
-    "exp-aging",
-    "exp-digest",
-    "exp-queue",
-];
+/// Wall-clock accounting for one run, written to `bench_timings.json`.
+/// This is the only output file that is *not* deterministic.
+#[derive(Debug, Serialize)]
+struct Timings {
+    /// Worker count used.
+    jobs: usize,
+    /// `full` or `quick`.
+    scale: String,
+    /// Master seed.
+    seed: u64,
+    /// End-to-end wall clock, seconds.
+    total_seconds: f64,
+    /// Per-experiment wall clock, in request order.
+    experiments: Vec<ExperimentTiming>,
+}
+
+/// One experiment's wall clock.
+#[derive(Debug, Serialize)]
+struct ExperimentTiming {
+    /// Experiment id.
+    id: String,
+    /// Wall clock, seconds.
+    seconds: f64,
+}
 
 fn main() {
-    let mut scale = Scale::Full;
-    let mut seed = 1996u64;
-    let mut out_dir = PathBuf::from("results");
-    let mut wanted: Vec<String> = Vec::new();
+    let args = cli::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
+    if args.help {
+        println!("{}", cli::usage());
+        return;
+    }
+    let cli::Args {
+        scale,
+        seed,
+        out_dir,
+        jobs,
+        wanted,
+        ..
+    } = args;
 
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
-            }
-            "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
-            }
-            "--help" | "-h" => {
-                println!("usage: figures [--quick] [--seed N] [--out DIR] <ids…|all>");
-                println!("ids: {}", ALL.join(" "));
-                return;
-            }
-            other => wanted.push(other.to_string()),
-        }
-    }
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ALL.iter().map(|s| s.to_string()).collect();
-    }
+    // Pin the process-wide default so every parallel site in the
+    // workspace — experiment fan-out, closure rows, profile mining —
+    // honors --jobs. `--jobs 1` makes the entire process serial.
+    let jobs = jobs.unwrap_or_else(specweb_core::par::default_jobs);
+    specweb_core::par::set_default_jobs(jobs);
+
+    let t0 = Instant::now();
 
     // fig5 and fig6 share one sweep; run it once if both are requested.
+    // (cli::parse deduplicates ids, so each appears at most once.)
     let both_56 = wanted.iter().any(|w| w == "fig5") && wanted.iter().any(|w| w == "fig6");
-    let shared_sweep = if both_56 {
+    let (shared_sweep, sweep_seconds) = if both_56 {
         eprintln!("[figures] running fig5/fig6 shared sweep…");
-        Some(fig5::sweep(scale, seed).unwrap_or_else(|e| die(&format!("sweep failed: {e}"))))
+        let started = Instant::now();
+        let sweep = fig5::sweep_replicated(scale, seed)
+            .unwrap_or_else(|e| die(&format!("sweep failed: {e}")));
+        (Some(sweep), Some(started.elapsed().as_secs_f64()))
     } else {
-        None
+        (None, None)
     };
 
-    // Experiments are independent deterministic replays: run them on a
-    // small thread pool and print in request order.
-    let t0 = Instant::now();
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(4)
-        .min(wanted.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<std::sync::Mutex<Option<(Report, f64)>>> = Vec::new();
-    slots.resize_with(wanted.len(), || std::sync::Mutex::new(None));
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= wanted.len() {
-                    break;
-                }
-                let id = &wanted[idx];
-                let started = Instant::now();
-                let report = run_one(id, scale, seed, &shared_sweep)
-                    .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));
-                *slots[idx].lock().expect("no poisoning") =
-                    Some((report, started.elapsed().as_secs_f64()));
-            });
-        }
+    // Experiments are independent deterministic replays: fan them out
+    // and print in request order. die() inside a worker exits the whole
+    // process, so a failed experiment cannot be silently dropped.
+    let pool = specweb_core::par::Pool::new(jobs.min(wanted.len().max(1)));
+    let results: Vec<(Report, f64)> = pool.map_indexed(&wanted, |_, id| {
+        let started = Instant::now();
+        let report = run_one(id, scale, seed, &shared_sweep)
+            .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));
+        (report, started.elapsed().as_secs_f64())
     });
 
-    for (id, slot) in wanted.iter().zip(&slots) {
-        let (report, secs) = slot
-            .lock()
-            .expect("no poisoning")
-            .take()
-            .unwrap_or_else(|| die(&format!("{id} produced no report")));
+    let mut experiments = Vec::with_capacity(results.len() + 1);
+    if let Some(seconds) = sweep_seconds {
+        // The shared sweep ran once up front, outside any single
+        // experiment's clock; account for it explicitly.
+        experiments.push(ExperimentTiming {
+            id: "fig5/fig6-shared-sweep".into(),
+            seconds,
+        });
+    }
+    for (id, (report, secs)) in wanted.iter().zip(&results) {
         println!("{}", report.render());
         report
             .write_to(&out_dir)
@@ -123,10 +108,33 @@ fn main() {
             "[figures] {id} done in {secs:.1}s (→ {}/{id}.txt)",
             out_dir.display()
         );
+        experiments.push(ExperimentTiming {
+            id: id.clone(),
+            seconds: *secs,
+        });
     }
+
+    let timings = Timings {
+        jobs: pool.jobs(),
+        scale: match scale {
+            Scale::Full => "full".into(),
+            Scale::Quick => "quick".into(),
+        },
+        seed,
+        total_seconds: t0.elapsed().as_secs_f64(),
+        experiments,
+    };
+    let timings_path = out_dir.join("bench_timings.json");
+    std::fs::write(
+        &timings_path,
+        serde_json::to_string_pretty(&timings).expect("timings serialize"),
+    )
+    .unwrap_or_else(|e| die(&format!("writing {}: {e}", timings_path.display())));
     eprintln!(
-        "[figures] all done in {:.1}s ({n_workers} workers)",
-        t0.elapsed().as_secs_f64()
+        "[figures] all done in {:.1}s ({} workers; timings → {})",
+        timings.total_seconds,
+        pool.jobs(),
+        timings_path.display()
     );
 }
 
@@ -135,7 +143,7 @@ fn run_one(
     id: &str,
     scale: Scale,
     seed: u64,
-    shared_sweep: &Option<specweb_bench::fig5::Sweep>,
+    shared_sweep: &Option<fig5::Replicated>,
 ) -> specweb_core::Result<Report> {
     match id {
         "fig1" => fig1::run(scale, seed),
@@ -167,17 +175,13 @@ fn run_one(
         "exp-aging" => ablations::exp_aging(scale, seed),
         "exp-digest" => ablations::exp_digest(scale, seed),
         "exp-queue" => ablations::exp_queue(scale, seed),
-        other => {
-            eprintln!(
-                "[figures] unknown experiment `{other}` — known: {}",
-                ALL.join(" ")
-            );
-            std::process::exit(2);
-        }
+        // cli::parse validates ids against the same list, so this is
+        // unreachable from the command line.
+        other => die(&format!("unknown experiment `{other}`")),
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("[figures] error: {msg}");
-    std::process::exit(1);
+    std::process::exit(1)
 }

@@ -1,0 +1,195 @@
+//! Command-line parsing for the `figures` binary.
+//!
+//! Kept in the library (rather than the binary) so the flag grammar is
+//! unit-testable: the experiment list, deduplication of repeated ids
+//! and the `--jobs` contract all have regression tests here.
+
+use std::path::PathBuf;
+
+use crate::Scale;
+
+/// Every experiment id the harness knows, in canonical run order.
+pub const ALL: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "tab1",
+    "exp-upd",
+    "exp-size",
+    "exp-cache",
+    "exp-coop",
+    "exp-pref",
+    "exp-class",
+    "exp-sizing",
+    "exp-closure",
+    "exp-rank",
+    "exp-tailored",
+    "exp-shed",
+    "exp-hier",
+    "exp-alloc",
+    "exp-aging",
+    "exp-digest",
+    "exp-queue",
+];
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// Master seed (`--seed N`).
+    pub seed: u64,
+    /// Output directory (`--out DIR`).
+    pub out_dir: PathBuf,
+    /// Worker count (`--jobs N`); `None` means use the process default
+    /// (`SPECWEB_JOBS` or the detected core count).
+    pub jobs: Option<usize>,
+    /// Experiment ids to run, deduplicated, in request order.
+    pub wanted: Vec<String>,
+    /// Whether `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            scale: Scale::Full,
+            seed: 1996,
+            out_dir: PathBuf::from("results"),
+            jobs: None,
+            wanted: Vec::new(),
+            help: false,
+        }
+    }
+}
+
+/// The usage string printed by `--help` and on bad invocations.
+pub fn usage() -> String {
+    format!(
+        "usage: figures [--quick] [--seed N] [--jobs N] [--out DIR] <ids…|all>\nids: {}",
+        ALL.join(" ")
+    )
+}
+
+/// Parses an argument list (without the program name).
+///
+/// Repeated experiment ids are deduplicated while preserving first-use
+/// order, so `figures fig5 fig6` — whose two figures render from one
+/// shared sweep — never runs the sweep twice, and neither does
+/// `figures fig5 fig5`. `all` (or an empty list) expands to [`ALL`].
+pub fn parse<I>(argv: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = Args::default();
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => out.scale = Scale::Quick,
+            "--seed" => {
+                out.seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--jobs" => {
+                let jobs: usize = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--jobs needs an integer")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                out.jobs = Some(jobs);
+            }
+            "--out" => {
+                out.out_dir = PathBuf::from(argv.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => out.help = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            other => {
+                if other != "all" && !ALL.contains(&other) {
+                    return Err(format!("unknown experiment `{other}`\n{}", usage()));
+                }
+                out.wanted.push(other.to_string());
+            }
+        }
+    }
+    if out.wanted.is_empty() || out.wanted.iter().any(|w| w == "all") {
+        out.wanted = ALL.iter().map(|s| s.to_string()).collect();
+    } else {
+        let mut seen = std::collections::HashSet::new();
+        out.wanted.retain(|w| seen.insert(w.clone()));
+    }
+    Ok(Args { ..out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Args, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_argv_runs_everything_at_full_scale() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed, 1996);
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.wanted.len(), ALL.len());
+        assert!(!a.help);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = p(&[
+            "--quick", "--seed", "7", "--jobs", "4", "--out", "/tmp/x", "fig3",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(a.wanted, vec!["fig3"]);
+    }
+
+    #[test]
+    fn repeated_ids_are_deduplicated_in_request_order() {
+        // fig5 and fig6 share one sweep; a duplicated request must not
+        // schedule the experiment (and hence the sweep) twice.
+        let a = p(&["fig5", "fig6", "fig5", "fig6"]).unwrap();
+        assert_eq!(a.wanted, vec!["fig5", "fig6"]);
+        let b = p(&["fig6", "fig1", "fig6"]).unwrap();
+        assert_eq!(b.wanted, vec!["fig6", "fig1"]);
+    }
+
+    #[test]
+    fn all_expands_to_the_canonical_list_exactly_once() {
+        let a = p(&["fig5", "all", "fig5"]).unwrap();
+        assert_eq!(a.wanted.len(), ALL.len());
+        let uniq: std::collections::HashSet<&String> = a.wanted.iter().collect();
+        assert_eq!(uniq.len(), ALL.len());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(p(&["fig99"]).is_err());
+        assert!(p(&["--jobs", "0"]).is_err());
+        assert!(p(&["--jobs", "four"]).is_err());
+        assert!(p(&["--seed"]).is_err());
+        assert!(p(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits_validation_of_nothing_else() {
+        let a = p(&["-h"]).unwrap();
+        assert!(a.help);
+    }
+}

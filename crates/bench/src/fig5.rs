@@ -61,6 +61,15 @@ fn tp_grid(scale: Scale) -> &'static [f64] {
 
 /// Runs the baseline sweep once; both figures render from it.
 pub fn sweep(scale: Scale, seed: u64) -> Result<Sweep> {
+    sweep_jobs(scale, seed, specweb_core::par::default_jobs())
+}
+
+/// [`sweep`] with an explicit worker count for the `T_p` grid.
+///
+/// Each grid point is an independent replay of the same trace against
+/// the same precomputed matrices, so the points fan out on `jobs`
+/// workers; the result is byte-identical for every `jobs` value.
+fn sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Result<Sweep> {
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
     let sim = SpecSim::new(&trace, &topo);
@@ -72,28 +81,104 @@ pub fn sweep(scale: Scale, seed: u64) -> Result<Sweep> {
     let total_days = trace.duration.as_millis() / 86_400_000;
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
 
-    let mut points = Vec::new();
-    for &tp in tp_grid(scale) {
-        cfg.policy = specweb_spec::policy::Policy::Threshold { tp };
-        let out = sim.run_with_store(&cfg, Some(&store))?;
-        points.push(SweepPoint {
-            tp,
-            traffic_pct: out.ratios.traffic_increase_pct(),
-            load_reduction_pct: out.ratios.server_load_reduction_pct(),
-            time_reduction_pct: out.ratios.service_time_reduction_pct(),
-            miss_reduction_pct: out.ratios.miss_rate_reduction_pct(),
-            pushes: out.pushes,
-            wasted_pushes: out.wasted_pushes,
-        });
-    }
+    let points = specweb_core::par::Pool::new(jobs).try_map_indexed(
+        tp_grid(scale),
+        |_, &tp| -> Result<SweepPoint> {
+            let mut cfg = cfg;
+            cfg.policy = specweb_spec::policy::Policy::Threshold { tp };
+            let out = sim.run_with_store(&cfg, Some(&store))?;
+            Ok(SweepPoint {
+                tp,
+                traffic_pct: out.ratios.traffic_increase_pct(),
+                load_reduction_pct: out.ratios.server_load_reduction_pct(),
+                time_reduction_pct: out.ratios.service_time_reduction_pct(),
+                miss_reduction_pct: out.ratios.miss_rate_reduction_pct(),
+                pushes: out.pushes,
+                wasted_pushes: out.wasted_pushes,
+            })
+        },
+    )?;
     Ok(Sweep {
         points,
         trace_len: trace.len(),
     })
 }
 
-/// Renders Fig. 5 from a sweep.
-pub fn report(sweep: &Sweep) -> Report {
+/// Extra independent replications run besides the base seed.
+pub const EXTRA_REPS: usize = 2;
+
+/// The baseline sweep replicated across independent seeds.
+///
+/// `seeds[0]` is the caller's seed and `base` its sweep — so the base
+/// numbers are exactly what [`sweep`] would have produced — and the
+/// extra replication seeds are derived with
+/// `SeedTree::child_idx("fig5-rep", r)`, one independent trace each.
+#[derive(Debug, Clone, Serialize)]
+pub struct Replicated {
+    /// The base-seed sweep (rendered in full).
+    pub base: Sweep,
+    /// Sweeps for the extra replication seeds.
+    pub reps: Vec<Sweep>,
+    /// All seeds: `[base, rep 1, rep 2, …]`.
+    pub seeds: Vec<u64>,
+}
+
+/// Runs the baseline sweep for the base seed plus [`EXTRA_REPS`]
+/// derived seeds, fanning the replications out in parallel (each inner
+/// `T_p` grid then runs serially so the fan-out does not nest).
+pub fn sweep_replicated(scale: Scale, seed: u64) -> Result<Replicated> {
+    let tree = specweb_core::rng::SeedTree::new(seed);
+    let mut seeds = vec![seed];
+    seeds.extend((0..EXTRA_REPS as u64).map(|r| tree.child_idx("fig5-rep", r).seed()));
+    let sweeps =
+        specweb_core::par::Pool::auto().try_map_indexed(&seeds, |_, &s| sweep_jobs(scale, s, 1))?;
+    let mut sweeps = sweeps.into_iter();
+    let base = sweeps.next().expect("base seed always present");
+    Ok(Replicated {
+        base,
+        reps: sweeps.collect(),
+        seeds,
+    })
+}
+
+/// Mean and sample standard deviation.
+pub(crate) fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var.sqrt())
+}
+
+/// Renders the cross-seed dispersion appendix shared by fig5 and fig6.
+fn replication_appendix(r: &Replicated) -> String {
+    let mut all: Vec<&Sweep> = Vec::with_capacity(1 + r.reps.len());
+    all.push(&r.base);
+    all.extend(r.reps.iter());
+    let at_min_tp = |f: &dyn Fn(&SweepPoint) -> f64| -> Vec<f64> {
+        all.iter().filter_map(|s| s.points.last()).map(f).collect()
+    };
+    let (lm, ls) = mean_sd(&at_min_tp(&|p| p.load_reduction_pct));
+    let (tm, ts) = mean_sd(&at_min_tp(&|p| p.traffic_pct));
+    format!(
+        "\nreplication across {} independent seeds {:?}, at the most\n\
+         aggressive T_p: load reduction {:.1}% ± {:.1}, traffic +{:.1}% ± {:.1}.\n",
+        r.seeds.len(),
+        r.seeds,
+        lm,
+        ls,
+        tm,
+        ts
+    )
+}
+
+/// Renders Fig. 5 from a replicated sweep (the base sweep in full, the
+/// replications as a dispersion appendix).
+pub fn report(replicated: &Replicated) -> Report {
+    let sweep = &replicated.base;
     let mut text = String::new();
     text.push_str(&format!(
         "baseline parameters, {} accesses; metrics vs T_p\n\n",
@@ -145,19 +230,21 @@ pub fn report(sweep: &Sweep) -> Report {
          free); lowering T_p buys load/time/miss reductions at increasing\n\
          bandwidth cost, with diminishing returns.\n",
     );
+    text.push_str(&replication_appendix(replicated));
     Report::new(
         "fig5",
         "baseline simulation results vs speculation threshold T_p",
         text,
-        sweep,
+        replicated,
     )
 }
 
 /// Linear interpolation of the sweep at a given traffic increase.
 fn at_traffic(sweep: &Sweep, traffic_pct: f64) -> Option<(f64, f64, f64)> {
     // Points are in increasing-traffic order when reversed by tp.
+    // total_cmp keeps a degenerate (NaN-traffic) point from panicking.
     let mut pts: Vec<&SweepPoint> = sweep.points.iter().collect();
-    pts.sort_by(|a, b| a.traffic_pct.partial_cmp(&b.traffic_pct).expect("finite"));
+    pts.sort_by(|a, b| a.traffic_pct.total_cmp(&b.traffic_pct));
     if pts.is_empty() || traffic_pct < pts[0].traffic_pct {
         return None;
     }
@@ -189,17 +276,18 @@ fn at_traffic(sweep: &Sweep, traffic_pct: f64) -> Option<(f64, f64, f64)> {
 pub struct Fig6 {
     /// `(traffic_pct, load_red, time_red, miss_red)` checkpoints.
     pub checkpoints: Vec<(f64, f64, f64, f64)>,
-    /// The underlying sweep.
-    pub sweep: Sweep,
+    /// The underlying replicated sweep.
+    pub sweep: Replicated,
 }
 
 /// Renders Fig. 6 (gains vs % traffic increase) from the same sweep.
-pub fn report_fig6(sweep: &Sweep) -> Report {
+pub fn report_fig6(replicated: &Replicated) -> Report {
+    let sweep = &replicated.base;
     let mut text = String::new();
     text.push_str("performance gains as a function of extra traffic\n\n");
     text.push_str("traffic    load     time     miss\n");
     let mut pts: Vec<&SweepPoint> = sweep.points.iter().collect();
-    pts.sort_by(|a, b| a.traffic_pct.partial_cmp(&b.traffic_pct).expect("finite"));
+    pts.sort_by(|a, b| a.traffic_pct.total_cmp(&b.traffic_pct));
     for p in &pts {
         text.push_str(&format!(
             "{:>7}  {:>7}  {:>7}  {:>7}\n",
@@ -244,10 +332,11 @@ pub fn report_fig6(sweep: &Sweep) -> Report {
         crate::plot::Series::new("miss", clip(&|p| p.miss_reduction_pct)),
     ];
     text.push_str(&crate::plot::render(&series, 64, 14));
+    text.push_str(&replication_appendix(replicated));
 
     let result = Fig6 {
         checkpoints,
-        sweep: sweep.clone(),
+        sweep: replicated.clone(),
     };
     Report::new(
         "fig6",
@@ -259,12 +348,12 @@ pub fn report_fig6(sweep: &Sweep) -> Report {
 
 /// fig5 entry point.
 pub fn run(scale: Scale, seed: u64) -> Result<Report> {
-    Ok(report(&sweep(scale, seed)?))
+    Ok(report(&sweep_replicated(scale, seed)?))
 }
 
 /// fig6 entry point.
 pub fn run_fig6(scale: Scale, seed: u64) -> Result<Report> {
-    Ok(report_fig6(&sweep(scale, seed)?))
+    Ok(report_fig6(&sweep_replicated(scale, seed)?))
 }
 
 #[cfg(test)]
@@ -299,8 +388,13 @@ mod tests {
     #[test]
     fn fig6_interpolation_is_sane() {
         let s = sweep(Scale::Quick, 16).unwrap();
-        let r = report_fig6(&s);
+        let r = report_fig6(&Replicated {
+            base: s.clone(),
+            reps: Vec::new(),
+            seeds: vec![16],
+        });
         assert!(r.text.contains("paper checkpoints"));
+        assert!(r.text.contains("replication across 1 independent seeds"));
         // Interpolating at an existing point returns that point.
         let p = &s.points[s.points.len() / 2];
         let (l, _, _) = at_traffic(&s, p.traffic_pct).unwrap();
@@ -308,10 +402,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_identical_to_serial() {
+        // The determinism contract at the bench layer: the T_p grid
+        // fans out over workers, yet every float must match bit for bit.
+        let serial = sweep_jobs(Scale::Quick, 15, 1).unwrap();
+        let parallel = sweep_jobs(Scale::Quick, 15, 4).unwrap();
+        assert_eq!(serial.trace_len, parallel.trace_len);
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.tp.to_bits(), b.tp.to_bits());
+            assert_eq!(a.traffic_pct.to_bits(), b.traffic_pct.to_bits());
+            assert_eq!(
+                a.load_reduction_pct.to_bits(),
+                b.load_reduction_pct.to_bits()
+            );
+            assert_eq!(a.pushes, b.pushes);
+            assert_eq!(a.wasted_pushes, b.wasted_pushes);
+        }
+    }
+
+    #[test]
+    fn mean_sd_is_sane() {
+        let (m, s) = mean_sd(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_sd(&[5.0]);
+        assert_eq!(m1, 5.0);
+        assert_eq!(s1, 0.0);
+    }
+
+    #[test]
     fn diminishing_returns_visible_in_sweep() {
         let s = sweep(Scale::Quick, 17).unwrap();
         let mut pts: Vec<&SweepPoint> = s.points.iter().collect();
-        pts.sort_by(|a, b| a.traffic_pct.partial_cmp(&b.traffic_pct).unwrap());
+        pts.sort_by(|a, b| a.traffic_pct.total_cmp(&b.traffic_pct));
         // Efficiency (load reduction per unit traffic) at the cheap end
         // beats the expensive end.
         let first_eff = pts

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod exps;
 pub mod fig1;
 pub mod fig2;

@@ -1,0 +1,89 @@
+//! Golden-output determinism: the `figures` binary must emit
+//! byte-identical result files whether it runs serially or on a worker
+//! pool. Only `bench_timings.json` — wall-clock accounting — may
+//! differ between the two runs.
+//!
+//! The experiment set exercises every parallel site in the stack:
+//! `fig4` (trace → estimator → simulator) and `exp-closure` (the
+//! parallel `DepMatrix::closure` and `MatrixStore::precompute` paths).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+const TIMINGS: &str = "bench_timings.json";
+
+fn run_figures(out: &Path, jobs: &str) {
+    let status = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "--quick",
+            "--seed",
+            "5",
+            "--jobs",
+            jobs,
+            "--out",
+            out.to_str().unwrap(),
+            "fig4",
+            "exp-closure",
+        ])
+        .status()
+        .expect("spawn figures");
+    assert!(status.success(), "figures --jobs {jobs} failed: {status}");
+}
+
+/// File name → contents for every file in `dir`.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("read out dir")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let base = std::env::temp_dir().join(format!("specweb-determinism-{}", std::process::id()));
+    let dir_serial = base.join("serial");
+    let dir_parallel = base.join("parallel");
+    let _ = std::fs::remove_dir_all(&base);
+
+    run_figures(&dir_serial, "1");
+    run_figures(&dir_parallel, "4");
+
+    let mut serial = snapshot(&dir_serial);
+    let mut parallel = snapshot(&dir_parallel);
+
+    // Timings are wall-clock accounting: present in both runs, valid
+    // JSON with one entry per experiment, but never byte-compared.
+    for snap in [&mut serial, &mut parallel] {
+        let raw = snap.remove(TIMINGS).expect("bench_timings.json written");
+        let raw = String::from_utf8(raw).expect("timings are utf-8");
+        let parsed: serde_json::Value = serde_json::from_str(&raw).expect("timings parse");
+        assert_eq!(parsed["experiments"].as_array().unwrap().len(), 2);
+        assert!(parsed["total_seconds"].as_f64().unwrap() >= 0.0);
+    }
+    assert_eq!(serial.get(TIMINGS), None);
+
+    let serial_names: Vec<&String> = serial.keys().collect();
+    let parallel_names: Vec<&String> = parallel.keys().collect();
+    assert_eq!(serial_names, parallel_names, "different file sets");
+    assert!(
+        serial.keys().any(|n| n.ends_with(".json")),
+        "no result files produced"
+    );
+
+    for (name, bytes) in &serial {
+        assert_eq!(
+            bytes,
+            parallel.get(name).unwrap(),
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -352,9 +352,7 @@ impl HitCurve {
         ranked.sort_by(|a, b| {
             let da = a.1 as f64 / a.0 as f64;
             let db = b.1 as f64 / b.0 as f64;
-            db.partial_cmp(&da)
-                .expect("finite densities")
-                .then(a.0.cmp(&b.0))
+            db.total_cmp(&da).then(a.0.cmp(&b.0))
         });
         let mut bytes = Vec::with_capacity(ranked.len());
         let mut hits = Vec::with_capacity(ranked.len());

@@ -18,6 +18,10 @@
 //!   ([`dist`]);
 //! * deterministic, splittable random-number plumbing ([`rng`]) so every
 //!   experiment is reproducible from a single seed;
+//! * a scoped work-sharing thread pool ([`par`]) whose order-preserving
+//!   `par_map_indexed` keeps parallel output byte-identical to serial
+//!   output (every work item draws randomness from its own [`rng`]
+//!   seed-tree child);
 //! * the paper's four evaluation metrics as first-class accumulators
 //!   ([`metrics`]);
 //! * a common error type ([`error`]).
@@ -33,6 +37,7 @@ pub mod dist;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

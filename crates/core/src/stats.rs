@@ -125,8 +125,19 @@ impl fmt::Display for StreamingStats {
 
 /// A fixed-bin histogram over a closed-open interval `[lo, hi)`.
 ///
-/// Out-of-range observations are clamped into the first/last bin and
-/// counted separately so the caller can detect a mis-sized domain.
+/// # Counting invariant
+///
+/// Every observation is counted in **exactly one bin**: out-of-range
+/// observations are clamped into the first/last bin. [`Histogram::total`]
+/// therefore counts each observation exactly once, and `bins()` sums to
+/// `total()`. The [`Histogram::underflow`] / [`Histogram::overflow`]
+/// tallies are *diagnostic subsets of the edge bins* (they record how
+/// many of the edge-bin counts were clamped) — they are **not** in
+/// addition to the bins, so never add them to `total()` or to an edge
+/// bin when aggregating; that double-counts the clamped observations.
+/// Fig. 4's `probability_histogram` relies on this: embedding pairs at
+/// exactly `p = 1.0` land once in the top bin and are also visible via
+/// `overflow()` for domain diagnostics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
@@ -159,7 +170,10 @@ impl Histogram {
         self.push_n(x, 1);
     }
 
-    /// Feeds `n` identical observations at once.
+    /// Feeds `n` identical observations at once. Clamped observations
+    /// are counted **once**, in the edge bin; the under/overflow tallies
+    /// mark them as clamped but are not additional counts (see the type
+    /// docs).
     pub fn push_n(&mut self, x: f64, n: u64) {
         let nb = self.bins.len();
         if x < self.lo {
@@ -195,7 +209,9 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total observations.
+    /// Total observations — each counted exactly once, including the
+    /// clamped ones already present in the edge bins. Do **not** add
+    /// [`Histogram::underflow`] / [`Histogram::overflow`] to this value.
     #[inline]
     pub fn total(&self) -> u64 {
         self.bins.iter().sum()
@@ -385,6 +401,27 @@ mod tests {
         h.push_n(3.0, 7);
         assert_eq!(h.bins()[1], 7);
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn clamped_observations_count_exactly_once() {
+        // Pin the counting invariant: a clamped batch lands once in the
+        // edge bin; the overflow tally is a diagnostic subset, not an
+        // extra count. A consumer that summed bins + overflow would
+        // double-count — `total()` must not.
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push_n(0.5, 10); // in range
+        h.push_n(1.0, 3); // clamps into bin 3, tallies overflow
+        h.push_n(-2.0, 2); // clamps into bin 0, tallies underflow
+        assert_eq!(h.total(), 15, "each observation counted exactly once");
+        assert_eq!(h.bins().iter().sum::<u64>(), h.total());
+        assert_eq!(h.bins()[3], 3);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.underflow(), 2);
+        // The diagnostic tallies never exceed their edge bins.
+        assert!(h.overflow() <= h.bins()[3]);
+        assert!(h.underflow() <= h.bins()[0]);
     }
 
     #[test]

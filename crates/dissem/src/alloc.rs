@@ -172,7 +172,9 @@ pub fn optimize(servers: &[ServerModel], b0: Bytes) -> Result<Allocation> {
     order.sort_by(|&a, &b| {
         let fa = raw[a].max(0.0).fract();
         let fb = raw[b].max(0.0).fract();
-        fb.partial_cmp(&fa).expect("finite fractions")
+        // total_cmp: a NaN share (degenerate zero-demand server) must
+        // sort deterministically instead of panicking mid-allocation.
+        fb.total_cmp(&fa).then(a.cmp(&b))
     });
     for &i in &order {
         if leftover == 0 {
@@ -320,7 +322,15 @@ pub fn optimize_empirical(
             }
         }
     }
-    cands.sort_by(|a, b| b.density.partial_cmp(&a.density).expect("finite"));
+    // total_cmp, not partial_cmp: NaN densities cannot occur for sane
+    // inputs, but a degenerate profile must degrade to a deterministic
+    // order rather than abort the optimizer.
+    cands.sort_by(|a, b| {
+        b.density
+            .total_cmp(&a.density)
+            .then(a.server.cmp(&b.server))
+            .then(a.doc.cmp(&b.doc))
+    });
 
     let mut remaining = b0.get();
     let mut quotas = vec![0u64; profiles.len()];

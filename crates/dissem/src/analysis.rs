@@ -75,10 +75,12 @@ impl ServerProfile {
             }
         }
         // Rank by remote request density (remote requests per byte).
+        // total_cmp, not partial_cmp: a NaN density (degenerate input)
+        // must sort deterministically instead of aborting a whole sweep.
         per_doc.sort_by(|a, b| {
             let da = a.2 as f64 / a.1.get().max(1) as f64;
             let db = b.2 as f64 / b.1.get().max(1) as f64;
-            db.partial_cmp(&da).expect("finite").then(a.0.cmp(&b.0))
+            db.total_cmp(&da).then(a.0.cmp(&b.0))
         });
 
         let curve_input: Vec<(Bytes, u64)> = per_doc.iter().map(|&(_, s, r, _)| (s, r)).collect();
@@ -95,6 +97,21 @@ impl ServerProfile {
             hit_curve,
             lambda,
         })
+    }
+
+    /// Mines the profiles of several servers from one trace, fanning
+    /// the per-server analysis out on the process-default pool.
+    ///
+    /// Output is identical to calling [`ServerProfile::from_trace`] for
+    /// each server in order (profiles are pure per-server functions of
+    /// the trace); the first error, if any, is reported in input order.
+    pub fn from_trace_many(
+        trace: &Trace,
+        servers: &[ServerId],
+        days: u64,
+    ) -> Result<Vec<ServerProfile>> {
+        specweb_core::par::Pool::auto()
+            .try_map_indexed(servers, |_, &s| ServerProfile::from_trace(trace, s, days))
     }
 
     /// The fitted exponential popularity model.
@@ -218,6 +235,18 @@ impl BlockPopularity {
         })
     }
 
+    /// Builds block views for several profiles at once, one per input
+    /// profile, fanned out on the process-default pool. Identical to
+    /// mapping [`BlockPopularity::from_profile`] serially.
+    pub fn from_profiles(
+        profiles: &[ServerProfile],
+        block_size: Bytes,
+    ) -> Result<Vec<BlockPopularity>> {
+        specweb_core::par::Pool::auto().try_map_indexed(profiles, |_, p| {
+            BlockPopularity::from_profile(p, block_size)
+        })
+    }
+
     /// Number of blocks.
     pub fn len(&self) -> usize {
         self.block_request_share.len()
@@ -325,6 +354,76 @@ mod tests {
         let t = trace();
         let p = ServerProfile::from_trace(&t, ServerId(0), 10).unwrap();
         assert!(BlockPopularity::from_profile(&p, Bytes::ZERO).is_err());
+    }
+
+    fn cluster_trace() -> Trace {
+        let topo = Topology::balanced(2, 3, 4);
+        TraceGenerator::new(TraceConfig::cluster(60, 2))
+            .unwrap()
+            .generate(&topo)
+            .unwrap()
+    }
+
+    #[test]
+    fn from_trace_many_matches_serial() {
+        let t = cluster_trace();
+        let servers: Vec<ServerId> = (0..2usize).map(ServerId::from).collect();
+        let many = ServerProfile::from_trace_many(&t, &servers, 10).unwrap();
+        assert_eq!(many.len(), 2);
+        for (profile, &s) in many.iter().zip(&servers) {
+            let one = ServerProfile::from_trace(&t, s, 10).unwrap();
+            assert_eq!(profile.server, one.server);
+            assert_eq!(profile.docs, one.docs);
+            assert_eq!(profile.lambda.to_bits(), one.lambda.to_bits());
+            assert_eq!(
+                profile.remote_bytes_per_day.to_bits(),
+                one.remote_bytes_per_day.to_bits()
+            );
+        }
+        // Errors surface in input order, not completion order.
+        let bad = [ServerId::from(0usize), ServerId::from(99usize)];
+        assert!(ServerProfile::from_trace_many(&t, &bad, 10).is_err());
+    }
+
+    #[test]
+    fn from_profiles_matches_serial_block_views() {
+        let t = cluster_trace();
+        let servers: Vec<ServerId> = (0..2usize).map(ServerId::from).collect();
+        let profiles = ServerProfile::from_trace_many(&t, &servers, 10).unwrap();
+        let blocks = BlockPopularity::from_profiles(&profiles, Bytes::from_kib(64)).unwrap();
+        assert_eq!(blocks.len(), profiles.len());
+        for (b, p) in blocks.iter().zip(&profiles) {
+            let one = BlockPopularity::from_profile(p, Bytes::from_kib(64)).unwrap();
+            assert_eq!(b.block_request_share, one.block_request_share);
+            assert_eq!(b.cumulative_bandwidth_saved, one.cumulative_bandwidth_saved);
+        }
+    }
+
+    #[test]
+    fn zero_demand_server_does_not_panic_ranking() {
+        // Regression: the ranking sort used `partial_cmp(..).expect(..)`,
+        // so a degenerate profile (zero-request server, NaN λ fit) would
+        // abort a whole sweep. With total_cmp these paths must complete.
+        let profile = ServerProfile {
+            server: ServerId::from(0usize),
+            docs: vec![
+                (DocId::from(0usize), Bytes::from_kib(4), 0, 0),
+                (DocId::from(1usize), Bytes::from_kib(8), 0, 0),
+            ],
+            remote_bytes_per_day: 0.0,
+            hit_curve: {
+                // A minimal legitimate curve; the degenerate part is the
+                // λ and the all-zero request counts.
+                specweb_core::dist::HitCurve::from_documents(&[(Bytes::from_kib(4), 1)]).unwrap()
+            },
+            lambda: f64::NAN,
+        };
+        assert!(profile.top_docs_within(Bytes::from_kib(64)).is_empty());
+        assert!(profile.top_docs_for_traffic(Bytes::from_kib(64)).is_empty());
+        assert_eq!(profile.total_remote_requests(), 0);
+        // The block view reports the no-requests condition as an error,
+        // never as a panic.
+        assert!(BlockPopularity::from_profile(&profile, Bytes::from_kib(64)).is_err());
     }
 
     #[test]

@@ -164,10 +164,8 @@ impl<'a> DisseminationSim<'a> {
             .map(|d| d.server.index() + 1)
             .max()
             .unwrap_or(0);
-        let mut profiles = Vec::with_capacity(n_servers);
-        for s in 0..n_servers {
-            profiles.push(ServerProfile::from_trace(trace, ServerId::from(s), days)?);
-        }
+        let servers: Vec<ServerId> = (0..n_servers).map(ServerId::from).collect();
+        let profiles = ServerProfile::from_trace_many(trace, &servers, days)?;
         Ok(DisseminationSim {
             trace,
             topo,
@@ -534,7 +532,9 @@ impl<'a> DisseminationSim<'a> {
                 (doc, size, score)
             })
             .collect();
-        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then(a.0.cmp(&b.0)));
+        // total_cmp keeps a degenerate (NaN-gain) entry from aborting
+        // the whole simulation; it simply sorts last deterministically.
+        ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         let mut out = Vec::new();
         let mut used = Bytes::ZERO;
         for (doc, size, _) in ranked {

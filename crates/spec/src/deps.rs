@@ -29,6 +29,11 @@ use specweb_trace::generator::Access;
 pub struct DepMatrix {
     /// `rows[i]` = sorted `(j, p)` entries with `p > 0`.
     rows: HashMap<DocId, Vec<(DocId, f64)>>,
+    /// Rows whose best-path search hit the safety valve during
+    /// [`DepMatrix::closure`] — those rows may under-report `P*` reach.
+    /// Zero for directly-estimated matrices. Surfaced (never silently
+    /// dropped) so sweeps can tell a pruned closure from a complete one.
+    truncated_rows: u64,
 }
 
 impl DepMatrix {
@@ -64,6 +69,13 @@ impl DepMatrix {
         self.rows.values().map(Vec::len).sum()
     }
 
+    /// Rows whose closure search hit the safety valve (0 for direct
+    /// matrices). A non-zero value means `P*` reach is under-reported
+    /// for those sources; callers running sweeps should surface it.
+    pub fn truncated_rows(&self) -> u64 {
+        self.truncated_rows
+    }
+
     /// Iterates over all `(i, j, p)` entries.
     pub fn entries(&self) -> impl Iterator<Item = (DocId, DocId, f64)> + '_ {
         self.rows
@@ -96,27 +108,51 @@ impl DepMatrix {
     /// `T_p ≥ floor`) and each row keeps at most `max_row` entries.
     ///
     /// Implemented as a best-path search (Dijkstra over `−ln p`) from
-    /// each source row; path probabilities only decay, so the floor
-    /// bounds the explored frontier tightly.
+    /// each source row. Source rows are independent, so they are mapped
+    /// in parallel on the process-default pool; path probabilities only
+    /// decay, so the floor bounds the explored frontier tightly.
+    ///
+    /// Rows that hit the search's safety valve are **counted** in the
+    /// result's [`DepMatrix::truncated_rows`] — the cap is never silent.
     pub fn closure(&self, floor: f64, max_row: usize) -> Result<DepMatrix> {
+        self.closure_jobs(floor, max_row, specweb_core::par::default_jobs())
+    }
+
+    /// [`DepMatrix::closure`] with an explicit worker count. The output
+    /// is byte-identical for every `jobs` value: each source row is a
+    /// pure function of the matrix, and rows are assembled in a fixed
+    /// (sorted-source) order.
+    pub fn closure_jobs(&self, floor: f64, max_row: usize, jobs: usize) -> Result<DepMatrix> {
         if !(0.0 < floor && floor <= 1.0) {
             return Err(CoreError::invalid_config(
                 "closure.floor",
                 format!("must be in (0, 1], got {floor}"),
             ));
         }
-        let mut out = HashMap::with_capacity(self.rows.len());
-        for &src in self.rows.keys() {
-            let row = self.best_paths_from(src, floor, max_row);
+        let mut srcs: Vec<DocId> = self.rows.keys().copied().collect();
+        srcs.sort_unstable();
+        let pool = specweb_core::par::Pool::new(jobs);
+        let computed = pool.map_indexed(&srcs, |_, &src| self.best_paths_from(src, floor, max_row));
+        let mut out = HashMap::with_capacity(srcs.len());
+        let mut truncated_rows = 0u64;
+        for (&src, (row, truncated)) in srcs.iter().zip(computed) {
+            if truncated {
+                truncated_rows += 1;
+            }
             if !row.is_empty() {
                 out.insert(src, row);
             }
         }
-        Ok(DepMatrix { rows: out })
+        Ok(DepMatrix {
+            rows: out,
+            truncated_rows,
+        })
     }
 
-    /// Best path probability from `src` to every reachable doc ≥ floor.
-    fn best_paths_from(&self, src: DocId, floor: f64, max_row: usize) -> Vec<(DocId, f64)> {
+    /// Best path probability from `src` to every reachable doc ≥ floor,
+    /// plus whether the search hit the safety valve (in which case the
+    /// row may under-report reach).
+    fn best_paths_from(&self, src: DocId, floor: f64, max_row: usize) -> (Vec<(DocId, f64)>, bool) {
         use std::cmp::Ordering;
         use std::collections::BinaryHeap;
 
@@ -135,10 +171,9 @@ impl DepMatrix {
         }
         impl Ord for Item {
             fn cmp(&self, o: &Self) -> Ordering {
-                self.0
-                    .partial_cmp(&o.0)
-                    .expect("probabilities are finite")
-                    .then(self.1.cmp(&o.1))
+                // total_cmp: a NaN probability (degenerate estimate)
+                // must not abort a whole sweep mid-search.
+                self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
             }
         }
 
@@ -146,13 +181,15 @@ impl DepMatrix {
         let mut heap = BinaryHeap::new();
         heap.push(Item(1.0, src));
         let mut settled: HashMap<DocId, f64> = HashMap::new();
+        let mut truncated = false;
         while let Some(Item(p, d)) = heap.pop() {
             if settled.contains_key(&d) {
                 continue;
             }
             settled.insert(d, p);
             if settled.len() > max_row.saturating_mul(4) + 1 {
-                break; // safety valve for pathological graphs
+                truncated = true; // safety valve for pathological graphs
+                break;
             }
             for &(j, pj) in self.row(d) {
                 let cand = p * pj;
@@ -169,10 +206,10 @@ impl DepMatrix {
         settled.remove(&src);
         let mut row: Vec<(DocId, f64)> = settled.into_iter().collect();
         // Keep the strongest max_row entries, then restore id order.
-        row.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        row.sort_by(|a, b| b.1.total_cmp(&a.1));
         row.truncate(max_row);
         row.sort_by_key(|&(j, _)| j);
-        row
+        (row, truncated)
     }
 }
 
@@ -283,7 +320,10 @@ impl DepMatrixBuilder {
         for row in rows.values_mut() {
             row.sort_by_key(|&(j, _)| j);
         }
-        DepMatrix { rows }
+        DepMatrix {
+            rows,
+            truncated_rows: 0,
+        }
     }
 
     /// Convenience: estimate `P` from a full access slice in one call.
@@ -489,6 +529,58 @@ mod tests {
         assert_eq!(c.n_entries(), 0, "all entries below the floor");
         let c = m.closure(0.05, 64).unwrap();
         assert_eq!(c.row(DocId(1)).len(), 10);
+    }
+
+    #[test]
+    fn closure_counts_safety_valve_truncations() {
+        // A dense clique: every doc links to every other with a high
+        // probability, so each source can settle far more than
+        // `max_row * 4 + 1` nodes. With a tiny max_row the valve must
+        // fire — and be *counted*, not silent.
+        let n = 30u32;
+        let mut rows: HashMap<DocId, Vec<(DocId, f64)>> = HashMap::new();
+        for i in 0..n {
+            let row: Vec<(DocId, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (DocId::new(j), 0.9))
+                .collect();
+            rows.insert(DocId::new(i), row);
+        }
+        let mut m = DepMatrix::empty();
+        m.replace_rows(rows);
+        assert_eq!(m.truncated_rows(), 0, "direct matrix is never truncated");
+        let c = m.closure(0.01, 2).unwrap();
+        assert_eq!(
+            c.truncated_rows(),
+            u64::from(n),
+            "every clique row should hit the valve"
+        );
+        // A generous max_row settles everything without the valve.
+        let c = m.closure(0.01, 64).unwrap();
+        assert_eq!(c.truncated_rows(), 0);
+    }
+
+    #[test]
+    fn closure_parallel_is_identical_to_serial() {
+        let mut accesses = Vec::new();
+        for k in 0..60 {
+            accesses.push(acc(k % 4, k % 11, u64::from(k) * 700));
+        }
+        let m = DepMatrixBuilder::estimate(&accesses, W, 1);
+        let serial = m.closure_jobs(0.01, 32, 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = m.closure_jobs(0.01, 32, jobs).unwrap();
+            assert_eq!(par.n_rows(), serial.n_rows());
+            assert_eq!(par.n_entries(), serial.n_entries());
+            assert_eq!(par.truncated_rows(), serial.truncated_rows());
+            for (i, j, p) in serial.entries() {
+                assert_eq!(
+                    par.get(i, j).to_bits(),
+                    p.to_bits(),
+                    "({i},{j}) jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

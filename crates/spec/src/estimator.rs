@@ -145,6 +145,14 @@ impl<'a> RollingEstimator<'a> {
     /// Produces the estimate as of the morning of `day` (using history
     /// days `[day − history, day)`).
     pub fn estimate_at(&self, day: u64) -> Result<MatrixPair> {
+        self.estimate_at_jobs(day, specweb_core::par::default_jobs())
+    }
+
+    /// [`RollingEstimator::estimate_at`] with an explicit worker count
+    /// for the closure step. [`MatrixStore::precompute`] parallelizes
+    /// across boundaries and therefore runs each closure serially; the
+    /// result is identical either way.
+    pub fn estimate_at_jobs(&self, day: u64, jobs: usize) -> Result<MatrixPair> {
         let start = day.saturating_sub(self.cfg.history_days);
         let direct = match self.cfg.aging_decay {
             None => {
@@ -156,7 +164,8 @@ impl<'a> RollingEstimator<'a> {
             }
             Some(decay) => self.estimate_aged(day, decay),
         };
-        let closure = direct.closure(self.cfg.closure_floor, self.cfg.closure_max_row)?;
+        let closure =
+            direct.closure_jobs(self.cfg.closure_floor, self.cfg.closure_max_row, jobs)?;
         Ok(MatrixPair {
             direct,
             closure,
@@ -230,12 +239,16 @@ impl MatrixStore {
     ) -> Result<MatrixStore> {
         cfg.validate()?;
         let est = RollingEstimator::new(*cfg, trace)?;
-        let mut by_boundary = Vec::new();
-        let mut day = 0;
-        while day <= total_days {
-            by_boundary.push(est.estimate_at(day)?);
-            day += cfg.update_cycle_days;
-        }
+        // Boundaries are independent estimates over fixed slices of the
+        // trace, so they fan out on the process-default pool; assembling
+        // them in day order keeps the store byte-identical to a serial
+        // build. The inner closure runs serially here — one parallel
+        // level is enough, and it avoids quadratic thread fan-out.
+        let days: Vec<u64> = (0..=total_days)
+            .step_by(cfg.update_cycle_days.max(1) as usize)
+            .collect();
+        let by_boundary = specweb_core::par::Pool::auto()
+            .try_map_indexed(&days, |_, &day| est.estimate_at_jobs(day, 1))?;
         Ok(MatrixStore {
             cfg: *cfg,
             by_boundary,
@@ -258,6 +271,16 @@ impl MatrixStore {
     /// Number of precomputed boundaries.
     pub fn len(&self) -> usize {
         self.by_boundary.len()
+    }
+
+    /// Total closure rows truncated by the safety valve across all
+    /// precomputed boundaries — the "no silent caps" signal sweeps
+    /// should surface next to their results.
+    pub fn truncated_rows(&self) -> u64 {
+        self.by_boundary
+            .iter()
+            .map(|m| m.closure.truncated_rows())
+            .sum()
     }
 
     /// Whether the store is empty (never true after `precompute`).
