@@ -62,19 +62,37 @@ pub struct ClosureResult {
     /// Closure rows truncated by the safety valve across all update
     /// boundaries — nonzero means `P*` is approximate, not exact.
     pub truncated_rows: u64,
+    /// Sweep of the safety-valve bound itself.
+    pub valve: Vec<ValveRow>,
+}
+
+/// One safety-valve bound's outcome: how much truncation it causes and
+/// what that truncation does to the headline replay.
+#[derive(Debug, Serialize)]
+pub struct ValveRow {
+    /// The `closure_max_row` bound.
+    pub max_row: usize,
+    /// Closure rows cut short at this bound.
+    pub truncated_rows: u64,
+    /// Traffic increase (%) replaying at the probe threshold.
+    pub traffic_pct: f64,
+    /// Server-load reduction (%) at the probe threshold.
+    pub load_reduction_pct: f64,
 }
 
 /// Runs the closure-vs-direct ablation.
 pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let mut cfg = SpecConfig::baseline(0.5);
     cfg.estimator.history_days = crate::workloads::history_days(scale);
     cfg.warmup_days = crate::workloads::warmup_days(scale);
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     let tps: &[f64] = match scale {
         Scale::Full => &[0.7, 0.5, 0.3, 0.15],
@@ -129,6 +147,50 @@ pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
     } else {
         text.push_str("\nclosure safety valve: 0 rows truncated (P* is exact here).\n");
     }
+
+    // Sweep the safety-valve bound itself: tighten `closure_max_row`
+    // until it bites, and measure what the truncated P* costs at one
+    // probe threshold. This quantifies how much headroom the default
+    // bound leaves before approximation starts eating load reduction.
+    let probe_tp = 0.3;
+    let bounds: &[usize] = match scale {
+        Scale::Full => &[2, 4, 8, 16, 32, 64, 128],
+        Scale::Quick => &[2, 8, 32, 128],
+    };
+    let mut valve = Vec::with_capacity(bounds.len());
+    cfg.policy = Policy::Threshold { tp: probe_tp };
+    for &max_row in bounds {
+        let mut vcfg = cfg;
+        vcfg.estimator.closure_max_row = max_row;
+        let vstore = MatrixStore::precompute(&vcfg.estimator, &trace, total_days)?;
+        vstore.record_truncation(&obs);
+        let out = sim.run_with_store(&vcfg, Some(&vstore))?;
+        valve.push(ValveRow {
+            max_row,
+            truncated_rows: vstore.truncated_rows(),
+            traffic_pct: out.ratios.traffic_increase_pct(),
+            load_reduction_pct: out.ratios.server_load_reduction_pct(),
+        });
+    }
+    text.push_str(&format!(
+        "\nsafety-valve bound sweep (T_p = {probe_tp}):\n\
+         max_row   truncated     traffic      load\n"
+    ));
+    for v in &valve {
+        text.push_str(&format!(
+            "{:>7}   {:>9}   {:>9}  {:>8}\n",
+            v.max_row,
+            v.truncated_rows,
+            pct(v.traffic_pct),
+            pct(-v.load_reduction_pct)
+        ));
+    }
+    text.push_str(
+        "\nexpected: tightening the bound increases truncation and can only\n\
+         shrink the speculation set — a bound that truncates nothing is\n\
+         provably free, and the default should sit in that regime.\n",
+    );
+
     Ok(Report::new(
         "exp-closure",
         "ablation: speculating on P* vs direct P",
@@ -136,8 +198,10 @@ pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
         &ClosureResult {
             rows,
             truncated_rows,
+            valve,
         },
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -157,9 +221,10 @@ pub struct RankRow {
 
 /// Runs the ranking ablation.
 pub fn exp_rank(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = DisseminationSim::new(&trace, &topo)?;
+    let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let mut rows = Vec::new();
     for fraction in [0.04, 0.10, 0.25] {
@@ -207,7 +272,8 @@ pub fn exp_rank(scale: Scale, seed: u64) -> Result<Report> {
         "ablation: dissemination ranking objective (traffic vs α)",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -227,9 +293,10 @@ pub struct TailoredRow {
 
 /// Runs the tailoring ablation.
 pub fn exp_tailored(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = DisseminationSim::new(&trace, &topo)?;
+    let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let mut rows = Vec::new();
     for fraction in [0.02, 0.05, 0.10] {
@@ -272,7 +339,8 @@ pub fn exp_tailored(scale: Scale, seed: u64) -> Result<Report> {
         "ablation: geographic tailoring of replicas (footnote 5)",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -294,9 +362,10 @@ pub struct ShedRow {
 
 /// Runs the shedding sweep.
 pub fn exp_shed(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = DisseminationSim::new(&trace, &topo)?;
+    let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let caps: &[Option<u64>] = match scale {
         Scale::Full => &[None, Some(2_000), Some(500), Some(125), Some(30)],
@@ -340,12 +409,16 @@ pub fn exp_shed(scale: Scale, seed: u64) -> Result<Report> {
          (smaller effective B₀) — savings degrade gracefully, never below\n\
          the no-dissemination baseline.\n",
     );
+    // Shedding is this experiment's subject, so `dissem.shed_requests`
+    // being nonzero here is expected — CI's shed gate exempts exp-shed
+    // and exp-hier for exactly that reason.
     Ok(Report::new(
         "exp-shed",
         "§2.3 dynamic load shedding under proxy request caps",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -354,9 +427,10 @@ pub fn exp_shed(scale: Scale, seed: u64) -> Result<Report> {
 
 /// Runs the hierarchy comparison.
 pub fn exp_hier(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = DisseminationSim::new(&trace, &topo)?;
+    let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
     let cap = match scale {
         Scale::Full => 400,
         Scale::Quick => 40,
@@ -397,7 +471,8 @@ pub fn exp_hier(scale: Scale, seed: u64) -> Result<Report> {
         "§2.3 multi-level dissemination dissolves the proxy bottleneck",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -493,9 +568,10 @@ pub struct AgingRow {
 
 /// Runs the aging ablation on the drifting workload.
 pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::drift_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let history = match scale {
@@ -515,6 +591,7 @@ pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
         cfg.estimator.aging_decay = decay;
         cfg.warmup_days = crate::workloads::warmup_days(scale);
         let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+        store.record_truncation(&obs);
         let out = sim.run_with_store(&cfg, Some(&store))?;
         rows.push(AgingRow {
             variant: label,
@@ -544,7 +621,8 @@ pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
         "ablation: hard history window vs exponential aging (§3.4)",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -634,15 +712,17 @@ pub struct QueueRow {
 /// at a peak-hour operating point: the paper's "−35% server load"
 /// rendered as response time.
 pub fn exp_queue(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let mut cfg = SpecConfig::baseline(0.5);
     cfg.estimator.history_days = crate::workloads::history_days(scale);
     cfg.warmup_days = crate::workloads::warmup_days(scale);
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     // Peak-hour operating point: a 1995 httpd (capacity 20 req/s at
     // 50 ms mean service) running hot at ρ = 0.95.
@@ -705,7 +785,8 @@ pub fn exp_queue(scale: Scale, seed: u64) -> Result<Report> {
         "extension: server load reduction as M/G/1 response time",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 #[cfg(test)]

@@ -5,21 +5,32 @@
 //! cargo run --release -p specweb-bench --bin figures -- fig5 fig6
 //! cargo run --release -p specweb-bench --bin figures -- --quick all
 //! cargo run --release -p specweb-bench --bin figures -- --seed 7 --jobs 4 fig3
+//! cargo run --release -p specweb-bench --bin figures -- --report
 //! ```
 //!
-//! Text and JSON land in `results/`, plus a `bench_timings.json` with
-//! per-experiment wall-clock times for the run. Experiments fan out on
-//! `--jobs` workers (default: `SPECWEB_JOBS` or the core count); the
-//! result files are byte-identical for every worker count — only
-//! `bench_timings.json` varies.
+//! Text and JSON land in `results/`, plus one `manifest_<id>.json` per
+//! experiment (seed, scale, metric snapshot, timing, git describe), a
+//! run-level `manifest_run.json` with the process-wide counters, and a
+//! `bench_timings.json` with per-experiment wall-clock times.
+//! Experiments fan out on `--jobs` workers (default: `SPECWEB_JOBS` or
+//! the core count); the result files and every manifest's
+//! `deterministic` section are byte-identical for every worker count —
+//! only `bench_timings.json` and the manifests' `nondeterministic`
+//! sections vary.
+//!
+//! `figures --report` re-reads the manifests from `--out` and prints a
+//! per-subsystem summary without re-running anything.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use specweb_bench::{ablations, cli, exps, fig1, fig2, fig3, fig4, fig5, Report, Scale};
+use specweb_core::log;
+use specweb_core::obs::{self, Level, MetricSnapshot, RunManifest};
 
 /// Wall-clock accounting for one run, written to `bench_timings.json`.
-/// This is the only output file that is *not* deterministic.
+/// This file and the manifests' `nondeterministic` sections are the
+/// only outputs that are *not* deterministic.
 #[derive(Debug, Serialize)]
 struct Timings {
     /// Worker count used.
@@ -44,9 +55,20 @@ struct ExperimentTiming {
 }
 
 fn main() {
+    // Progress lines (level Info) print by default for the interactive
+    // binary; SPECWEB_LOG still overrides in either direction.
+    obs::set_default_level(Level::Info);
+
     let args = cli::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
     if args.help {
         println!("{}", cli::usage());
+        return;
+    }
+    if args.report {
+        match render_manifest_report(&args.out_dir) {
+            Ok(report) => println!("{report}"),
+            Err(e) => die(&e),
+        }
         return;
     }
     let cli::Args {
@@ -65,16 +87,25 @@ fn main() {
     specweb_core::par::set_default_jobs(jobs);
 
     let t0 = Instant::now();
+    let scale_name = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let git = obs::git_describe();
 
     // fig5 and fig6 share one sweep; run it once if both are requested.
     // (cli::parse deduplicates ids, so each appears at most once.)
     let both_56 = wanted.iter().any(|w| w == "fig5") && wanted.iter().any(|w| w == "fig6");
     let (shared_sweep, sweep_seconds) = if both_56 {
-        eprintln!("[figures] running fig5/fig6 shared sweep…");
+        log!(Info, "figures", "running fig5/fig6 shared sweep…");
         let started = Instant::now();
-        let sweep = fig5::sweep_replicated(scale, seed)
+        let sweep_obs = obs::Obs::new();
+        let sweep = fig5::sweep_replicated(scale, seed, Some(&sweep_obs))
             .unwrap_or_else(|e| die(&format!("sweep failed: {e}")));
-        (Some(sweep), Some(started.elapsed().as_secs_f64()))
+        (
+            Some((sweep, sweep_obs.snapshot())),
+            Some(started.elapsed().as_secs_f64()),
+        )
     } else {
         (None, None)
     };
@@ -104,8 +135,17 @@ fn main() {
         report
             .write_to(&out_dir)
             .unwrap_or_else(|e| die(&format!("writing {id}: {e}")));
-        eprintln!(
-            "[figures] {id} done in {secs:.1}s (→ {}/{id}.txt)",
+        // Record the process-wide --jobs value, not the fan-out pool's
+        // width (which is capped at the experiment count): closure rows
+        // and profile mining inside one experiment still parallelize.
+        let manifest = RunManifest::new(id, seed, scale_name, report.metrics.clone())
+            .with_run_info(jobs, &git)
+            .with_timing("run", *secs);
+        write_manifest(&out_dir, &manifest);
+        log!(
+            Info,
+            "figures",
+            "{id} done in {secs:.1}s (→ {}/{id}.txt)",
             out_dir.display()
         );
         experiments.push(ExperimentTiming {
@@ -114,14 +154,24 @@ fn main() {
         });
     }
 
+    let total_seconds = t0.elapsed().as_secs_f64();
+
+    // Run-level manifest: the process-wide registry (pool task totals,
+    // trace-generation volume, allocator iterations, any serve counters)
+    // plus end-to-end timing.
+    let mut run_manifest = RunManifest::new("run", seed, scale_name, obs::global().snapshot())
+        .with_run_info(jobs, &git)
+        .with_timing("total", total_seconds);
+    if let Some(seconds) = sweep_seconds {
+        run_manifest = run_manifest.with_timing("fig5/fig6-shared-sweep", seconds);
+    }
+    write_manifest(&out_dir, &run_manifest);
+
     let timings = Timings {
         jobs: pool.jobs(),
-        scale: match scale {
-            Scale::Full => "full".into(),
-            Scale::Quick => "quick".into(),
-        },
+        scale: scale_name.into(),
         seed,
-        total_seconds: t0.elapsed().as_secs_f64(),
+        total_seconds,
         experiments,
     };
     let timings_path = out_dir.join("bench_timings.json");
@@ -130,12 +180,61 @@ fn main() {
         serde_json::to_string_pretty(&timings).expect("timings serialize"),
     )
     .unwrap_or_else(|e| die(&format!("writing {}: {e}", timings_path.display())));
-    eprintln!(
-        "[figures] all done in {:.1}s ({} workers; timings → {})",
-        timings.total_seconds,
+    log!(
+        Info,
+        "figures",
+        "all done in {total_seconds:.1}s ({} workers; timings → {})",
         pool.jobs(),
         timings_path.display()
     );
+}
+
+/// Writes `manifest_<id>.json` under `dir`.
+fn write_manifest(dir: &std::path::Path, manifest: &RunManifest) {
+    let path = dir.join(manifest.file_name());
+    std::fs::create_dir_all(dir)
+        .and_then(|()| {
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(manifest).expect("manifests serialize"),
+            )
+        })
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+}
+
+/// Loads every `manifest_*.json` in `dir` (sorted by file name so the
+/// output order is stable) and renders the cross-experiment summary.
+fn render_manifest_report(dir: &std::path::Path) -> Result<String, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        format!(
+            "reading {}: {e} (run some experiments first)",
+            dir.display()
+        )
+    })?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("manifest_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "no manifest_*.json in {} — run `figures <ids…|all>` first",
+            dir.display()
+        ));
+    }
+    let mut manifests = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let manifest: RunManifest =
+            serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        manifests.push(manifest);
+    }
+    Ok(obs::render_report(&manifests))
 }
 
 /// Dispatches one experiment id.
@@ -143,7 +242,7 @@ fn run_one(
     id: &str,
     scale: Scale,
     seed: u64,
-    shared_sweep: &Option<fig5::Replicated>,
+    shared_sweep: &Option<(fig5::Replicated, MetricSnapshot)>,
 ) -> specweb_core::Result<Report> {
     match id {
         "fig1" => fig1::run(scale, seed),
@@ -151,11 +250,11 @@ fn run_one(
         "fig3" => fig3::run(scale, seed),
         "fig4" => fig4::run(scale, seed),
         "fig5" => match shared_sweep {
-            Some(s) => Ok(fig5::report(s)),
+            Some((s, m)) => Ok(fig5::report(s).with_metrics(m.clone())),
             None => fig5::run(scale, seed),
         },
         "fig6" => match shared_sweep {
-            Some(s) => Ok(fig5::report_fig6(s)),
+            Some((s, m)) => Ok(fig5::report_fig6(s).with_metrics(m.clone())),
             None => fig5::run_fig6(scale, seed),
         },
         "tab1" => exps::tab1(scale, seed),
@@ -182,6 +281,6 @@ fn run_one(
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("[figures] error: {msg}");
+    log!(Error, "figures", "error: {msg}");
     std::process::exit(1)
 }

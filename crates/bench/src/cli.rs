@@ -51,6 +51,10 @@ pub struct Args {
     pub wanted: Vec<String>,
     /// Whether `--help` was requested.
     pub help: bool,
+    /// Whether `--report` was requested: render a human-readable
+    /// summary from the `manifest_*.json` files already in `--out`
+    /// instead of running experiments.
+    pub report: bool,
 }
 
 impl Default for Args {
@@ -62,6 +66,7 @@ impl Default for Args {
             jobs: None,
             wanted: Vec::new(),
             help: false,
+            report: false,
         }
     }
 }
@@ -69,7 +74,9 @@ impl Default for Args {
 /// The usage string printed by `--help` and on bad invocations.
 pub fn usage() -> String {
     format!(
-        "usage: figures [--quick] [--seed N] [--jobs N] [--out DIR] <ids…|all>\nids: {}",
+        "usage: figures [--quick] [--seed N] [--jobs N] [--out DIR] <ids…|all>\n       \
+         figures --report [--out DIR]   (summarize manifest_*.json from a past run)\n\
+         ids: {}",
         ALL.join(" ")
     )
 }
@@ -109,6 +116,7 @@ where
                 out.out_dir = PathBuf::from(argv.next().ok_or("--out needs a path")?);
             }
             "--help" | "-h" => out.help = true,
+            "--report" => out.report = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()));
             }
@@ -191,5 +199,13 @@ mod tests {
     fn help_short_circuits_validation_of_nothing_else() {
         let a = p(&["-h"]).unwrap();
         assert!(a.help);
+    }
+
+    #[test]
+    fn report_flag_parses_with_out_dir() {
+        let a = p(&["--report", "--out", "/tmp/r"]).unwrap();
+        assert!(a.report);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/r"));
+        assert!(!p(&["fig3"]).unwrap().report);
     }
 }

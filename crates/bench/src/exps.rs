@@ -97,9 +97,10 @@ pub struct UpdRow {
 
 /// Runs the staleness experiment.
 pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::drift_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     // (D, D') schedules, scaled: full = the paper's {1,7,60}×60 + 1×30.
@@ -120,6 +121,7 @@ pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
         cfg.estimator.update_cycle_days = cycle;
         cfg.warmup_days = warmup;
         let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+        store.record_truncation(&obs);
         let out = sim.run_with_store(&cfg, Some(&store))?;
         rows.push(UpdRow {
             update_cycle_days: cycle,
@@ -171,7 +173,8 @@ pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
         "stability of the P and P* relations under site drift (§3.4)",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -205,15 +208,17 @@ pub struct SizeResult {
 
 /// Runs the MaxSize experiment.
 pub fn exp_size(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let mut cfg = SpecConfig::baseline(0.5);
     cfg.estimator.history_days = crate::workloads::history_days(scale);
     cfg.warmup_days = crate::workloads::warmup_days(scale);
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     let sizes: &[u64] = match scale {
         Scale::Full => &[
@@ -318,7 +323,8 @@ pub fn exp_size(scale: Scale, seed: u64) -> Result<Report> {
         "effect of document size: optimal MaxSize per traffic budget (§3.4)",
         text,
         &result,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -344,15 +350,17 @@ pub struct CacheRow {
 
 /// Runs the client-caching experiment.
 pub fn exp_cache(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let mut cfg = SpecConfig::baseline(0.3);
     cfg.estimator.history_days = crate::workloads::history_days(scale);
     cfg.warmup_days = crate::workloads::warmup_days(scale);
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     let models: Vec<(String, CacheModel)> = vec![
         (
@@ -409,12 +417,10 @@ pub fn exp_cache(scale: Scale, seed: u64) -> Result<Report> {
          32/24/19 at +10% traffic) because the baseline is already good.\n",
     );
 
-    Ok(Report::new(
-        "exp-cache",
-        "effect of client caching (§3.4)",
-        text,
-        &rows,
-    ))
+    Ok(
+        Report::new("exp-cache", "effect of client caching (§3.4)", text, &rows)
+            .with_metrics(obs.snapshot()),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -440,9 +446,10 @@ pub struct CoopRow {
 
 /// Runs the cooperative-clients experiment.
 pub fn exp_coop(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let mut cfg = SpecConfig::baseline(0.3);
@@ -454,6 +461,7 @@ pub fn exp_coop(scale: Scale, seed: u64) -> Result<Report> {
         timeout: Duration::from_secs(3_600),
     };
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     let tps: &[f64] = match scale {
         Scale::Full => &[0.7, 0.5, 0.3, 0.15],
@@ -499,12 +507,10 @@ pub fn exp_coop(scale: Scale, seed: u64) -> Result<Report> {
          load savings, strictly less traffic, zero wasted pushes.\n",
     );
 
-    Ok(Report::new(
-        "exp-coop",
-        "cooperative clients (§3.4)",
-        text,
-        &rows,
-    ))
+    Ok(
+        Report::new("exp-coop", "cooperative clients (§3.4)", text, &rows)
+            .with_metrics(obs.snapshot()),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -532,9 +538,10 @@ pub struct PrefRow {
 
 /// Runs the prefetching-strategy comparison.
 pub fn exp_pref(scale: Scale, seed: u64) -> Result<Report> {
+    let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
     let base = || {
@@ -547,6 +554,7 @@ pub fn exp_pref(scale: Scale, seed: u64) -> Result<Report> {
         c
     };
     let store = MatrixStore::precompute(&base().estimator, &trace, total_days)?;
+    store.record_truncation(&obs);
 
     let mut rows = Vec::new();
     let mut run = |label: &str, cfg: &SpecConfig| -> Result<()> {
@@ -618,7 +626,8 @@ pub fn exp_pref(scale: Scale, seed: u64) -> Result<Report> {
         "server-assisted prefetching and hybrids (§3.4)",
         text,
         &rows,
-    ))
+    )
+    .with_metrics(obs.snapshot()))
 }
 
 // ---------------------------------------------------------------------

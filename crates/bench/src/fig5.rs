@@ -15,6 +15,7 @@
 //! reproduction target.
 
 use serde::Serialize;
+use specweb_core::obs::Obs;
 use specweb_core::Result;
 use specweb_spec::estimator::MatrixStore;
 use specweb_spec::simulate::{SpecConfig, SpecSim};
@@ -61,18 +62,24 @@ fn tp_grid(scale: Scale) -> &'static [f64] {
 
 /// Runs the baseline sweep once; both figures render from it.
 pub fn sweep(scale: Scale, seed: u64) -> Result<Sweep> {
-    sweep_jobs(scale, seed, specweb_core::par::default_jobs())
+    sweep_jobs(scale, seed, specweb_core::par::default_jobs(), None)
 }
 
 /// [`sweep`] with an explicit worker count for the `T_p` grid.
 ///
 /// Each grid point is an independent replay of the same trace against
 /// the same precomputed matrices, so the points fan out on `jobs`
-/// workers; the result is byte-identical for every `jobs` value.
-fn sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Result<Sweep> {
+/// workers; the result is byte-identical for every `jobs` value. When
+/// `obs` is given, every replay publishes its per-policy accounting
+/// into it — counter merges are commutative sums, so the totals are
+/// byte-identical across worker counts too.
+fn sweep_jobs(scale: Scale, seed: u64, jobs: usize, obs: Option<&Obs>) -> Result<Sweep> {
     let topo = crate::workloads::topology();
     let trace = crate::workloads::bu_trace(scale, seed)?;
-    let sim = SpecSim::new(&trace, &topo);
+    let mut sim = SpecSim::new(&trace, &topo);
+    if let Some(obs) = obs {
+        sim = sim.with_obs(obs);
+    }
 
     let mut cfg = SpecConfig::baseline(0.5);
     cfg.estimator.history_days = crate::workloads::history_days(scale);
@@ -80,6 +87,9 @@ fn sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Result<Sweep> {
 
     let total_days = trace.duration.as_millis() / 86_400_000;
     let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
+    if let Some(obs) = obs {
+        store.record_truncation(obs);
+    }
 
     let points = specweb_core::par::Pool::new(jobs).try_map_indexed(
         tp_grid(scale),
@@ -126,12 +136,12 @@ pub struct Replicated {
 /// Runs the baseline sweep for the base seed plus [`EXTRA_REPS`]
 /// derived seeds, fanning the replications out in parallel (each inner
 /// `T_p` grid then runs serially so the fan-out does not nest).
-pub fn sweep_replicated(scale: Scale, seed: u64) -> Result<Replicated> {
+pub fn sweep_replicated(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Replicated> {
     let tree = specweb_core::rng::SeedTree::new(seed);
     let mut seeds = vec![seed];
     seeds.extend((0..EXTRA_REPS as u64).map(|r| tree.child_idx("fig5-rep", r).seed()));
-    let sweeps =
-        specweb_core::par::Pool::auto().try_map_indexed(&seeds, |_, &s| sweep_jobs(scale, s, 1))?;
+    let sweeps = specweb_core::par::Pool::auto()
+        .try_map_indexed(&seeds, |_, &s| sweep_jobs(scale, s, 1, obs))?;
     let mut sweeps = sweeps.into_iter();
     let base = sweeps.next().expect("base seed always present");
     Ok(Replicated {
@@ -348,12 +358,14 @@ pub fn report_fig6(replicated: &Replicated) -> Report {
 
 /// fig5 entry point.
 pub fn run(scale: Scale, seed: u64) -> Result<Report> {
-    Ok(report(&sweep_replicated(scale, seed)?))
+    let obs = Obs::new();
+    Ok(report(&sweep_replicated(scale, seed, Some(&obs))?).with_metrics(obs.snapshot()))
 }
 
 /// fig6 entry point.
 pub fn run_fig6(scale: Scale, seed: u64) -> Result<Report> {
-    Ok(report_fig6(&sweep_replicated(scale, seed)?))
+    let obs = Obs::new();
+    Ok(report_fig6(&sweep_replicated(scale, seed, Some(&obs))?).with_metrics(obs.snapshot()))
 }
 
 #[cfg(test)]
@@ -404,9 +416,13 @@ mod tests {
     #[test]
     fn parallel_sweep_is_identical_to_serial() {
         // The determinism contract at the bench layer: the T_p grid
-        // fans out over workers, yet every float must match bit for bit.
-        let serial = sweep_jobs(Scale::Quick, 15, 1).unwrap();
-        let parallel = sweep_jobs(Scale::Quick, 15, 4).unwrap();
+        // fans out over workers, yet every float must match bit for bit,
+        // and so must the metric snapshot the replays publish.
+        let obs_serial = Obs::new();
+        let obs_parallel = Obs::new();
+        let serial = sweep_jobs(Scale::Quick, 15, 1, Some(&obs_serial)).unwrap();
+        let parallel = sweep_jobs(Scale::Quick, 15, 4, Some(&obs_parallel)).unwrap();
+        assert_eq!(obs_serial.snapshot(), obs_parallel.snapshot());
         assert_eq!(serial.trace_len, parallel.trace_len);
         assert_eq!(serial.points.len(), parallel.points.len());
         for (a, b) in serial.points.iter().zip(&parallel.points) {

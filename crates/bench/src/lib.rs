@@ -59,6 +59,10 @@ pub struct Report {
     pub text: String,
     /// Machine-readable result.
     pub json: serde_json::Value,
+    /// Observability snapshot taken at the end of the run; lands in
+    /// `results/manifest_<id>.json`. Empty for experiments that have
+    /// not been instrumented.
+    pub metrics: specweb_core::obs::MetricSnapshot,
 }
 
 impl Report {
@@ -74,7 +78,16 @@ impl Report {
             title,
             text,
             json: serde_json::to_value(value).expect("results are serializable"),
+            metrics: specweb_core::obs::MetricSnapshot::default(),
         }
+    }
+
+    /// Attaches a metric snapshot (typically `obs.snapshot()` from the
+    /// per-experiment [`specweb_core::obs::Obs`] the simulators wrote
+    /// into).
+    pub fn with_metrics(mut self, metrics: specweb_core::obs::MetricSnapshot) -> Report {
+        self.metrics = metrics;
+        self
     }
 
     /// Renders header + body.

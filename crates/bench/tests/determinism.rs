@@ -1,7 +1,10 @@
 //! Golden-output determinism: the `figures` binary must emit
 //! byte-identical result files whether it runs serially or on a worker
-//! pool. Only `bench_timings.json` — wall-clock accounting — may
-//! differ between the two runs.
+//! pool. Only `bench_timings.json` — wall-clock accounting — and the
+//! `nondeterministic` sections of the `manifest_*.json` files may
+//! differ between the two runs; each manifest's `deterministic`
+//! section (seed, scale, and the deterministic-channel metric
+//! snapshot) must match exactly.
 //!
 //! The experiment set exercises every parallel site in the stack:
 //! `fig4` (trace → estimator → simulator) and `exp-closure` (the
@@ -68,6 +71,64 @@ fn serial_and_parallel_runs_are_byte_identical() {
         assert!(parsed["total_seconds"].as_f64().unwrap() >= 0.0);
     }
     assert_eq!(serial.get(TIMINGS), None);
+
+    // Manifests carry a two-channel split: the `deterministic` section
+    // (seed root, scale, deterministic-channel metrics) must be
+    // identical across worker counts, while the `nondeterministic`
+    // section records jobs/timing and is excluded from the byte
+    // compare. Pull them out and compare the channels separately.
+    let manifest_names: Vec<String> = serial
+        .keys()
+        .filter(|n| n.starts_with("manifest_") && n.ends_with(".json"))
+        .cloned()
+        .collect();
+    for want in [
+        "manifest_fig4.json",
+        "manifest_exp-closure.json",
+        "manifest_run.json",
+    ] {
+        assert!(
+            manifest_names.iter().any(|n| n == want),
+            "{want} missing from run output ({manifest_names:?})"
+        );
+    }
+    for name in &manifest_names {
+        let parse = |snap: &mut BTreeMap<String, Vec<u8>>, jobs: u64| -> serde_json::Value {
+            let raw = snap
+                .remove(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            let raw = String::from_utf8(raw).expect("manifest is utf-8");
+            let parsed: serde_json::Value =
+                serde_json::from_str(&raw).unwrap_or_else(|e| panic!("{name} parse: {e}"));
+            assert_eq!(
+                parsed["nondeterministic"]["jobs"].as_u64(),
+                Some(jobs),
+                "{name} should record its own worker count"
+            );
+            parsed
+        };
+        let s = parse(&mut serial, 1);
+        let p = parse(&mut parallel, 4);
+        assert_eq!(
+            s["deterministic"], p["deterministic"],
+            "{name}: deterministic section differs between --jobs 1 and --jobs 4"
+        );
+        assert!(
+            s["deterministic"]["metrics"].as_object().is_some(),
+            "{name}: deterministic metric snapshot missing"
+        );
+    }
+    // The per-experiment manifests must actually carry metrics — an
+    // empty snapshot would mean the instrumentation came unwired.
+    for snap_dir in [&dir_serial, &dir_parallel] {
+        let raw = std::fs::read_to_string(snap_dir.join("manifest_fig4.json")).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&raw).unwrap();
+        let metrics = parsed["deterministic"]["metrics"].as_object().unwrap();
+        assert!(
+            metrics.iter().any(|(k, _)| k.starts_with("fig4.")),
+            "manifest_fig4.json carries no fig4.* metrics"
+        );
+    }
 
     let serial_names: Vec<&String> = serial.keys().collect();
     let parallel_names: Vec<&String> = parallel.keys().collect();

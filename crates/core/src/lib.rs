@@ -24,6 +24,10 @@
 //!   seed-tree child);
 //! * the paper's four evaluation metrics as first-class accumulators
 //!   ([`metrics`]);
+//! * observability — a per-subsystem metrics registry, ring-buffered
+//!   event tracer, `SPECWEB_LOG`-gated [`log!`] macro, and run
+//!   manifests, all split into deterministic vs wall-clock channels
+//!   ([`obs`]);
 //! * a common error type ([`error`]).
 //!
 //! Nothing in this crate knows about HTTP, proxies or speculation — it is
@@ -37,6 +41,7 @@ pub mod dist;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,257 @@
+//! Run manifests: one JSON document per experiment capturing what ran,
+//! with what inputs, and what the metrics registry saw.
+//!
+//! A manifest is split into two top-level sections mirroring the
+//! registry channels:
+//!
+//! * `deterministic` — seed-tree root, scale, and the deterministic
+//!   metric snapshot. Byte-identical across `--jobs` settings; the
+//!   golden determinism test compares exactly this section.
+//! * `nondeterministic` — worker count, git-describe, wall-clock
+//!   timing breakdown, and wall-clock metrics. Never golden-compared.
+//!
+//! The `figures` binary writes `results/manifest_<exp>.json` for every
+//! experiment plus `manifest_run.json` for process-wide metrics, and
+//! `figures --report` renders them back through [`render_report`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::registry::{MetricSnapshot, MetricValue};
+
+/// The deterministic half of a manifest (golden-compared bytes).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeterministicSection {
+    /// Master seed — the root of the run's `SeedTree`.
+    pub seed_root: u64,
+    /// `full` or `quick`.
+    pub scale: String,
+    /// Deterministic-channel metrics.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+/// One phase's wall-clock share in the timing breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (`total`, `sweep`, `write`…).
+    pub phase: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The wall-clock half of a manifest (excluded from golden compares).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NondeterministicSection {
+    /// Worker count the run used.
+    pub jobs: usize,
+    /// `git describe --always --dirty` at run time (or `unknown`).
+    pub git: String,
+    /// Wall-clock timing breakdown.
+    pub timing: Vec<PhaseTiming>,
+    /// Wall-clock-channel metrics.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+/// A complete run manifest for one experiment (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Experiment id (`fig4`, `exp-closure`, or `run` for the
+    /// process-wide manifest).
+    pub id: String,
+    /// Golden-compared section.
+    pub deterministic: DeterministicSection,
+    /// Wall-clock section.
+    pub nondeterministic: NondeterministicSection,
+}
+
+impl RunManifest {
+    /// Builds a manifest from a registry snapshot, routing each channel
+    /// into its section.
+    pub fn new(id: &str, seed_root: u64, scale: &str, snapshot: MetricSnapshot) -> RunManifest {
+        RunManifest {
+            id: id.to_string(),
+            deterministic: DeterministicSection {
+                seed_root,
+                scale: scale.to_string(),
+                metrics: snapshot.deterministic,
+            },
+            nondeterministic: NondeterministicSection {
+                jobs: 0,
+                git: String::from("unknown"),
+                timing: Vec::new(),
+                metrics: snapshot.wallclock,
+            },
+        }
+    }
+
+    /// Fills the wall-clock envelope (builder-style).
+    pub fn with_run_info(mut self, jobs: usize, git: &str) -> RunManifest {
+        self.nondeterministic.jobs = jobs;
+        self.nondeterministic.git = git.to_string();
+        self
+    }
+
+    /// Appends one phase to the timing breakdown (builder-style).
+    pub fn with_timing(mut self, phase: &str, seconds: f64) -> RunManifest {
+        self.nondeterministic.timing.push(PhaseTiming {
+            phase: phase.to_string(),
+            seconds,
+        });
+        self
+    }
+
+    /// The conventional file name, `manifest_<id>.json`.
+    pub fn file_name(&self) -> String {
+        format!("manifest_{}.json", self.id)
+    }
+}
+
+/// `git describe --always --dirty` for the working directory, or
+/// `"unknown"` when git is unavailable. Wall-clock-section data only —
+/// never golden-compared (two checkouts of the same tree may differ).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+/// The subsystem prefix of a metric name (`spec.pushes` → `spec`).
+fn subsystem_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+fn fmt_value(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter { value } => value.to_string(),
+        MetricValue::Gauge { value } => format!("{value} (high-water)"),
+        MetricValue::Histogram {
+            bins,
+            underflow,
+            overflow,
+            ..
+        } => {
+            let total: u64 = bins.iter().sum();
+            format!(
+                "histogram: {total} obs in {} bins (underflow {underflow}, overflow {overflow})",
+                bins.len()
+            )
+        }
+    }
+}
+
+/// Renders a human-readable summary of a set of manifests: one block
+/// per experiment (metrics grouped by subsystem, wall-clock timing),
+/// then a cross-experiment per-subsystem aggregate of the
+/// deterministic counters. This is what `figures --report` prints.
+pub fn render_report(manifests: &[RunManifest]) -> String {
+    let mut out = String::new();
+    let mut totals: BTreeMap<String, MetricValue> = BTreeMap::new();
+
+    for m in manifests {
+        out.push_str(&format!(
+            "== {} (seed {}, scale {}, jobs {}, git {})\n",
+            m.id,
+            m.deterministic.seed_root,
+            m.deterministic.scale,
+            m.nondeterministic.jobs,
+            m.nondeterministic.git
+        ));
+        let mut last_subsystem = "";
+        for (name, value) in &m.deterministic.metrics {
+            let sub = subsystem_of(name);
+            if sub != last_subsystem {
+                out.push_str(&format!("  [{sub}]\n"));
+                last_subsystem = sub;
+            }
+            out.push_str(&format!("    {name:<40} {}\n", fmt_value(value)));
+            match totals.get_mut(name) {
+                Some(existing) => existing.merge(value),
+                None => {
+                    totals.insert(name.clone(), value.clone());
+                }
+            }
+        }
+        for (name, value) in &m.nondeterministic.metrics {
+            out.push_str(&format!(
+                "    {name:<40} {}  (wall-clock)\n",
+                fmt_value(value)
+            ));
+        }
+        for t in &m.nondeterministic.timing {
+            out.push_str(&format!("    time.{:<35} {:.2}s\n", t.phase, t.seconds));
+        }
+    }
+
+    if !totals.is_empty() {
+        out.push_str("== totals across experiments (deterministic channel)\n");
+        let mut last_subsystem = "";
+        for (name, value) in &totals {
+            let sub = subsystem_of(name);
+            if sub != last_subsystem {
+                out.push_str(&format!("  [{sub}]\n"));
+                last_subsystem = sub;
+            }
+            out.push_str(&format!("    {name:<40} {}\n", fmt_value(value)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::Registry;
+    use super::*;
+
+    fn sample_manifest(id: &str) -> RunManifest {
+        let reg = Registry::new();
+        reg.counter("spec.pushes").add(10);
+        reg.counter("dissem.proxy_hits").add(4);
+        reg.counter_on(
+            "par.workers_spawned",
+            super::super::registry::Channel::WallClock,
+        )
+        .add(3);
+        RunManifest::new(id, 1996, "quick", reg.snapshot())
+            .with_run_info(4, "abc1234")
+            .with_timing("total", 1.5)
+    }
+
+    #[test]
+    fn manifest_routes_channels_into_sections() {
+        let m = sample_manifest("fig4");
+        assert_eq!(m.deterministic.metrics.len(), 2);
+        assert!(m.deterministic.metrics.contains_key("spec.pushes"));
+        assert_eq!(m.nondeterministic.metrics.len(), 1);
+        assert_eq!(m.nondeterministic.jobs, 4);
+        assert_eq!(m.file_name(), "manifest_fig4.json");
+    }
+
+    #[test]
+    fn manifest_value_roundtrip() {
+        use serde::{Deserialize as _, Serialize as _};
+        let m = sample_manifest("exp-closure");
+        let back = RunManifest::from_value(&m.to_value()).expect("roundtrip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn report_groups_by_subsystem_and_totals() {
+        let report = render_report(&[sample_manifest("fig4"), sample_manifest("tab1")]);
+        assert!(report.contains("== fig4 (seed 1996, scale quick, jobs 4"));
+        assert!(report.contains("[spec]"));
+        assert!(report.contains("[dissem]"));
+        assert!(report.contains("totals across experiments"));
+        // 10 pushes in each of the two manifests.
+        let totals_at = report.find("totals").unwrap();
+        assert!(report[totals_at..].contains("20"));
+        assert!(report.contains("(wall-clock)"));
+        assert!(report.contains("time.total"));
+    }
+}

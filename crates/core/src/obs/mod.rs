@@ -1,0 +1,146 @@
+//! Observability: metrics registry, structured event tracing, leveled
+//! logging, and run manifests for the whole workspace.
+//!
+//! Everything here obeys one contract, inherited from the deterministic
+//! parallelism layer ([`crate::par`]): observable state is split into a
+//! **deterministic channel** (a pure function of inputs + seed tree,
+//! byte-identical across `--jobs` settings and golden-tested) and a
+//! **wall-clock channel** (real time, thread scheduling, socket
+//! accounting — explicitly non-deterministic, mirroring the
+//! `bench_timings.json` carve-out). See `DESIGN.md` §7.
+//!
+//! The pieces:
+//!
+//! * [`registry`] — named counters / gauges / histograms behind cheap
+//!   handles, snapshot into sorted [`MetricSnapshot`]s;
+//! * [`events`] — ring-buffered [`Tracer`] with sim-time stamps,
+//!   wall-clock spans, and JSONL export;
+//! * [`logging`] — the [`crate::log!`] macro, gated by `SPECWEB_LOG`;
+//! * [`manifest`] — [`RunManifest`] documents written per experiment
+//!   and the `figures --report` renderer.
+//!
+//! Subsystems take an [`Obs`] bundle (registry + tracer). Experiments
+//! create one per run so concurrently running experiments never
+//! interleave counts; truly process-wide series (the worker pool, the
+//! TCP server) use [`global`].
+
+pub mod events;
+pub mod logging;
+pub mod manifest;
+pub mod registry;
+
+use std::sync::OnceLock;
+
+pub use events::{Event, Span, Tracer};
+pub use logging::{set_default_level, Level};
+pub use manifest::{
+    git_describe, render_report, DeterministicSection, NondeterministicSection, PhaseTiming,
+    RunManifest,
+};
+pub use registry::{
+    Channel, Counter, Gauge, HistogramHandle, MetricSnapshot, MetricValue, Registry,
+};
+
+/// A registry + tracer pair, the unit of instrumentation wiring.
+///
+/// Cloning shares the underlying state, so an `Obs` can be handed to a
+/// simulator, a fault plan, and an allocator and snapshotted once.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Named metrics.
+    pub metrics: Registry,
+    /// Event rings.
+    pub events: Tracer,
+}
+
+impl Obs {
+    /// A fresh, empty bundle with default tracer capacity.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// Snapshots the registry (both channels).
+    pub fn snapshot(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+/// The process-wide bundle, for subsystems that outlive any single
+/// experiment: the worker pool, the TCP server, the allocator's
+/// iteration counter. Deterministic-channel metrics recorded here are
+/// still jobs-invariant because every site records the same totals
+/// regardless of scheduling; per-experiment accounting should use a
+/// local [`Obs`] instead.
+pub fn global() -> &'static Obs {
+    static GLOBAL: OnceLock<Obs> = OnceLock::new();
+    GLOBAL.get_or_init(Obs::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn global_is_shared() {
+        global().metrics.counter("obs.test_counter").add(2);
+        global().metrics.counter("obs.test_counter").incr();
+        assert!(global().metrics.counter("obs.test_counter").get() >= 3);
+    }
+
+    /// Strategy for an arbitrary snapshot of counters and gauges over a
+    /// small shared name pool (so merges actually collide).
+    fn snapshot_strategy() -> impl Strategy<Value = MetricSnapshot> {
+        const NAMES: [&str; 4] = ["a.x", "a.y", "b.x", "c.z"];
+        let entry = (0usize..NAMES.len(), 0usize..2, 0u64..1_000_000);
+        prop::collection::vec(entry, 0..8).prop_map(|entries| {
+            let reg = Registry::new();
+            for (name_idx, kind, v) in entries {
+                // Suffix by kind so a name never changes type.
+                let name = NAMES[name_idx];
+                if kind == 0 {
+                    reg.counter(&format!("{name}.count")).add(v);
+                } else {
+                    reg.gauge(&format!("{name}.gauge")).record(v);
+                }
+            }
+            reg.snapshot()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Counter (and gauge) merge is commutative: a ∪ b == b ∪ a.
+        #[test]
+        fn snapshot_merge_is_commutative(
+            a in snapshot_strategy(),
+            b in snapshot_strategy(),
+        ) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c). Together
+        /// with commutativity this is what makes registry totals
+        /// independent of worker scheduling.
+        #[test]
+        fn snapshot_merge_is_associative(
+            a in snapshot_strategy(),
+            b in snapshot_strategy(),
+            c in snapshot_strategy(),
+        ) {
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+    }
+}

@@ -110,21 +110,39 @@ impl Pool {
     {
         let n = items.len();
         let workers = self.jobs.min(n);
+        // Task totals are a pure function of the call graph, so they sit
+        // on the deterministic channel; how tasks land on workers is
+        // scheduling, so those marks are wall-clock-channel only.
+        let obs = crate::obs::global();
+        obs.metrics.counter("par.maps_total").incr();
+        obs.metrics.counter("par.tasks_total").add(n as u64);
         if workers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        obs.metrics
+            .counter_on("par.workers_spawned", crate::obs::Channel::WallClock)
+            .add(workers as u64);
+        let worker_high_water = obs.metrics.gauge_on(
+            "par.worker_tasks_high_water",
+            crate::obs::Channel::WallClock,
+        );
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n);
         slots.resize_with(n, || Mutex::new(None));
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut processed: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        *slots[i].lock().expect("slot lock never poisoned") = Some(r);
+                        processed += 1;
                     }
-                    let r = f(i, &items[i]);
-                    *slots[i].lock().expect("slot lock never poisoned") = Some(r);
+                    worker_high_water.record(processed);
                 });
             }
         });

@@ -217,6 +217,12 @@ impl Histogram {
         self.bins.iter().sum()
     }
 
+    /// The `[lo, hi)` range the bins cover.
+    #[inline]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
     /// The `[lo, hi)` edges of bin `i`.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let w = (self.hi - self.lo) / self.bins.len() as f64;

@@ -151,6 +151,10 @@ pub struct DisseminationSim<'a> {
     trace: &'a Trace,
     topo: &'a Topology,
     profiles: Vec<ServerProfile>,
+    /// Optional observability bundle: per-replay hit/shed/push
+    /// accounting lands here (deterministic channel — the replay is a
+    /// pure function of trace + config + fault plan).
+    obs: Option<specweb_core::obs::Obs>,
 }
 
 impl<'a> DisseminationSim<'a> {
@@ -170,7 +174,15 @@ impl<'a> DisseminationSim<'a> {
             trace,
             topo,
             profiles,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability bundle: every subsequent replay
+    /// records `dissem.*` interception/shed/push counters into it.
+    pub fn with_obs(mut self, obs: &specweb_core::obs::Obs) -> Self {
+        self.obs = Some(obs.clone());
+        self
     }
 
     /// The mined server profiles.
@@ -272,6 +284,11 @@ impl<'a> DisseminationSim<'a> {
         updates: &[UpdateEvent],
         plan: &FaultPlan,
     ) -> Result<DegradedDisseminationOutcome> {
+        if let Some(obs) = &self.obs {
+            // One fault log per degraded run; the healthy twin replays
+            // the same plan-free path and records nothing here.
+            plan.record_to(obs);
+        }
         let healthy = self.run_inner(cfg, updates, None)?.0;
         let (outcome, tally) = self.run_inner(cfg, updates, Some(plan))?;
         let attempted = outcome.proxy_hits + outcome.origin_hits + tally.unavailable;
@@ -468,6 +485,25 @@ impl<'a> DisseminationSim<'a> {
         } else {
             proxy_hits as f64 / total_requests as f64
         };
+
+        if let Some(obs) = &self.obs {
+            let pairs = [
+                ("dissem.requests", total_requests),
+                ("dissem.proxy_hits", proxy_hits),
+                ("dissem.origin_hits", origin_hits),
+                ("dissem.shed_requests", shed),
+                ("dissem.push_byte_hops", push_traffic.get()),
+                ("dissem.fault_denied", tally.fault_denied),
+                ("dissem.retries", tally.retries),
+                ("dissem.unavailable", tally.unavailable),
+            ];
+            for (name, v) in pairs {
+                obs.metrics.counter(name).add(v);
+            }
+            obs.metrics
+                .gauge("dissem.proxy_storage_bytes")
+                .record(total_storage.get());
+        }
 
         Ok((
             DisseminationOutcome {
@@ -783,6 +819,43 @@ mod tests {
         // never a zero-demand node.
         let leaf_demand: u64 = trace.len() as u64;
         assert!(leaf_demand > 0);
+    }
+
+    #[test]
+    fn obs_records_interception_accounting() {
+        use specweb_core::obs::{MetricValue, Obs};
+        let (trace, topo) = setup(95);
+        let obs = Obs::new();
+        let sim = DisseminationSim::new(&trace, &topo).unwrap().with_obs(&obs);
+        let out = sim
+            .run(
+                &DisseminationConfig {
+                    proxy_daily_request_cap: Some(5),
+                    count_dissemination_traffic: true,
+                    ..DisseminationConfig::default()
+                },
+                &[],
+            )
+            .unwrap();
+        let snap = obs.snapshot();
+        let counter = |name: &str| match snap.deterministic.get(name) {
+            Some(MetricValue::Counter { value }) => *value,
+            other => panic!("missing counter {name}: {other:?}"),
+        };
+        assert_eq!(counter("dissem.proxy_hits"), out.proxy_hits);
+        assert_eq!(counter("dissem.origin_hits"), out.origin_hits);
+        assert_eq!(counter("dissem.shed_requests"), out.shed_requests);
+        assert_eq!(counter("dissem.push_byte_hops"), out.push_traffic.get());
+        assert_eq!(
+            snap.deterministic["dissem.proxy_storage_bytes"],
+            MetricValue::Gauge {
+                value: out.total_proxy_storage.get()
+            }
+        );
+        assert!(
+            snap.wallclock.is_empty(),
+            "replay metrics are deterministic"
+        );
     }
 
     #[test]

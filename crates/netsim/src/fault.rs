@@ -464,6 +464,49 @@ impl FaultPlan {
             .map(Vec::len)
             .sum()
     }
+
+    /// Publishes the injected-fault log into an observability bundle:
+    /// per-class `netsim.fault_*_windows` counters, the
+    /// `netsim.faults_injected` total, and one deterministic tracer
+    /// event per window (stamped with the window's start in sim time).
+    ///
+    /// The plan is materialized up front from the seed tree, so
+    /// everything recorded here sits on the deterministic channel.
+    pub fn record_to(&self, obs: &specweb_core::obs::Obs) {
+        let classes: [(&str, &BTreeMap<NodeId, Vec<FaultWindow>>); 4] = [
+            ("link_down", &self.link_down),
+            ("link_slow", &self.link_slow),
+            ("crash", &self.crashes),
+            ("capacity", &self.capacity),
+        ];
+        for (class, map) in classes {
+            let windows: u64 = map.values().map(|ws| ws.len() as u64).sum();
+            if windows == 0 {
+                continue;
+            }
+            obs.metrics
+                .counter(&format!("netsim.fault_{class}_windows"))
+                .add(windows);
+            for (node, ws) in map {
+                for w in ws {
+                    obs.events.event(
+                        w.start,
+                        "netsim",
+                        &format!("fault.{class}"),
+                        format!(
+                            "node={} window_ms=[{}..{})",
+                            node.raw(),
+                            w.start.as_millis(),
+                            w.end.as_millis()
+                        ),
+                    );
+                }
+            }
+        }
+        obs.metrics
+            .counter("netsim.faults_injected")
+            .add(self.n_windows() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +555,35 @@ mod tests {
                 assert!(pair[0].end <= pair[1].start, "overlapping windows");
             }
         }
+    }
+
+    #[test]
+    fn record_to_publishes_the_injected_fault_log() {
+        use specweb_core::obs::{MetricValue, Obs};
+        let plan = FaultPlan::generate(&SeedTree::new(5), &topo(), &cfg()).unwrap();
+        let obs = Obs::new();
+        plan.record_to(&obs);
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.deterministic["netsim.faults_injected"],
+            MetricValue::Counter {
+                value: plan.n_windows() as u64
+            }
+        );
+        assert!(snap.wallclock.is_empty(), "fault log is deterministic");
+        let events = obs.events.deterministic_events();
+        let (dropped, _) = obs.events.dropped();
+        assert_eq!(events.len() as u64 + dropped, plan.n_windows() as u64);
+        assert!(events.iter().all(|e| e.subsystem == "netsim"));
+        // Recording the same plan twice must double the counters —
+        // deterministic replays merge additively.
+        plan.record_to(&obs);
+        assert_eq!(
+            obs.snapshot().deterministic["netsim.faults_injected"],
+            MetricValue::Counter {
+                value: 2 * plan.n_windows() as u64
+            }
+        );
     }
 
     #[test]

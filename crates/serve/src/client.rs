@@ -158,6 +158,18 @@ impl SpecClient {
                 Err(e) if e.is_transient() => {
                     // The transport (or the server's patience) is gone;
                     // reconnect on the next attempt.
+                    let obs = specweb_core::obs::global();
+                    obs.metrics
+                        .counter_on(
+                            "serve.client_retries",
+                            specweb_core::obs::Channel::WallClock,
+                        )
+                        .incr();
+                    obs.events.wall_event(
+                        "serve",
+                        "retry",
+                        format!("doc {} attempt {}: {e}", doc.raw(), attempt + 1),
+                    );
                     self.conn = None;
                     last = Some(e);
                 }

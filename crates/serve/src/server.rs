@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use specweb_core::obs::{self, Channel};
 use specweb_core::{Bytes, CoreError, Result};
 use specweb_spec::deps::DepMatrix;
 use specweb_spec::policy::{decide, Policy};
@@ -121,8 +122,16 @@ pub struct StatsSnapshot {
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
+    /// Bumps the local atomic and mirrors it into the process-wide
+    /// observability registry. Server counters live on the wall-clock
+    /// channel: they depend on real sockets and thread scheduling, so
+    /// they are excluded from deterministic golden comparisons.
+    fn bump(counter: &AtomicU64, name: &'static str) {
         counter.fetch_add(1, Ordering::Relaxed);
+        obs::global()
+            .metrics
+            .counter_on(name, Channel::WallClock)
+            .incr();
     }
 
     /// Reads all counters.
@@ -208,6 +217,9 @@ impl ServerHandle {
     /// Graceful shutdown: stop accepting, let every in-flight request
     /// complete (or fail its deadline), and join all threads.
     pub fn shutdown(mut self) -> Result<()> {
+        obs::global()
+            .events
+            .wall_event("serve", "shutdown", format!("addr={}", self.addr));
         self.token.trigger();
         // Wake the accept loop out of its blocking accept().
         let _ = TcpStream::connect(self.addr);
@@ -261,7 +273,16 @@ impl AcceptLoop {
                 }
             };
             let Some(guard) = guard else {
-                ServerStats::bump(&self.stats.refused_connections);
+                ServerStats::bump(&self.stats.refused_connections, "serve.refused_connections");
+                obs::global().events.wall_event(
+                    "serve",
+                    "refuse",
+                    format!(
+                        "{}/{} connections",
+                        self.ctl.active(),
+                        self.ctl.policy().max_connections
+                    ),
+                );
                 let _ = stream.set_write_timeout(Some(self.config.write_timeout));
                 let mut s = stream;
                 let busy = ServerMsg::Busy {
@@ -275,7 +296,12 @@ impl AcceptLoop {
                 continue;
             };
 
-            ServerStats::bump(&self.stats.connections);
+            ServerStats::bump(&self.stats.connections, "serve.connections");
+            obs::global().events.wall_event(
+                "serve",
+                "accept",
+                format!("active={}", self.ctl.active()),
+            );
             let conn = Connection {
                 knowledge: Arc::clone(&self.knowledge),
                 config: self.config,
@@ -325,7 +351,7 @@ impl Connection {
                 Ok(Some(line)) => line,
                 Ok(None) => return Ok(()), // clean EOF
                 Err(e @ CoreError::Protocol { .. }) => {
-                    ServerStats::bump(&self.stats.protocol_errors);
+                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
                     let msg = ServerMsg::Err {
                         reason: e.to_string(),
                     };
@@ -338,7 +364,7 @@ impl Connection {
             let req = match Request::parse(&line, &limits) {
                 Ok(req) => req,
                 Err(e) => {
-                    ServerStats::bump(&self.stats.protocol_errors);
+                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
                     let msg = ServerMsg::Err {
                         reason: e.to_string(),
                     };
@@ -349,7 +375,7 @@ impl Connection {
             match req {
                 Request::Quit => return Ok(()),
                 Request::Get { doc, have } => {
-                    ServerStats::bump(&self.stats.requests);
+                    ServerStats::bump(&self.stats.requests, "serve.requests");
                     let k = &self.knowledge;
                     if doc.index() >= k.catalog.len() {
                         // Well-formed but unknown: report and keep the
@@ -382,7 +408,7 @@ impl Connection {
                             if j == doc {
                                 continue;
                             }
-                            ServerStats::bump(&self.stats.pushes);
+                            ServerStats::bump(&self.stats.pushes, "serve.pushes");
                             let push = ServerMsg::Push {
                                 doc: j,
                                 size: k.catalog.size(j).get(),
@@ -390,7 +416,12 @@ impl Connection {
                             writeln!(out, "{push}").map_err(CoreError::from)?;
                         }
                     } else {
-                        ServerStats::bump(&self.stats.shed_speculation);
+                        ServerStats::bump(&self.stats.shed_speculation, "serve.shed_total");
+                        obs::global().events.wall_event(
+                            "serve",
+                            "shed",
+                            format!("demand-only response for doc {}", doc.raw()),
+                        );
                     }
                     writeln!(out, "{}", ServerMsg::End).map_err(CoreError::from)?;
                 }

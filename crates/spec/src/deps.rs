@@ -206,7 +206,11 @@ impl DepMatrix {
         settled.remove(&src);
         let mut row: Vec<(DocId, f64)> = settled.into_iter().collect();
         // Keep the strongest max_row entries, then restore id order.
-        row.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // Ties on probability break by id: the pre-sort order is HashMap
+        // iteration order (randomized per process), and a stable sort
+        // alone would let the truncation keep a different tied subset on
+        // every run.
+        row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         row.truncate(max_row);
         row.sort_by_key(|&(j, _)| j);
         (row, truncated)
@@ -580,6 +584,29 @@ mod tests {
                     "({i},{j}) jobs={jobs}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn closure_truncation_breaks_probability_ties_by_id() {
+        // One source links to 20 targets with the *same* probability.
+        // With max_row = 5 the truncation must keep a deterministic
+        // subset — the lowest ids — on every call. (The candidate list
+        // materializes from a HashMap, whose iteration order is
+        // randomized per instance; without an explicit id tie-break the
+        // kept set would change from run to run.)
+        let mut rows: HashMap<DocId, Vec<(DocId, f64)>> = HashMap::new();
+        rows.insert(
+            DocId::new(0),
+            (1..=20).map(|j| (DocId::new(j), 0.5)).collect(),
+        );
+        let mut m = DepMatrix::empty();
+        m.replace_rows(rows);
+        let want: Vec<DocId> = (1..=5).map(DocId::new).collect();
+        for _ in 0..8 {
+            let c = m.closure(0.01, 5).unwrap();
+            let kept: Vec<DocId> = c.row(DocId(0)).iter().map(|&(j, _)| j).collect();
+            assert_eq!(kept, want, "tied entries must truncate id-low-first");
         }
     }
 

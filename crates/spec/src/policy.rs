@@ -57,6 +57,18 @@ impl Policy {
         Policy::Threshold { tp }
     }
 
+    /// A short, stable label for per-policy metric names
+    /// (`spec.policy.<label>.pushes` in the obs registry).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Policy::Threshold { .. } => "threshold",
+            Policy::DirectThreshold { .. } => "direct",
+            Policy::TopK { .. } => "topk",
+            Policy::EmbeddingOnly => "embedding",
+            Policy::Hybrid { .. } => "hybrid",
+        }
+    }
+
     /// Validates the policy parameters.
     pub fn validate(&self) -> Result<()> {
         let check = |name: &'static str, p: f64| {

@@ -114,12 +114,19 @@ pub struct SpecSim<'a> {
     /// Per-client edge-owning nodes on the path to the root (for fault
     /// lookups; the root owns no edge and is excluded).
     paths: Vec<Vec<specweb_core::ids::NodeId>>,
+    /// Optional observability bundle: per-policy push/hit/waste
+    /// accounting lands here (deterministic channel — the replay is a
+    /// pure function of trace + config).
+    obs: Option<specweb_core::obs::Obs>,
 }
 
 #[derive(Default)]
 struct ReplayCounters {
     pushes: u64,
+    push_bytes: u64,
     wasted_pushes: u64,
+    wasted_push_bytes: u64,
+    cache_hits: u64,
     prefetches: u64,
     retries: u64,
     unavailable: u64,
@@ -192,7 +199,21 @@ impl<'a> SpecSim<'a> {
                 p
             })
             .collect();
-        SpecSim { trace, hops, paths }
+        SpecSim {
+            trace,
+            hops,
+            paths,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability bundle: every subsequent replay
+    /// records per-policy push/hit/waste counters (and, under faults,
+    /// the injected-fault log) into it. Clones share state, so the
+    /// caller snapshots its own handle when the runs are done.
+    pub fn with_obs(mut self, obs: &specweb_core::obs::Obs) -> Self {
+        self.obs = Some(obs.clone());
+        self
     }
 
     /// Runs both replays and computes the ratios.
@@ -252,6 +273,11 @@ impl<'a> SpecSim<'a> {
         cfg.policy.validate()?;
         cfg.estimator.validate()?;
         retry.validate()?;
+        if let Some(obs) = &self.obs {
+            // One fault log per degraded run (both replays share the
+            // plan, so recording per replay would double-count).
+            plan.record_to(obs);
+        }
         let ctx = FaultCtx { plan, retry };
         let (speculative, counters) = self.replay(cfg, true, None, Some(&ctx))?;
         let (baseline, base_counters) = self.replay(cfg, false, None, Some(&ctx))?;
@@ -328,6 +354,9 @@ impl<'a> SpecSim<'a> {
 
             let hit = caches[ci].contains(a.doc);
             if hit {
+                if measured {
+                    counters.cache_hits += 1;
+                }
                 // Cache hits are free and invisible to the server; only
                 // client-side machinery observes them.
                 if speculate {
@@ -424,8 +453,10 @@ impl<'a> SpecSim<'a> {
                     }
                     let jsize = catalog.size(j);
                     counters.pushes += 1;
+                    counters.push_bytes += jsize.get();
                     if cache.peek(j) {
                         counters.wasted_pushes += 1;
+                        counters.wasted_push_bytes += jsize.get();
                     }
                     if measured {
                         totals.bytes_sent += jsize;
@@ -475,7 +506,49 @@ impl<'a> SpecSim<'a> {
                 profiles[ci].record(a.time, a.doc);
             }
         }
+        self.record_replay(cfg, speculate, &totals, &counters);
         Ok((totals, counters))
+    }
+
+    /// Publishes one replay's accounting into the attached obs bundle
+    /// (no-op without one). Aggregate `spec.*` counters match the
+    /// ISSUE-level names; `spec.policy.<label>.*` break the same
+    /// numbers down per speculation policy. Everything here is a pure
+    /// function of trace + config, so it all sits on the deterministic
+    /// channel and merges additively across replays and sweep points.
+    fn record_replay(
+        &self,
+        cfg: &SpecConfig,
+        speculate: bool,
+        totals: &RunTotals,
+        counters: &ReplayCounters,
+    ) {
+        let Some(obs) = &self.obs else { return };
+        if !speculate {
+            obs.metrics
+                .counter("spec.baseline_requests")
+                .add(totals.server_requests);
+            return;
+        }
+        let label = cfg.policy.kind_label();
+        let pairs = [
+            ("accesses", totals.accesses),
+            ("server_requests", totals.server_requests),
+            ("cache_hits", counters.cache_hits),
+            ("pushes", counters.pushes),
+            ("push_bytes", counters.push_bytes),
+            ("pushes_wasted", counters.wasted_pushes),
+            ("pushes_wasted_bytes", counters.wasted_push_bytes),
+            ("prefetches", counters.prefetches),
+            ("retries", counters.retries),
+            ("unavailable", counters.unavailable),
+        ];
+        for (name, v) in pairs {
+            obs.metrics.counter(&format!("spec.{name}")).add(v);
+            obs.metrics
+                .counter(&format!("spec.policy.{label}.{name}"))
+                .add(v);
+        }
     }
 
     /// Client-initiated prefetching from the client's own profile: runs
@@ -762,6 +835,68 @@ mod tests {
         );
         // Miss rate should improve (re-traversals predicted)…
         assert!(out.ratios.miss_rate <= 1.0);
+    }
+
+    #[test]
+    fn obs_records_per_policy_accounting() {
+        use specweb_core::obs::{MetricValue, Obs};
+        let (trace, topo) = setup(230);
+        let obs = Obs::new();
+        let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
+        let out = sim.run(&cfg(0.3)).unwrap();
+        let snap = obs.snapshot();
+        assert!(
+            snap.wallclock.is_empty(),
+            "replay metrics are deterministic"
+        );
+        let counter = |name: &str| match snap.deterministic.get(name) {
+            Some(MetricValue::Counter { value }) => *value,
+            other => panic!("missing counter {name}: {other:?}"),
+        };
+        assert_eq!(counter("spec.pushes"), out.pushes);
+        assert_eq!(counter("spec.policy.threshold.pushes"), out.pushes);
+        assert_eq!(counter("spec.pushes_wasted"), out.wasted_pushes);
+        assert_eq!(counter("spec.accesses"), out.speculative.accesses);
+        assert_eq!(
+            counter("spec.server_requests"),
+            out.speculative.server_requests
+        );
+        assert_eq!(
+            counter("spec.baseline_requests"),
+            out.baseline.server_requests
+        );
+        assert!(
+            counter("spec.push_bytes") >= counter("spec.pushes_wasted_bytes"),
+            "wasted bytes are a subset of pushed bytes"
+        );
+        assert!(counter("spec.cache_hits") > 0, "warm caches must hit");
+
+        // The same runs against a fresh registry must reproduce the
+        // snapshot byte-for-byte: the channel is deterministic.
+        let obs2 = Obs::new();
+        let sim2 = SpecSim::new(&trace, &topo).with_obs(&obs2);
+        sim2.run(&cfg(0.3)).unwrap();
+        assert_eq!(obs2.snapshot(), snap);
+    }
+
+    #[test]
+    fn obs_records_fault_log_once_per_degraded_run() {
+        use specweb_core::obs::{MetricValue, Obs};
+        let (trace, topo) = setup(231);
+        let fcfg = fault_config(14);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(77), &topo, &fcfg).unwrap();
+        let obs = Obs::new();
+        let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
+        sim.run_with_faults(&cfg(0.3), &plan, RetrySchedule::default())
+            .unwrap();
+        assert_eq!(
+            obs.snapshot().deterministic["netsim.faults_injected"],
+            MetricValue::Counter {
+                value: plan.n_windows() as u64
+            },
+            "one fault log per run, not per replay"
+        );
     }
 
     #[test]

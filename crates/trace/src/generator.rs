@@ -356,6 +356,17 @@ impl TraceGenerator {
 
         accesses.sort_by_key(|a| (a.time, a.client, a.doc));
 
+        // Process-wide totals: generation volume is a pure function of
+        // the config seed, so these stay in the deterministic channel
+        // even though the counter is global.
+        let obs = specweb_core::obs::global();
+        obs.metrics
+            .counter("trace.accesses_generated")
+            .add(accesses.len() as u64);
+        obs.metrics
+            .counter("trace.sessions_generated")
+            .add(u64::from(session_ctr));
+
         Ok(Trace {
             accesses,
             catalog,

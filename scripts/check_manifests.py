@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI checks over the run manifests written by the `figures` binary.
+
+Two subcommands:
+
+  compare DIR_A DIR_B
+      Assert both directories contain the same manifest_*.json set and
+      that each pair's `deterministic` section is identical. The
+      `nondeterministic` section (jobs, git, timing, wall-clock
+      metrics) is allowed to differ — that is its whole point.
+
+  gate DIR
+      Quality gates over one quick-suite run:
+        * no manifest reports closure safety-valve truncation
+          (`spec.closure_truncated_rows` > 0) — except `exp-closure`,
+          whose valve sweep truncates by design;
+        * no manifest reports shed requests (`dissem.shed_requests` or
+          `serve.shed_total` > 0) — except `exp-shed` and `exp-hier`,
+          where shedding is the subject of the experiment.
+
+Exit status is non-zero on any violation, with one line per finding.
+Stdlib only; runs on any python3.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TRUNCATION_METRIC = "spec.closure_truncated_rows"
+TRUNCATION_EXEMPT = {"exp-closure"}
+SHED_METRICS = ("dissem.shed_requests", "serve.shed_total")
+SHED_EXEMPT = {"exp-shed", "exp-hier"}
+
+
+def load_manifests(d):
+    manifests = {}
+    for path in sorted(Path(d).glob("manifest_*.json")):
+        with open(path) as f:
+            manifests[path.name] = json.load(f)
+    if not manifests:
+        sys.exit(f"error: no manifest_*.json in {d}")
+    return manifests
+
+
+def counter(metrics, name):
+    return metrics.get(name, {}).get("Counter", {}).get("value", 0)
+
+
+def cmd_compare(dir_a, dir_b):
+    a, b = load_manifests(dir_a), load_manifests(dir_b)
+    failures = []
+    if set(a) != set(b):
+        failures.append(
+            f"manifest sets differ: only in {dir_a}: {sorted(set(a) - set(b))}, "
+            f"only in {dir_b}: {sorted(set(b) - set(a))}"
+        )
+    for name in sorted(set(a) & set(b)):
+        if a[name]["deterministic"] != b[name]["deterministic"]:
+            failures.append(f"{name}: deterministic section differs between runs")
+    return failures
+
+
+def cmd_gate(d):
+    failures = []
+    for name, manifest in load_manifests(d).items():
+        exp = manifest.get("id", name)
+        # Both channels: a truncation or shed count is a finding no
+        # matter which channel a subsystem happens to report it on.
+        metrics = dict(manifest["deterministic"]["metrics"])
+        metrics.update(manifest["nondeterministic"]["metrics"])
+        if exp not in TRUNCATION_EXEMPT:
+            n = counter(metrics, TRUNCATION_METRIC)
+            if n > 0:
+                failures.append(
+                    f"{name}: {TRUNCATION_METRIC} = {n} (closure safety valve "
+                    f"fired outside {sorted(TRUNCATION_EXEMPT)})"
+                )
+        if exp not in SHED_EXEMPT:
+            for metric in SHED_METRICS:
+                n = counter(metrics, metric)
+                if n > 0:
+                    failures.append(
+                        f"{name}: {metric} = {n} (shedding outside "
+                        f"{sorted(SHED_EXEMPT)})"
+                    )
+    return failures
+
+
+def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "compare" and len(sys.argv) == 4:
+        failures = cmd_compare(sys.argv[2], sys.argv[3])
+    elif len(sys.argv) == 3 and sys.argv[1] == "gate":
+        failures = cmd_gate(sys.argv[2])
+    else:
+        sys.exit(__doc__.strip())
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        sys.exit(1)
+    print("manifests ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ use specweb::trace::import::{trace_from_records, ImportConfig};
 use specweb::trace::logfmt;
 
 fn main() -> ExitCode {
+    // Progress/diagnostic lines (level Info) print by default for the
+    // interactive binary; SPECWEB_LOG still overrides either way.
+    specweb::core::obs::set_default_level(specweb::core::obs::Level::Info);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
@@ -44,7 +47,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("specweb: error: {e}");
+            specweb::core::log!(Error, "specweb", "error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -142,12 +145,17 @@ fn build_trace(opts: &Opts) -> Result<Trace, CoreError> {
         let text = std::fs::read_to_string(path)?;
         let (records, bad) = logfmt::parse_log(&text);
         if !bad.is_empty() {
-            eprintln!("specweb: note: skipped {} malformed line(s)", bad.len());
+            specweb::core::log!(Warn, "specweb", "skipped {} malformed line(s)", bad.len());
         }
         let (records, report) = clean(records, &CleaningConfig::typical());
-        eprintln!(
-            "specweb: cleaned log: kept {} (dropped {} non-existent, {} scripts, {} live)",
-            report.kept, report.non_existent, report.scripts, report.live
+        specweb::core::log!(
+            Info,
+            "specweb",
+            "cleaned log: kept {} (dropped {} non-existent, {} scripts, {} live)",
+            report.kept,
+            report.non_existent,
+            report.scripts,
+            report.live
         );
         // Without an address list every client is remote; pass a
         // campus predicate via future flags if needed.
@@ -178,8 +186,10 @@ fn cmd_generate(opts: &Opts) -> Result<(), CoreError> {
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, &text)?;
-            eprintln!(
-                "specweb: wrote {} accesses ({} clients, {} sessions) to {path}",
+            specweb::core::log!(
+                Info,
+                "specweb",
+                "wrote {} accesses ({} clients, {} sessions) to {path}",
                 trace.len(),
                 trace.active_clients(),
                 trace.n_sessions
