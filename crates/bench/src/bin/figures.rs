@@ -86,6 +86,8 @@ fn main() {
     let jobs = jobs.unwrap_or_else(specweb_core::par::default_jobs);
     specweb_core::par::set_default_jobs(jobs);
 
+    // lint:allow(D3): bench timing only; lands in bench_timings.json,
+    // which CI strips before the byte-identity diff.
     let t0 = Instant::now();
     let scale_name = match scale {
         Scale::Full => "full",
@@ -98,6 +100,7 @@ fn main() {
     let both_56 = wanted.iter().any(|w| w == "fig5") && wanted.iter().any(|w| w == "fig6");
     let (shared_sweep, sweep_seconds) = if both_56 {
         log!(Info, "figures", "running fig5/fig6 shared sweep…");
+        // lint:allow(D3): bench timing only; never feeds deterministic output.
         let started = Instant::now();
         let sweep_obs = obs::Obs::new();
         let sweep = fig5::sweep_replicated(scale, seed, Some(&sweep_obs))
@@ -115,6 +118,7 @@ fn main() {
     // process, so a failed experiment cannot be silently dropped.
     let pool = specweb_core::par::Pool::new(jobs.min(wanted.len().max(1)));
     let results: Vec<(Report, f64)> = pool.map_indexed(&wanted, |_, id| {
+        // lint:allow(D3): bench timing only; never feeds deterministic output.
         let started = Instant::now();
         let report = run_one(id, scale, seed, &shared_sweep)
             .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));

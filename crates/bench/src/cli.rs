@@ -131,7 +131,7 @@ where
     if out.wanted.is_empty() || out.wanted.iter().any(|w| w == "all") {
         out.wanted = ALL.iter().map(|s| s.to_string()).collect();
     } else {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         out.wanted.retain(|w| seen.insert(w.clone()));
     }
     Ok(Args { ..out })

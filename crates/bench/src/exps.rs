@@ -275,11 +275,7 @@ pub fn exp_size(scale: Scale, seed: u64) -> Result<Report> {
             let cell = grid
                 .iter()
                 .filter(|c| c.max_size == ms && c.traffic_pct <= budget)
-                .max_by(|a, b| {
-                    a.load_reduction_pct
-                        .partial_cmp(&b.load_reduction_pct)
-                        .expect("finite")
-                });
+                .max_by(|a, b| a.load_reduction_pct.total_cmp(&b.load_reduction_pct));
             let label = if ms == u64::MAX {
                 "      ∞".to_string()
             } else {

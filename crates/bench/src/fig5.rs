@@ -143,7 +143,13 @@ pub fn sweep_replicated(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Re
     let sweeps = specweb_core::par::Pool::auto()
         .try_map_indexed(&seeds, |_, &s| sweep_jobs(scale, s, 1, obs))?;
     let mut sweeps = sweeps.into_iter();
-    let base = sweeps.next().expect("base seed always present");
+    let Some(base) = sweeps.next() else {
+        // `seeds` starts with the base seed, so the pool returns at
+        // least one sweep; keep a structured error anyway.
+        return Err(specweb_core::CoreError::Estimation(
+            "replicated sweep produced no base run".into(),
+        ));
+    };
     Ok(Replicated {
         base,
         reps: sweeps.collect(),

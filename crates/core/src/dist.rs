@@ -74,7 +74,9 @@ impl Zipf {
             cdf.push(acc);
         }
         // Guard against floating-point shortfall at the top.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Ok(Zipf {
             theta,
             weights,

@@ -108,7 +108,10 @@ impl Tracer {
 
     /// Records a deterministic event stamped with sim time.
     pub fn event(&self, at: SimTime, subsystem: &str, name: &str, detail: impl Into<String>) {
-        let mut inner = self.inner.lock().expect("tracer lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner
             .det
             .push(at.as_millis(), subsystem, name, detail.into());
@@ -118,7 +121,10 @@ impl Tracer {
     /// microseconds since the tracer was created.
     pub fn wall_event(&self, subsystem: &str, name: &str, detail: impl Into<String>) {
         let t = self.epoch.elapsed().as_micros() as u64;
-        let mut inner = self.inner.lock().expect("tracer lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.wall.push(t, subsystem, name, detail.into());
     }
 
@@ -140,7 +146,7 @@ impl Tracer {
     pub fn deterministic_events(&self) -> Vec<Event> {
         self.inner
             .lock()
-            .expect("tracer lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .det
             .events
             .iter()
@@ -152,7 +158,7 @@ impl Tracer {
     pub fn wallclock_events(&self) -> Vec<Event> {
         self.inner
             .lock()
-            .expect("tracer lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .wall
             .events
             .iter()
@@ -162,7 +168,10 @@ impl Tracer {
 
     /// Events dropped to ring overflow: `(deterministic, wall-clock)`.
     pub fn dropped(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("tracer lock");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         (inner.det.dropped, inner.wall.dropped)
     }
 

@@ -82,17 +82,26 @@ pub struct HistogramHandle(Arc<Mutex<Histogram>>);
 impl HistogramHandle {
     /// Records one observation.
     pub fn observe(&self, x: f64) {
-        self.0.lock().expect("histogram lock").push(x);
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(x);
     }
 
     /// Records `n` identical observations.
     pub fn observe_n(&self, x: f64, n: u64) {
-        self.0.lock().expect("histogram lock").push_n(x, n);
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_n(x, n);
     }
 
     /// Runs `f` against the underlying histogram (e.g. to render it).
     pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
-        f(&self.0.lock().expect("histogram lock"))
+        f(&self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 }
 
@@ -241,7 +250,11 @@ impl Registry {
     /// The channel of the *first* registration wins; later calls with a
     /// different channel get the existing metric unchanged.
     pub fn counter_on(&self, name: &str, channel: Channel) -> Counter {
-        let mut map = self.inner.counters.lock().expect("registry lock");
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (_, cell) = map
             .entry(name.to_string())
             .or_insert_with(|| (channel, Arc::new(AtomicU64::new(0))));
@@ -255,7 +268,11 @@ impl Registry {
 
     /// Registers (or re-fetches) a gauge on the given channel.
     pub fn gauge_on(&self, name: &str, channel: Channel) -> Gauge {
-        let mut map = self.inner.gauges.lock().expect("registry lock");
+        let mut map = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (_, cell) = map
             .entry(name.to_string())
             .or_insert_with(|| (channel, Arc::new(AtomicU64::new(0))));
@@ -278,7 +295,11 @@ impl Registry {
         hi: f64,
         nbins: usize,
     ) -> HistogramHandle {
-        let mut map = self.inner.histograms.lock().expect("registry lock");
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (_, cell) = map
             .entry(name.to_string())
             .or_insert_with(|| (channel, Arc::new(Mutex::new(Histogram::new(lo, hi, nbins)))));
@@ -293,20 +314,40 @@ impl Registry {
     /// Copies every metric into a [`MetricSnapshot`], split by channel.
     pub fn snapshot(&self) -> MetricSnapshot {
         let mut snap = MetricSnapshot::default();
-        for (name, (channel, cell)) in self.inner.counters.lock().expect("registry lock").iter() {
+        for (name, (channel, cell)) in self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             let value = MetricValue::Counter {
                 value: cell.load(Ordering::Relaxed),
             };
             snap.channel_map(*channel).insert(name.clone(), value);
         }
-        for (name, (channel, cell)) in self.inner.gauges.lock().expect("registry lock").iter() {
+        for (name, (channel, cell)) in self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             let value = MetricValue::Gauge {
                 value: cell.load(Ordering::Relaxed),
             };
             snap.channel_map(*channel).insert(name.clone(), value);
         }
-        for (name, (channel, cell)) in self.inner.histograms.lock().expect("registry lock").iter() {
-            let h = cell.lock().expect("histogram lock");
+        for (name, (channel, cell)) in self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
+            let h = cell
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let (lo, hi) = h.range();
             let value = MetricValue::Histogram {
                 lo,

@@ -139,7 +139,9 @@ impl Pool {
                             break;
                         }
                         let r = f(i, &items[i]);
-                        *slots[i].lock().expect("slot lock never poisoned") = Some(r);
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
                         processed += 1;
                     }
                     worker_high_water.record(processed);
@@ -150,7 +152,11 @@ impl Pool {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("slot lock never poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // lint:allow(S2): the atomic cursor hands out every
+                    // index below `n` exactly once and the scope joins
+                    // all workers, so each slot was filled; a None here
+                    // is a pool bug, not a caller error.
                     .expect("every index was visited exactly once")
             })
             .collect()

@@ -294,7 +294,7 @@ pub fn gini(weights: &[f64]) -> f64 {
         return 0.0;
     }
     let mut w: Vec<f64> = weights.to_vec();
-    w.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight in gini"));
+    w.sort_by(|a, b| a.total_cmp(b));
     let total: f64 = w.iter().sum();
     if total <= 0.0 {
         return 0.0;

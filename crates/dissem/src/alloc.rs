@@ -357,7 +357,7 @@ pub fn optimize_empirical(
     let mut hit = 0u64;
     for (si, p) in profiles.iter().enumerate() {
         total += p.total_remote_requests();
-        let set: std::collections::HashSet<_> = picked[si].iter().copied().collect();
+        let set: std::collections::BTreeSet<_> = picked[si].iter().copied().collect();
         for &(doc, _, remote, _) in &p.docs {
             if set.contains(&doc) {
                 hit += remote;

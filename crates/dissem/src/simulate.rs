@@ -20,7 +20,7 @@
 //!   re-dissemination on document updates;
 //! * optional per-proxy load cap implementing §2.3's dynamic shedding.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::{NodeId, ServerId};
@@ -147,6 +147,7 @@ pub struct DegradedDisseminationOutcome {
 }
 
 /// The dissemination simulator.
+#[derive(Debug)]
 pub struct DisseminationSim<'a> {
     trace: &'a Trace,
     topo: &'a Topology,
@@ -205,7 +206,7 @@ impl<'a> DisseminationSim<'a> {
     /// remote traffic only (`remote_only`) or by all traffic.
     pub fn place_proxies_for(&self, k: usize, remote_only: bool) -> Vec<NodeId> {
         // Demand per leaf, in bytes (traffic-weighted).
-        let mut leaf_bytes: HashMap<NodeId, u64> = HashMap::new();
+        let mut leaf_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
         for a in &self.trace.accesses {
             if remote_only && a.locality == specweb_trace::clients::Locality::Local {
                 continue;
@@ -215,7 +216,7 @@ impl<'a> DisseminationSim<'a> {
         }
         let leaves: Vec<(NodeId, u64)> = leaf_bytes.into_iter().collect();
         let candidates = self.topo.interior_nodes();
-        let mut best_saved: HashMap<NodeId, u32> = HashMap::new();
+        let mut best_saved: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut placed = Vec::with_capacity(k.min(candidates.len()));
         let mut available: Vec<NodeId> = candidates;
 
@@ -238,7 +239,7 @@ impl<'a> DisseminationSim<'a> {
                     best = Some((gain, i));
                 }
             }
-            let (gain, idx) = best.expect("available is non-empty");
+            let Some((gain, idx)) = best else { break };
             let v = available.swap_remove(idx);
             if gain == 0 && !placed.is_empty() {
                 // No residual demand anywhere; placing more proxies is
@@ -342,7 +343,7 @@ impl<'a> DisseminationSim<'a> {
         let router = Router::new(self.topo, &clusters);
 
         // Build each proxy's store.
-        let mut stores: HashMap<NodeId, ProxyStore> = HashMap::new();
+        let mut stores: BTreeMap<NodeId, ProxyStore> = BTreeMap::new();
         let mut push_traffic = ByteHops::ZERO;
         let mut total_storage = Bytes::ZERO;
         for &node in &proxy_nodes {
@@ -391,12 +392,12 @@ impl<'a> DisseminationSim<'a> {
         let mut origin_hits = 0u64;
         let mut shed = 0u64;
         // Per-proxy request counters, reset daily (for shedding).
-        let mut day_counters: HashMap<NodeId, u64> = HashMap::new();
+        let mut day_counters: BTreeMap<NodeId, u64> = BTreeMap::new();
         let mut current_day = u64::MAX;
         let mut tally = FaultTally::default();
         // Deterministic thinning at capacity-degraded proxies:
         // (seen, served) per proxy, counted inside fault windows only.
-        let mut cap_counters: HashMap<NodeId, (u64, u64)> = HashMap::new();
+        let mut cap_counters: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
 
         for a in &self.trace.accesses {
             if cfg.remote_only && a.locality == specweb_trace::clients::Locality::Local {
@@ -533,7 +534,7 @@ impl<'a> DisseminationSim<'a> {
         rank_for_traffic: bool,
     ) -> Vec<(specweb_core::ids::DocId, Bytes)> {
         const GLOBAL_PRIOR_WEIGHT: f64 = 0.25;
-        let mut counts: HashMap<specweb_core::ids::DocId, f64> = HashMap::new();
+        let mut counts: BTreeMap<specweb_core::ids::DocId, f64> = BTreeMap::new();
         for a in &self.trace.accesses {
             if a.server != profile.server {
                 continue;

@@ -1,0 +1,389 @@
+//! A minimal Rust lexer that separates code from comments and blanks
+//! out literal bodies.
+//!
+//! The rule engine in this crate matches identifiers and method names
+//! textually. Doing that on raw source would trip over the words
+//! "HashMap" or ".unwrap()" appearing inside a doc comment or an error
+//! message string, so every file is first passed through [`sanitize`]:
+//!
+//! * line comments (`//`), nested block comments (`/* /* */ */`) and
+//!   doc comments are removed from the code channel and captured in a
+//!   per-line comment channel (the comment channel is what the
+//!   `lint:allow` suppression parser reads);
+//! * string literals (`"…"`, `b"…"`), raw strings (`r"…"`, `r#"…"#`
+//!   with any number of hashes, `br#"…"#`) and char/byte-char literals
+//!   (`'a'`, `b'\n'`) keep their delimiters but have their bodies
+//!   replaced with spaces;
+//! * lifetimes (`'a`, `'static`, `'_`) are recognized and left in the
+//!   code channel so they are not mistaken for unterminated chars.
+//!
+//! The output preserves the physical line structure: `sanitize`
+//! returns one [`Line`] per input line, so every diagnostic can carry
+//! an exact 1-based line number.
+
+/// One physical source line after sanitization.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and literal bodies blanked.
+    pub code: String,
+    /// Concatenated comment text on this line, without delimiters.
+    pub comment: String,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// True when `code` contains `ident` as a standalone identifier (not as
+/// a substring of a longer identifier). `ident` must be ASCII.
+pub fn has_ident(code: &str, ident: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let p = start + pos;
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let after = p + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + ident.len();
+    }
+    false
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment at the given depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string; closes on `"` followed by this many `#`s.
+    RawStr(usize),
+}
+
+/// Split `src` into per-line code and comment channels.
+pub fn sanitize(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'b' && next == Some('"') && (i == 0 || !is_ident_char(chars[i - 1]))
+                {
+                    // b"…" byte string: escapes behave like a plain string.
+                    code.push('b');
+                    code.push('"');
+                    state = State::Str;
+                    i += 2;
+                } else if let Some((prefix, hashes)) = raw_string_start(&chars, i) {
+                    for _ in 0..prefix {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    i = consume_quote(&chars, i, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if i + 1 < n && chars[i + 1] != '\n' {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line without a trailing newline.
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+/// At `chars[i]`, detect the start of a raw or byte string literal.
+/// Returns `(prefix_len, hashes)` where `prefix_len` covers everything
+/// through the opening quote. A preceding identifier character rules
+/// the match out (`var"` is not a literal prefix).
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    match chars.get(j) {
+        Some('b') => {
+            j += 1;
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+            } else {
+                // b"…" is handled by the caller as a plain string.
+                return None;
+            }
+        }
+        Some('r') => j += 1,
+        _ => return None,
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#`s,
+/// closing the raw string.
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Handle a `'` at position `i`: either a char literal (blank its body)
+/// or a lifetime (copy through). Returns the next index to process.
+fn consume_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    let n = chars.len();
+    // Escaped char literal: '\n', '\\', '\'', '\u{7fff}' …
+    if i + 1 < n && chars[i + 1] == '\\' {
+        let mut j = i + 2;
+        // Skip the escaped character, then scan (bounded) for the close.
+        if j < n {
+            j += 1;
+        }
+        let limit = (i + 12).min(n);
+        while j < limit && chars[j] != '\'' {
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' {
+            code.push('\'');
+            for _ in i + 1..j {
+                code.push(' ');
+            }
+            code.push('\'');
+            return j + 1;
+        }
+        code.push('\'');
+        return i + 1;
+    }
+    // Plain char literal: 'a' (but not the lifetime in `&'a ()`).
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        code.push('\'');
+        code.push(' ');
+        code.push('\'');
+        return i + 3;
+    }
+    // Lifetime or stray quote: copy through.
+    code.push('\'');
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        sanitize(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let lines = sanitize("let x = 1; // uses HashMap\nlet y = 2;");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " uses HashMap");
+        assert_eq!(lines[1].code, "let y = 2;");
+        assert!(!has_ident(&lines[0].code, "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let lines = sanitize(src);
+        assert_eq!(lines[0].code, "a  b");
+        assert!(lines[0].comment.contains("inner"));
+        assert!(lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_keeps_line_count() {
+        let src = "a\n/* one\ntwo HashMap\nthree */\nb";
+        let lines = sanitize(src);
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].code, "a");
+        assert_eq!(lines[2].code, "");
+        assert!(lines[2].comment.contains("HashMap"));
+        assert_eq!(lines[4].code, "b");
+    }
+
+    #[test]
+    fn string_bodies_are_blanked() {
+        let c = code_of(r#"let s = "call .unwrap() on HashMap";"#);
+        assert!(!c[0].contains("unwrap"));
+        assert!(!has_ident(&c[0], "HashMap"));
+        assert!(c[0].starts_with("let s = \""));
+        assert!(c[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let c = code_of(r#"let s = "a\"b unwrap"; let t = x.unwrap();"#);
+        assert!(!c[0].contains("unwrap\""));
+        assert!(c[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"contains \"quotes\" and HashMap\"#; use x;";
+        let c = code_of(src);
+        assert!(!has_ident(&c[0], "HashMap"));
+        assert!(c[0].contains("use x;"));
+    }
+
+    #[test]
+    fn raw_string_double_hash_and_comment_lookalike() {
+        let src = "let s = r##\"// not a comment\"##;\nlet y = 1; // real";
+        let lines = sanitize(src);
+        assert!(lines[0].comment.is_empty());
+        assert_eq!(lines[1].comment, " real");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let c = code_of(r#"let b = b"HashMap"; let c = b'x';"#);
+        assert!(!has_ident(&c[0], "HashMap"));
+        assert!(c[0].contains("let c = b' ';"));
+    }
+
+    #[test]
+    fn char_literal_with_slash_is_not_a_comment() {
+        let src = "if c == '/' { x() } // trailing";
+        let lines = sanitize(src);
+        assert_eq!(lines[0].code, "if c == ' ' { x() } ");
+        assert_eq!(lines[0].comment, " trailing");
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let c = code_of(r"let q = '\''; let n = '\n'; let u = '\u{7f}';");
+        assert!(!c[0].contains('u') || !c[0].contains("'u"));
+        // All literal bodies blanked; statement structure intact.
+        assert_eq!(c[0].matches('\'').count(), 6);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { y }";
+        let c = code_of(src);
+        assert_eq!(c[0], src);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let src = r#"let var = compar("x");"#;
+        let c = code_of(src);
+        assert!(c[0].contains("compar(\""));
+    }
+
+    #[test]
+    fn has_ident_respects_boundaries() {
+        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident("let my_hashmap_like = 1;", "HashMap"));
+        assert!(!has_ident("forbid(unsafe_code)", "unsafe"));
+        assert!(has_ident("unsafe { x }", "unsafe"));
+        assert!(has_ident("HashMap", "HashMap"));
+        assert!(!has_ident("XHashMap", "HashMap"));
+        assert!(!has_ident("HashMapX", "HashMap"));
+    }
+
+    #[test]
+    fn no_trailing_newline_still_emits_last_line() {
+        let lines = sanitize("let a = 1;");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].code, "let a = 1;");
+    }
+}

@@ -1,0 +1,506 @@
+//! `specweb-lint` — a std-only static-analysis pass that mechanically
+//! enforces the workspace's determinism & safety contract.
+//!
+//! # Why this exists
+//!
+//! The paper's evaluation rests on trace-driven simulation being
+//! exactly repeatable, and `DESIGN.md` §6a promises byte-identical
+//! output for any `--jobs` count. Two earlier PRs each shipped a fix
+//! for a latent nondeterminism bug found only after it corrupted
+//! results (a `partial_cmp` NaN sort; `HashMap` iteration order
+//! breaking closure-truncation ties). Those invariants only hold when
+//! checked mechanically — so this crate walks every workspace `.rs`
+//! file and enforces the rules in [`rules::RULES`].
+//!
+//! # How it works
+//!
+//! The vendored-deps constraint rules out `syn`, so the pass is a small
+//! hand-rolled lexer ([`lexer`]) that strips comments and blanks
+//! literal bodies, plus a line-oriented rule engine over the sanitized
+//! code. Violations are suppressible in place with
+//! `// lint:allow(<rule>): <reason>` — the reason is mandatory, and an
+//! allow that stops matching anything is reported so suppressions
+//! cannot silently outlive the code they excused.
+//!
+//! Run it as `cargo run -p specweb-lint`; the `workspace_clean`
+//! integration test runs the same engine so `cargo test` gates it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Classification of a `.rs` file, driving which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Lib,
+    /// Binary / example targets: D4 (unseeded RNG) and S2 (unwrap) are
+    /// relaxed — a CLI may seed from entropy and panic on bad input.
+    Bin,
+    /// Integration tests and benches: exempt. Tests legitimately use
+    /// wall clocks, unwrap, and ad-hoc threads; golden tests are what
+    /// *detect* nondeterminism rather than what must avoid it.
+    Test,
+}
+
+/// One confirmed violation.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, or `"allow"` for suppression-syntax errors.
+    pub rule: String,
+    /// Explanation.
+    pub message: String,
+    /// Trimmed source line for context.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    > {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard violations (nonzero exit).
+    pub violations: Vec<Diag>,
+    /// Warnings: suppressions that no longer match any hit. Promoted to
+    /// violations under `--deny-all`.
+    pub unused_allows: Vec<Diag>,
+    /// `(rule, file, line)` for every suppressed hit.
+    pub allowed: Vec<(String, String, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Fold another file's report into this one.
+    fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+        self.unused_allows.extend(other.unused_allows);
+        self.allowed.extend(other.allowed);
+        self.files_scanned += other.files_scanned;
+    }
+
+    /// Per-rule `(violations, allowed)` counts, sorted by rule id.
+    pub fn per_rule(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut m: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for r in rules::RULES {
+            m.insert(r.id.to_string(), (0, 0));
+        }
+        for d in &self.violations {
+            m.entry(d.rule.clone()).or_insert((0, 0)).0 += 1;
+        }
+        for (rule, _, _) in &self.allowed {
+            m.entry(rule.clone()).or_insert((0, 0)).1 += 1;
+        }
+        m
+    }
+
+    /// Render the JSON summary written by `--stats`. Hand-rolled (the
+    /// pass is std-only) and key-sorted, so diffs are stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"rules\": {\n");
+        let per_rule = self.per_rule();
+        let total = per_rule.len();
+        for (i, (rule, (viol, allowed))) in per_rule.iter().enumerate() {
+            let comma = if i + 1 == total { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{rule}\": {{ \"violations\": {viol}, \"allowed\": {allowed} }}{comma}\n"
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"unused_allows\": {}\n",
+            self.unused_allows.len()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.contains(&"tests") || parts.contains(&"benches") {
+        return FileKind::Test;
+    }
+    if parts.contains(&"examples") || parts.contains(&"bin") {
+        return FileKind::Bin;
+    }
+    match parts.last() {
+        Some(&"main.rs") | Some(&"build.rs") => FileKind::Bin,
+        _ => FileKind::Lib,
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results"];
+
+/// Collect every `.rs` file under `root` in sorted order, skipping
+/// vendored code, build output, and the lint fixtures (which are
+/// deliberate violations).
+pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            paths.push(entry.path());
+        }
+        paths.sort();
+        for p in paths {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if SKIP_DIRS.contains(&name) || name == "fixtures" {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// A parsed `lint:allow` marker.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    /// The line the marker excuses: its own line when it is a trailing
+    /// comment, otherwise the next line containing code (intervening
+    /// comment-only lines are skipped, so a marker may sit anywhere in
+    /// a multi-line justification comment).
+    covers: usize,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Parse a comment channel for a suppression marker.
+/// Returns `Ok(None)` when absent, `Ok(Some(ids))` for a well-formed
+/// marker, `Err(why)` for a malformed one.
+///
+/// The marker must *start* the comment (after doc-comment sigils and
+/// whitespace); prose that merely mentions the syntax mid-sentence is
+/// not a suppression.
+fn parse_allow(comment: &str) -> Result<Option<Vec<String>>, String> {
+    let trimmed = comment.trim_start_matches(|c: char| c == '/' || c == '!' || c.is_whitespace());
+    let Some(rest) = trimmed.strip_prefix("lint:allow") else {
+        return Ok(None);
+    };
+    let Some(open) = rest.strip_prefix('(') else {
+        return Err("lint:allow must be written `lint:allow(<rule>): <reason>`".into());
+    };
+    let Some(close) = open.find(')') else {
+        return Err("lint:allow is missing a closing `)`".into());
+    };
+    let ids: Vec<String> = open[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ids.is_empty() {
+        return Err("lint:allow names no rule".into());
+    }
+    for id in &ids {
+        if !rules::is_known_rule(id) {
+            return Err(format!("lint:allow names unknown rule `{id}`"));
+        }
+    }
+    let after = &open[close + 1..];
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(
+            "lint:allow requires a non-empty reason: `lint:allow(<rule>): <reason>`".into(),
+        );
+    }
+    Ok(Some(ids))
+}
+
+/// Mark the `#[cfg(test)]` / `#[test]` / `#[bench]` regions of a file:
+/// from the attribute through the close of the item that follows.
+fn test_regions(lines: &[lexer::Line]) -> Vec<bool> {
+    let mut skip = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let c = &lines[i].code;
+        let is_test_attr = (c.contains("cfg(test)") && !c.contains("not(test)"))
+            || c.contains("#[test]")
+            || c.contains("#[bench]");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        while j < lines.len() {
+            skip[j] = true;
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !started => {
+                        // `#[cfg(test)] mod tests;` / attributed item
+                        // without a body: the region ends here.
+                        started = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    skip
+}
+
+/// Lint one file's source text. `rel` is the workspace-relative path
+/// (forward slashes); `kind` usually comes from [`classify`] but is a
+/// parameter so fixture tests can exercise Lib rules on arbitrary
+/// sources.
+pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    if kind == FileKind::Test {
+        return report;
+    }
+    let lines = lexer::sanitize(src);
+    let skip = test_regions(&lines);
+    let raw: Vec<&str> = src.lines().collect();
+    let snippet = |idx: usize| raw.get(idx).map(|s| s.trim()).unwrap_or("").to_string();
+
+    // Pass 1: collect suppressions (and flag malformed ones).
+    let mut allows: Vec<Allow> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if skip[idx] {
+            continue;
+        }
+        match parse_allow(&line.comment) {
+            Ok(None) => {}
+            Ok(Some(ids)) => {
+                let covers = if line.code.trim().is_empty() {
+                    // Comment-only line: the marker excuses the next
+                    // line that carries code.
+                    (idx + 1..lines.len())
+                        .find(|&j| !lines[j].code.trim().is_empty())
+                        .unwrap_or(idx)
+                } else {
+                    idx
+                };
+                allows.push(Allow {
+                    line: idx,
+                    covers,
+                    rules: ids,
+                    used: false,
+                });
+            }
+            Err(why) => report.violations.push(Diag {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "allow".into(),
+                message: why,
+                snippet: snippet(idx),
+            }),
+        }
+    }
+
+    // Pass 2: run the rules, consuming suppressions.
+    for (idx, line) in lines.iter().enumerate() {
+        if skip[idx] {
+            continue;
+        }
+        let prev_comment = if idx > 0 {
+            lines[idx - 1].comment.as_str()
+        } else {
+            ""
+        };
+        for hit in rules::check_line(rel, kind, &line.code, &line.comment, prev_comment) {
+            let covered = allows
+                .iter_mut()
+                .find(|a| a.covers == idx && a.rules.iter().any(|r| r == hit.rule));
+            match covered {
+                Some(a) => {
+                    a.used = true;
+                    report
+                        .allowed
+                        .push((hit.rule.to_string(), rel.to_string(), idx + 1));
+                }
+                None => report.violations.push(Diag {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: hit.rule.to_string(),
+                    message: hit.message,
+                    snippet: snippet(idx),
+                }),
+            }
+        }
+    }
+
+    for a in allows.iter().filter(|a| !a.used) {
+        report.unused_allows.push(Diag {
+            file: rel.to_string(),
+            line: a.line + 1,
+            rule: "allow".into(),
+            message: format!(
+                "unused lint:allow({}) — the code it excused is gone; remove it",
+                a.rules.join(",")
+            ),
+            snippet: snippet(a.line),
+        });
+    }
+    report
+}
+
+/// Lint every `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        report.merge(lint_source(&rel, classify(&rel), &src));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify("crates/core/src/stats.rs"), FileKind::Lib);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+        assert_eq!(classify("src/bin/specweb.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/bench/src/bin/figures.rs"), FileKind::Bin);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Bin);
+        assert_eq!(
+            classify("crates/serve/tests/degradation.rs"),
+            FileKind::Test
+        );
+        assert_eq!(
+            classify("crates/bench/benches/simulators.rs"),
+            FileKind::Test
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "\
+use std::collections::HashMap;
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+    #[test]
+    fn t() {
+        let _ = Instant::now();
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _ = m.get(&1).unwrap();
+    }
+}
+";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        // Only the top-level HashMap import is flagged.
+        assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+        assert_eq!(r.violations[0].rule, "D2");
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "S2");
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "let m = HashMap::new(); // lint:allow(D2): lookup-only side table\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
+        assert_eq!(r.allowed.len(), 1);
+        assert_eq!(r.allowed[0].0, "D2");
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses() {
+        let src = "// lint:allow(S2): invariant: key inserted two lines up\nlet v = m.get(&k).unwrap();\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
+        assert_eq!(r.allowed.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "let m = HashMap::new(); // lint:allow(D2)\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert!(r.violations.iter().any(|d| d.rule == "allow"));
+        // The malformed allow does not suppress the underlying hit.
+        assert!(r.violations.iter().any(|d| d.rule == "D2"));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_violation() {
+        let src = "let x = 1; // lint:allow(D9): no such rule\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert!(r.violations.iter().any(|d| d.rule == "allow"));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "let x = 1; // lint:allow(D2): stale excuse\n";
+        let r = lint_source("crates/x/src/lib.rs", FileKind::Lib, src);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let r = lint_source(
+            "crates/x/src/lib.rs",
+            FileKind::Lib,
+            "let m = HashMap::new(); // lint:allow(D2): side table, never iterated\n",
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"D2\": { \"violations\": 0, \"allowed\": 1 }"));
+        assert!(json.contains("\"unused_allows\": 0"));
+    }
+}

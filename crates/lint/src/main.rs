@@ -1,0 +1,139 @@
+//! CLI for the determinism & safety lint pass.
+//!
+//! ```text
+//! cargo run -p specweb-lint                  # lint the workspace
+//! cargo run -p specweb-lint -- --deny-all    # also fail on unused allows (CI mode)
+//! cargo run -p specweb-lint -- --stats       # write results/lint_report.json
+//! cargo run -p specweb-lint -- --list-rules  # print the rule table
+//! ```
+//!
+//! Exit code 0 when clean, 1 on violations (or, under `--deny-all`,
+//! unused suppressions), 2 on usage/I-O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use specweb_lint::{lint_workspace, rules};
+
+struct Options {
+    root: PathBuf,
+    deny_all: bool,
+    stats: bool,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--list-rules] [--quiet]\n\
+     \n\
+     --root PATH    workspace root to lint (default: this workspace)\n\
+     --deny-all     treat unused lint:allow suppressions as errors (CI mode)\n\
+     --stats        write <root>/results/lint_report.json and print a summary\n\
+     --list-rules   print the rule table and exit\n\
+     --quiet        suppress per-violation diagnostics (summary only)"
+}
+
+fn parse_args() -> Result<Options, String> {
+    // The manifest dir is crates/lint; the workspace root is two up.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let mut opts = Options {
+        root: default_root,
+        deny_all: false,
+        stats: false,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--stats" => opts.stats = true,
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("specweb-lint: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in rules::RULES {
+            println!(
+                "{:<4} {}",
+                r.id,
+                r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match lint_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("specweb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for d in &report.violations {
+            eprintln!("error: {d}");
+        }
+        for d in &report.unused_allows {
+            let sev = if opts.deny_all { "error" } else { "warning" };
+            eprintln!("{sev}: {d}");
+        }
+    }
+
+    if opts.stats {
+        let out = opts.root.join("results").join("lint_report.json");
+        if let Some(parent) = out.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("specweb-lint: create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("specweb-lint: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    let suppressed = report.allowed.len();
+    println!(
+        "specweb-lint: {} files, {} violation(s), {} suppressed, {} unused allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        suppressed,
+        report.unused_allows.len()
+    );
+
+    let failed =
+        !report.violations.is_empty() || (opts.deny_all && !report.unused_allows.is_empty());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,207 @@
+//! The determinism & safety rule set.
+//!
+//! Each rule is a line-oriented check over sanitized code (see
+//! [`crate::lexer`]). Rules are deliberately over-approximate: they
+//! flag the *capability* for nondeterminism (e.g. any `HashMap` in a
+//! deterministic path) rather than trying to prove an actual unordered
+//! iteration, because the latter needs type information a std-only
+//! lexer cannot recover. The release valve for sound-but-unwanted
+//! flags is an in-place `// lint:allow(<rule>): <reason>` with a
+//! written justification — see `DESIGN.md` §8 for the policy.
+
+use crate::lexer::has_ident;
+use crate::FileKind;
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier used in diagnostics and `lint:allow`.
+    pub id: &'static str,
+    /// One-line summary shown by `--list-rules`.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows about, in report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D1",
+        summary: "float comparators must use total_cmp, not partial_cmp \
+                  (NaN-poisoned sorts are order-nondeterministic)",
+    },
+    Rule {
+        id: "D2",
+        summary: "no HashMap/HashSet in deterministic paths: iteration order \
+                  is randomized per process; use BTreeMap/BTreeSet or a \
+                  sorted collect",
+    },
+    Rule {
+        id: "D3",
+        summary: "no Instant::now/SystemTime outside core::obs wall-clock \
+                  channel modules",
+    },
+    Rule {
+        id: "D4",
+        summary: "no unseeded RNG (thread_rng/from_entropy) outside bin \
+                  targets",
+    },
+    Rule {
+        id: "D5",
+        summary: "no thread::spawn outside core::par and the serve crate",
+    },
+    Rule {
+        id: "S1",
+        summary: "unsafe only in the per-file allowlist, and each block \
+                  needs a // SAFETY: comment",
+    },
+    Rule {
+        id: "S2",
+        summary: "no unwrap/expect in non-test library code; return \
+                  CoreError or justify with lint:allow",
+    },
+];
+
+/// True when `id` names a known rule.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Files where `unsafe` is tolerated (S1), provided every block carries
+/// a `// SAFETY:` comment. Currently empty: every workspace crate
+/// carries `#![forbid(unsafe_code)]` and this list should stay empty
+/// until a measured hot path proves otherwise.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Module prefixes exempt from D3: the wall-clock side of the
+/// observability layer is the one sanctioned consumer of real time
+/// (metrics tagged `Channel::Wall`, never the deterministic channel).
+const D3_EXEMPT: &[&str] = &["crates/core/src/obs/"];
+
+/// Module prefixes exempt from D5: the scoped worker pool and the
+/// network server are the two sanctioned thread owners.
+const D5_EXEMPT: &[&str] = &["crates/core/src/par.rs", "crates/serve/src/"];
+
+fn path_has_prefix(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// A single rule hit on one line, before suppression is applied.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// Rule identifier (`D1` … `S2`).
+    pub rule: &'static str,
+    /// Human-readable explanation for the diagnostic.
+    pub message: String,
+}
+
+/// Run every applicable rule over one sanitized code line.
+///
+/// `rel` is the workspace-relative path with forward slashes; `kind`
+/// is the target classification; `comment` is the same line's comment
+/// channel (used by S1's `SAFETY:` requirement together with
+/// `prev_comment`, the preceding line's comment channel).
+pub fn check_line(
+    rel: &str,
+    kind: FileKind,
+    code: &str,
+    comment: &str,
+    prev_comment: &str,
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    if kind == FileKind::Test {
+        return hits;
+    }
+
+    // D1 — `partial_cmp` as a comparator. Implementing `PartialOrd`
+    // itself (a `fn partial_cmp` definition) is the one sanctioned use.
+    if has_ident(code, "partial_cmp") && !code.contains("fn partial_cmp") {
+        hits.push(Hit {
+            rule: "D1",
+            message: "partial_cmp in a comparator: NaN returns None and \
+                      poisons the ordering; use f64::total_cmp (or derive \
+                      Ord on a non-float key)"
+                .into(),
+        });
+    }
+
+    // D2 — hash collections in deterministic paths.
+    if has_ident(code, "HashMap") || has_ident(code, "HashSet") {
+        hits.push(Hit {
+            rule: "D2",
+            message: "HashMap/HashSet iteration order is randomized per \
+                      process; use BTreeMap/BTreeSet, or justify that the \
+                      collection is never iterated on a deterministic path"
+                .into(),
+        });
+    }
+
+    // D3 — wall-clock reads outside the observability wall channel.
+    if !path_has_prefix(rel, D3_EXEMPT)
+        && (code.contains("Instant::now") || has_ident(code, "SystemTime"))
+    {
+        hits.push(Hit {
+            rule: "D3",
+            message: "wall-clock read outside core::obs: deterministic \
+                      code must consume SimTime; route timing through the \
+                      obs wall channel"
+                .into(),
+        });
+    }
+
+    // D4 — unseeded RNG construction outside bin targets.
+    if kind != FileKind::Bin && (has_ident(code, "thread_rng") || has_ident(code, "from_entropy")) {
+        hits.push(Hit {
+            rule: "D4",
+            message: "unseeded RNG in library code: construct from a \
+                      SeedTree stream so every run replays byte-identically"
+                .into(),
+        });
+    }
+
+    // D5 — thread creation outside the sanctioned owners.
+    if !path_has_prefix(rel, D5_EXEMPT)
+        && (code.contains("thread::spawn")
+            || code.contains("thread::Builder")
+            || code.contains("thread::scope"))
+    {
+        hits.push(Hit {
+            rule: "D5",
+            message: "thread creation outside core::par/serve: use \
+                      par::Pool so completion order cannot leak into \
+                      results"
+                .into(),
+        });
+    }
+
+    // S1 — unsafe code.
+    if has_ident(code, "unsafe") {
+        if !UNSAFE_ALLOWLIST.contains(&rel) {
+            hits.push(Hit {
+                rule: "S1",
+                message: "unsafe outside the allowlist: every crate is \
+                          #![forbid(unsafe_code)]; extend \
+                          rules::UNSAFE_ALLOWLIST only with a measured \
+                          justification"
+                    .into(),
+            });
+        } else if !comment.contains("SAFETY:") && !prev_comment.contains("SAFETY:") {
+            hits.push(Hit {
+                rule: "S1",
+                message: "unsafe block without a // SAFETY: comment on the \
+                          same or preceding line"
+                    .into(),
+            });
+        }
+    }
+
+    // S2 — panicking extractors in non-test library code.
+    if kind == FileKind::Lib && (code.contains(".unwrap(") || code.contains(".expect(")) {
+        hits.push(Hit {
+            rule: "S2",
+            message: "unwrap/expect in library code: return CoreError (or \
+                      justify the invariant with lint:allow)"
+                .into(),
+        });
+    }
+
+    hits
+}

@@ -1,0 +1,7 @@
+//! Suppression fixture: malformed allows are themselves violations.
+
+// lint:allow(D2):
+use std::collections::HashMap;
+
+// lint:allow(D9): no such rule exists.
+pub type Index = HashMap<u32, usize>;

@@ -1,0 +1,10 @@
+//! Suppression fixture: both placements of a well-formed
+//! `lint:allow`, each with a written reason.
+
+use std::collections::HashMap; // lint:allow(D2): fixture — trailing marker covers its own line.
+
+// lint:allow(D2): fixture — a preceding comment-only marker covers the
+// next line that contains code, even across this second comment line.
+pub fn index(xs: &[u32]) -> HashMap<u32, usize> {
+    xs.iter().enumerate().map(|(i, &x)| (x, i)).collect()
+}

@@ -1,0 +1,18 @@
+//! Test-region fixture: everything under `#[cfg(test)]` is exempt
+//! from every rule, while code outside it is not.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn doubles() {
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        seen.insert(2, super::double(1));
+        assert_eq!(*seen.get(&2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,5 @@
+//! D1 fixture: a float comparator built on `partial_cmp`.
+
+pub fn rank(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,14 @@
+//! D1 fixture: total_cmp comparators and a PartialOrd impl are fine.
+
+pub fn rank(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
+pub struct Score(f64);
+
+impl PartialOrd for Score {
+    // Defining `fn partial_cmp` is the one sanctioned appearance.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

@@ -1,0 +1,11 @@
+//! D2 fixture: hash collections named in library code.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut out = HashMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,17 @@
+//! D2 fixture: BTreeMap is deterministic by construction, and the
+//! words HashMap / HashSet inside comments or string literals must
+//! not trip the rule (they are not code).
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn describe() -> &'static str {
+    "a HashMap would be nondeterministic here; HashSet too"
+}

@@ -1,0 +1,5 @@
+//! D3 fixture: wall-clock reads in deterministic-path code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

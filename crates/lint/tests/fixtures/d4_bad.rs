@@ -1,0 +1,6 @@
+//! D4 fixture: unseeded RNG construction.
+
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

@@ -1,0 +1,6 @@
+//! D5 fixture: ad-hoc thread creation outside core::par / serve.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(move || 1 + 1);
+    let _ = h.join();
+}

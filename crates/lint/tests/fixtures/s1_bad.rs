@@ -1,0 +1,7 @@
+//! S1 fixture: unsafe outside the (empty) allowlist.
+
+pub fn peek(p: *const u32) -> u32 {
+    // SAFETY: a comment alone does not help — the file must be on the
+    // allowlist first.
+    unsafe { *p }
+}

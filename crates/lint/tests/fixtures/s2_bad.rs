@@ -1,0 +1,9 @@
+//! S2 fixture: panicking extractors in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("needs two elements")
+}

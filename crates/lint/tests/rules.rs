@@ -1,0 +1,158 @@
+//! Fixture-driven rule tests: each file under `tests/fixtures/` is a
+//! minimal Rust source exercising one rule (or one suppression
+//! behavior). Fixtures are plain text to the lint — they are never
+//! compiled — and the workspace walker skips any `fixtures/` directory,
+//! so the deliberate violations below cannot fail the tree-wide gate.
+
+use specweb_lint::{lint_source, FileKind, Report};
+
+/// Reads a fixture and lints it under the given path/kind.
+fn lint_fixture(name: &str, rel: &str, kind: FileKind) -> Report {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {path}: {e}"));
+    lint_source(rel, kind, &src)
+}
+
+/// The sorted rule ids of a report's violations.
+fn rules_of(report: &Report) -> Vec<String> {
+    let mut v: Vec<String> = report.violations.iter().map(|d| d.rule.clone()).collect();
+    v.sort();
+    v
+}
+
+/// Lints `name` as ordinary library code (`crates/demo/src/lib.rs`).
+fn as_lib(name: &str) -> Report {
+    lint_fixture(name, "crates/demo/src/lib.rs", FileKind::Lib)
+}
+
+#[test]
+fn d1_flags_partial_cmp_comparator() {
+    assert_eq!(rules_of(&as_lib("d1_bad.rs")), ["D1"]);
+}
+
+#[test]
+fn d1_accepts_total_cmp_and_partial_ord_impls() {
+    assert_eq!(rules_of(&as_lib("d1_good.rs")), [] as [&str; 0]);
+}
+
+#[test]
+fn d2_flags_hash_collections() {
+    // The `use` line and both body mentions: one hit per line.
+    assert_eq!(rules_of(&as_lib("d2_bad.rs")), ["D2", "D2", "D2"]);
+}
+
+#[test]
+fn d2_ignores_btreemap_and_literals() {
+    // `HashMap` inside comments and string literals must not count.
+    assert_eq!(rules_of(&as_lib("d2_good.rs")), [] as [&str; 0]);
+}
+
+#[test]
+fn d3_flags_wall_clock_outside_obs() {
+    // Only the `Instant::now()` call trips — naming the type is fine.
+    assert_eq!(rules_of(&as_lib("d3_bad.rs")), ["D3"]);
+}
+
+#[test]
+fn d3_exempts_the_obs_wall_modules() {
+    let r = lint_fixture("d3_bad.rs", "crates/core/src/obs/wall.rs", FileKind::Lib);
+    assert_eq!(rules_of(&r), [] as [&str; 0]);
+}
+
+#[test]
+fn d4_flags_unseeded_rng_in_lib() {
+    assert_eq!(rules_of(&as_lib("d4_bad.rs")), ["D4"]);
+}
+
+#[test]
+fn d4_relaxed_for_bin_targets() {
+    let r = lint_fixture("d4_bad.rs", "crates/demo/src/bin/cli.rs", FileKind::Bin);
+    assert_eq!(rules_of(&r), [] as [&str; 0]);
+}
+
+#[test]
+fn d5_flags_adhoc_threads() {
+    assert_eq!(rules_of(&as_lib("d5_bad.rs")), ["D5"]);
+}
+
+#[test]
+fn d5_exempts_the_serve_crate() {
+    let r = lint_fixture("d5_bad.rs", "crates/serve/src/server.rs", FileKind::Lib);
+    assert_eq!(rules_of(&r), [] as [&str; 0]);
+}
+
+#[test]
+fn s1_flags_unsafe_outside_allowlist() {
+    assert_eq!(rules_of(&as_lib("s1_bad.rs")), ["S1"]);
+}
+
+#[test]
+fn s2_flags_unwrap_and_expect_in_lib() {
+    assert_eq!(rules_of(&as_lib("s2_bad.rs")), ["S2", "S2"]);
+}
+
+#[test]
+fn s2_relaxed_for_bin_targets() {
+    let r = lint_fixture("s2_bad.rs", "crates/demo/src/bin/cli.rs", FileKind::Bin);
+    assert_eq!(rules_of(&r), [] as [&str; 0]);
+}
+
+#[test]
+fn well_formed_allows_suppress_and_are_counted() {
+    let r = as_lib("allow_good.rs");
+    assert_eq!(rules_of(&r), [] as [&str; 0], "{:#?}", r.violations);
+    assert_eq!(r.unused_allows.len(), 0, "{:#?}", r.unused_allows);
+    let suppressed: Vec<&str> = r.allowed.iter().map(|(rule, _, _)| rule.as_str()).collect();
+    assert_eq!(suppressed, ["D2", "D2"]);
+}
+
+#[test]
+fn malformed_allows_are_violations_and_do_not_suppress() {
+    let r = as_lib("allow_bad.rs");
+    // Empty reason + unknown rule each produce an `allow` diagnostic,
+    // and the underlying D2 hits survive because neither allow is valid.
+    assert_eq!(rules_of(&r), ["D2", "D2", "allow", "allow"]);
+}
+
+#[test]
+fn stale_allows_are_reported_unused() {
+    let r = as_lib("allow_unused.rs");
+    assert_eq!(rules_of(&r), [] as [&str; 0]);
+    assert_eq!(r.unused_allows.len(), 1);
+    assert_eq!(r.unused_allows[0].rule, "allow");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    assert_eq!(rules_of(&as_lib("cfg_test.rs")), [] as [&str; 0]);
+}
+
+#[test]
+fn fixtures_all_have_a_test() {
+    // Every fixture file must be exercised above; a fixture nobody
+    // reads is dead weight. Keep this list in sync when adding one.
+    let used = [
+        "allow_bad.rs",
+        "allow_good.rs",
+        "allow_unused.rs",
+        "cfg_test.rs",
+        "d1_bad.rs",
+        "d1_good.rs",
+        "d2_bad.rs",
+        "d2_good.rs",
+        "d3_bad.rs",
+        "d4_bad.rs",
+        "d5_bad.rs",
+        "s1_bad.rs",
+        "s2_bad.rs",
+    ];
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, used);
+}

@@ -1,0 +1,31 @@
+//! The tree-wide gate: `cargo test` fails if any workspace source
+//! violates the determinism & safety rules, or if a `lint:allow` has
+//! gone stale. This is the same check CI runs via
+//! `cargo run -p specweb-lint -- --deny-all`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = specweb_lint::lint_workspace(&root).expect("walking the workspace");
+
+    assert!(
+        report.files_scanned > 50,
+        "walked only {} files — workspace root misdetected?",
+        report.files_scanned
+    );
+
+    let mut msgs: Vec<String> = report.violations.iter().map(|d| d.to_string()).collect();
+    msgs.extend(
+        report
+            .unused_allows
+            .iter()
+            .map(|d| format!("(unused allow) {d}")),
+    );
+    assert!(
+        msgs.is_empty(),
+        "workspace lint failed:\n{}",
+        msgs.join("\n")
+    );
+}

@@ -11,7 +11,7 @@
 //! proxy becomes overloaded, B₀ is reduced, thus forcing more of the
 //! requests back to the servers") is simply the reverse of installation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::{DocId, ServerId};
@@ -25,8 +25,9 @@ struct ServerReplica {
     used: Bytes,
     /// Installed documents in popularity order (most popular first).
     docs: Vec<(DocId, Bytes)>,
-    /// Membership index for O(1) hit checks.
-    member: HashMap<DocId, Bytes>,
+    /// Membership index for hit checks (a BTreeMap: the store derives
+    /// Serialize, so its layout must not follow hash iteration order).
+    member: BTreeMap<DocId, Bytes>,
 }
 
 /// A proxy's document store with per-server quotas.
@@ -34,7 +35,7 @@ struct ServerReplica {
 pub struct ProxyStore {
     capacity: Bytes,
     used: Bytes,
-    replicas: HashMap<ServerId, ServerReplica>,
+    replicas: BTreeMap<ServerId, ServerReplica>,
 }
 
 impl ProxyStore {
@@ -43,7 +44,7 @@ impl ProxyStore {
         ProxyStore {
             capacity,
             used: Bytes::ZERO,
-            replicas: HashMap::new(),
+            replicas: BTreeMap::new(),
         }
     }
 
@@ -63,7 +64,10 @@ impl ProxyStore {
         let rep = self.replicas.entry(server).or_default();
         rep.quota = quota;
         while rep.used > rep.quota {
-            let (doc, size) = rep.docs.pop().expect("used > 0 implies docs");
+            // used > 0 implies docs; an empty replica just ends the loop.
+            let Some((doc, size)) = rep.docs.pop() else {
+                break;
+            };
             rep.member.remove(&doc);
             rep.used -= size;
             self.used -= size;

@@ -10,7 +10,7 @@
 //! Pushed documents land in the client's cache; a later fetch of a
 //! cached id never touches the wire, which is the protocol's point.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
@@ -101,13 +101,23 @@ struct Conn {
     out: TcpStream,
 }
 
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn").finish_non_exhaustive()
+    }
+}
+
 /// The retrying client.
+#[derive(Debug)]
 pub struct SpecClient {
     addr: SocketAddr,
     config: ClientConfig,
     rng: StdRng,
     conn: Option<Conn>,
-    cache: HashSet<DocId>,
+    /// A BTreeSet: the piggybacked digest enumerates this set, so its
+    /// content (capped at max_have_ids) must be run-stable, not
+    /// hash-order dependent.
+    cache: BTreeSet<DocId>,
 }
 
 impl SpecClient {
@@ -122,7 +132,7 @@ impl SpecClient {
             rng: StdRng::seed_from_u64(config.retry.jitter_seed),
             config,
             conn: None,
-            cache: HashSet::new(),
+            cache: BTreeSet::new(),
         })
     }
 
@@ -199,16 +209,16 @@ impl SpecClient {
     }
 
     fn ensure_conn(&mut self) -> Result<&mut Conn> {
-        if self.conn.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
-            stream.set_read_timeout(Some(self.config.read_timeout))?;
-            stream.set_write_timeout(Some(self.config.write_timeout))?;
-            self.conn = Some(Conn {
-                reader: BufReader::new(stream.try_clone()?),
-                out: stream,
-            });
+        if let Some(conn) = self.conn.take() {
+            return Ok(self.conn.insert(conn));
         }
-        Ok(self.conn.as_mut().expect("just set"))
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        Ok(self.conn.insert(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            out: stream,
+        }))
     }
 
     fn try_fetch(&mut self, doc: DocId) -> Result<FetchResult> {

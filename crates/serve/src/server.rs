@@ -36,6 +36,7 @@ use crate::shutdown::ShutdownToken;
 
 /// Everything the server needs to answer and speculate, fixed at
 /// startup — the output of the §3.2 off-line estimation step.
+#[derive(Debug)]
 pub struct ServerKnowledge {
     /// The document catalog (ids and sizes).
     pub catalog: Catalog,
@@ -148,6 +149,7 @@ impl ServerStats {
 }
 
 /// The server. Construct with [`SpecServer::spawn`].
+#[derive(Debug)]
 pub struct SpecServer;
 
 impl SpecServer {
@@ -185,6 +187,7 @@ impl SpecServer {
 }
 
 /// Control handle for a running [`SpecServer`].
+#[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     token: ShutdownToken,
@@ -263,11 +266,14 @@ impl AcceptLoop {
             // a slot (connections queue in the OS backlog meanwhile),
             // then refuse with BUSY. Speculation shedding has already
             // happened at demand_only_at — refusal is the last rung.
+            // lint:allow(D3): admission timeout is real wall-clock by design —
+            // the TCP front end races live peers, not simulated time.
             let deadline = std::time::Instant::now() + self.config.admit_timeout;
             let guard = loop {
                 match self.ctl.try_admit() {
                     Some(g) => break Some(g),
                     None if self.token.is_triggered() => break None,
+                    // lint:allow(D3): same wall-clock admission deadline as above.
                     None if std::time::Instant::now() >= deadline => break None,
                     None => thread::sleep(Duration::from_millis(5)),
                 }

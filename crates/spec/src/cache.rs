@@ -11,7 +11,7 @@
 //!
 //! We add a finite-capacity LRU as the obvious engineering extension.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::DocId;
@@ -49,10 +49,12 @@ impl CacheModel {
 #[derive(Debug, Clone)]
 pub struct ClientCache {
     model: CacheModel,
-    /// Resident documents → last-touch counter (for LRU).
-    resident: HashMap<DocId, u64>,
+    /// Resident documents → last-touch counter (for LRU). A BTreeMap:
+    /// [`ClientCache::resident_docs`] feeds cooperative digests, so the
+    /// enumeration order must not depend on hash iteration order.
+    resident: BTreeMap<DocId, u64>,
     /// Sizes of resident documents (needed for LRU eviction accounting).
-    doc_sizes: HashMap<DocId, Bytes>,
+    doc_sizes: BTreeMap<DocId, Bytes>,
     used: Bytes,
     /// Monotonic touch counter.
     clock: u64,
@@ -65,8 +67,8 @@ impl ClientCache {
     pub fn new(model: CacheModel) -> Self {
         ClientCache {
             model,
-            resident: HashMap::new(),
-            doc_sizes: HashMap::new(),
+            resident: BTreeMap::new(),
+            doc_sizes: BTreeMap::new(),
             used: Bytes::ZERO,
             clock: 0,
             last_request: None,
@@ -140,21 +142,20 @@ impl ClientCache {
                 if size > capacity {
                     return; // cannot ever fit
                 }
-                if self.resident.contains_key(&doc) {
-                    self.clock += 1;
-                    *self.resident.get_mut(&doc).expect("checked") = self.clock;
+                self.clock += 1;
+                if let Some(touch) = self.resident.get_mut(&doc) {
+                    *touch = self.clock;
                     return;
                 }
-                self.clock += 1;
                 self.resident.insert(doc, self.clock);
                 self.used += size;
                 self.sizes_insert(doc, size);
                 while self.used > capacity {
-                    let (&lru, _) = self
-                        .resident
-                        .iter()
-                        .min_by_key(|(_, &t)| t)
-                        .expect("used > 0 implies resident docs");
+                    // used > 0 implies resident docs; an empty map would
+                    // simply end the loop.
+                    let Some((&lru, _)) = self.resident.iter().min_by_key(|(_, &t)| t) else {
+                        break;
+                    };
                     let sz = self.sizes_remove(lru);
                     self.resident.remove(&lru);
                     self.used -= sz;

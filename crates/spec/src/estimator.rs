@@ -132,14 +132,11 @@ impl<'a> RollingEstimator<'a> {
     /// update-cycle boundary at or before `day`).
     pub fn matrices_for_day(&mut self, day: u64) -> Result<&MatrixPair> {
         let boundary = day - day % self.cfg.update_cycle_days;
-        let stale = match &self.current {
-            Some(m) => m.estimated_on_day != boundary,
-            None => true,
+        let pair = match self.current.take() {
+            Some(m) if m.estimated_on_day == boundary => m,
+            _ => self.estimate_at(boundary)?,
         };
-        if stale {
-            self.current = Some(self.estimate_at(boundary)?);
-        }
-        Ok(self.current.as_ref().expect("just set"))
+        Ok(self.current.insert(pair))
     }
 
     /// Produces the estimate as of the morning of `day` (using history
@@ -179,11 +176,13 @@ impl<'a> RollingEstimator<'a> {
     /// drift experiment and keep memory flat.
     fn estimate_aged(&self, day: u64, decay: f64) -> DepMatrix {
         use specweb_core::ids::DocId;
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         // Weighted average of per-day direct matrices. Weight by decay^age
         // and by each day's antecedent occurrence share — approximated
         // here by equal day weights, which suffices for drift tracking.
-        let mut acc: HashMap<(DocId, DocId), f64> = HashMap::new();
+        // BTreeMaps keep the blend and the assembled rows id-ordered, so
+        // the composed matrix is deterministic by construction.
+        let mut acc: BTreeMap<(DocId, DocId), f64> = BTreeMap::new();
         let mut wsum = 0.0f64;
         let horizon = (self.cfg.history_days * 3).min(day); // old days ≈ 0 weight
         for d in day.saturating_sub(horizon)..day {
@@ -202,7 +201,7 @@ impl<'a> RollingEstimator<'a> {
             }
             wsum += w;
         }
-        let mut rows: HashMap<DocId, Vec<(DocId, f64)>> = HashMap::new();
+        let mut rows: BTreeMap<DocId, Vec<(DocId, f64)>> = BTreeMap::new();
         if wsum > 0.0 {
             for ((i, j), v) in acc {
                 let p = (v / wsum).min(1.0);

@@ -169,7 +169,7 @@ pub fn decide(
                 .filter(|&&(j, p)| p >= floor && fits(j) && !exclude(j))
                 .copied()
                 .collect();
-            cands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            cands.sort_by(|a, b| b.1.total_cmp(&a.1));
             cands.truncate(k);
             decision.push = cands;
         }
@@ -193,12 +193,8 @@ pub fn decide(
             }
         }
     }
-    decision
-        .push
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    decision
-        .hints
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    decision.push.sort_by(|a, b| b.1.total_cmp(&a.1));
+    decision.hints.sort_by(|a, b| b.1.total_cmp(&a.1));
     decision
 }
 

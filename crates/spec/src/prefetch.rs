@@ -15,7 +15,7 @@
 //! [`UserProfile`] is the per-client transition model; [`HintPolicy`]
 //! decides which server hints a client acts on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::DocId;
@@ -27,8 +27,11 @@ use specweb_core::time::{Duration, SimTime};
 pub struct UserProfile {
     window: Duration,
     last: Option<(SimTime, DocId)>,
-    transitions: HashMap<DocId, HashMap<DocId, u32>>,
-    occurrences: HashMap<DocId, u32>,
+    /// BTreeMaps: [`UserProfile::predict`] enumerates transition rows,
+    /// and tied probabilities must break by document id, not by hash
+    /// iteration order (the PR 3 `DepMatrix` truncation bug class).
+    transitions: BTreeMap<DocId, BTreeMap<DocId, u32>>,
+    occurrences: BTreeMap<DocId, u32>,
 }
 
 impl UserProfile {
@@ -86,7 +89,9 @@ impl UserProfile {
             .map(|(&j, &n)| (j, f64::from(n) / f64::from(occ)))
             .filter(|&(_, p)| p >= floor)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        // Descending probability, ties broken by id so the prediction
+        // list (and anything truncating it) is run-stable.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 

@@ -107,6 +107,7 @@ pub struct SpecOutcome {
 }
 
 /// The simulator.
+#[derive(Debug)]
 pub struct SpecSim<'a> {
     trace: &'a Trace,
     /// Per-client hop distance to the home servers (at the tree root).

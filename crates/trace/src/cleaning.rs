@@ -15,7 +15,7 @@
 //! 4. canonicalize aliases (e.g. `/` → `/index.html`) via an alias map,
 //!    then fold duplicate records.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::logfmt::LogRecord;
 
@@ -24,15 +24,16 @@ use crate::logfmt::LogRecord;
 pub struct CleaningConfig {
     /// Path prefixes of dynamically generated ("live") documents.
     pub live_prefixes: Vec<String>,
-    /// Alias → canonical path map.
-    pub aliases: HashMap<String, String>,
+    /// Alias → canonical path map (a BTreeMap so the public config type
+    /// carries no hash-order surface).
+    pub aliases: BTreeMap<String, String>,
 }
 
 impl CleaningConfig {
     /// A typical 1995 httpd configuration: `/` is an alias for
     /// `/index.html`, nothing is live.
     pub fn typical() -> Self {
-        let mut aliases = HashMap::new();
+        let mut aliases = BTreeMap::new();
         aliases.insert("/".to_string(), "/index.html".to_string());
         CleaningConfig {
             live_prefixes: Vec::new(),
@@ -142,7 +143,7 @@ mod tests {
     fn drops_live_documents() {
         let cfg = CleaningConfig {
             live_prefixes: vec!["/live/".to_string()],
-            aliases: HashMap::new(),
+            aliases: BTreeMap::new(),
         };
         let (out, rep) = clean(
             vec![rec("/live/ticker.html", 200), rec("/static.html", 200)],

@@ -402,8 +402,8 @@ impl TraceGenerator {
         // the server log — at most once per session. This is what keeps
         // a *shared* icon's measured p[page → icon] well below 1, while
         // page-unique embeddings stay certain.
-        let mut session_fetched: std::collections::HashSet<DocId> =
-            std::collections::HashSet::new();
+        let mut session_fetched: std::collections::BTreeSet<DocId> =
+            std::collections::BTreeSet::new();
 
         for stride in 0..n_strides {
             if stride > 0 {

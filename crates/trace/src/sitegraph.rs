@@ -194,14 +194,16 @@ impl SiteGraph {
             let n_emb = sample_geometric(&mut rng, cfg.mean_embedded);
             let mut embedded = Vec::with_capacity(n_emb);
             for _ in 0..n_emb {
-                let use_pool = pool_zipf.is_some() && rng.gen::<f64>() < cfg.shared_frac;
-                let obj = if use_pool {
-                    let idx = pool_zipf.as_ref().expect("checked").sample(&mut rng);
-                    pool[idx]
-                } else {
-                    // Page-unique objects inherit the page's class and
-                    // mutability (they change when the page does).
-                    catalog.push(server, sizes.sample_object(&mut rng), class, mutable, false)
+                // The guard preserves the RNG stream: the shared-pool
+                // coin is only tossed when a pool exists, exactly as
+                // the old `is_some() &&` short-circuit did.
+                let obj = match pool_zipf.as_ref() {
+                    Some(zipf) if rng.gen::<f64>() < cfg.shared_frac => pool[zipf.sample(&mut rng)],
+                    _ => {
+                        // Page-unique objects inherit the page's class and
+                        // mutability (they change when the page does).
+                        catalog.push(server, sizes.sample_object(&mut rng), class, mutable, false)
+                    }
                 };
                 if !embedded.contains(&obj) {
                     embedded.push(obj);
@@ -338,7 +340,12 @@ impl SiteGraph {
         if n < 2 {
             return;
         }
-        let zipf = Zipf::new(n, zipf_theta).expect("n >= 2, theta validated at build");
+        let Ok(zipf) = Zipf::new(n, zipf_theta) else {
+            // n >= 2 is checked above and theta was validated when the
+            // graph was built, so this is unreachable; churning nothing
+            // beats panicking in library code.
+            return;
+        };
         for i in 0..n {
             if rng.gen::<f64>() >= churn {
                 continue;

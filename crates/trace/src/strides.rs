@@ -10,7 +10,7 @@
 //! The paper's trace: 205,925 accesses from 8,474 clients formed
 //! "over 20,000 sessions".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::ClientId;
@@ -69,16 +69,12 @@ pub struct SegmentationSummary {
 pub fn segment(trace: &Trace, timeout: Duration) -> Vec<Segment> {
     // Group accesses per client (the trace is time-ordered overall, so
     // per-client substreams stay ordered).
-    let mut per_client: HashMap<ClientId, Vec<&Access>> = HashMap::new();
+    let mut per_client: BTreeMap<ClientId, Vec<&Access>> = BTreeMap::new();
     for a in &trace.accesses {
         per_client.entry(a.client).or_default().push(a);
     }
-    let mut clients: Vec<ClientId> = per_client.keys().copied().collect();
-    clients.sort_unstable();
-
     let mut out = Vec::new();
-    for c in clients {
-        let stream = &per_client[&c];
+    for (&c, stream) in &per_client {
         let times: Vec<SimTime> = stream.iter().map(|a| a.time).collect();
         for (s, e) in split_strides(&times, timeout) {
             out.push(Segment {
@@ -97,7 +93,7 @@ pub fn segment(trace: &Trace, timeout: Duration) -> Vec<Segment> {
 pub fn summarize(segments: &[Segment]) -> SegmentationSummary {
     let mut lengths = StreamingStats::new();
     let mut spans = StreamingStats::new();
-    let mut clients = std::collections::HashSet::new();
+    let mut clients = std::collections::BTreeSet::new();
     for s in segments {
         lengths.push(s.len() as f64);
         spans.push(s.span().as_secs_f64());
@@ -123,7 +119,7 @@ pub fn session_purity(trace: &Trace, segments: &[Segment]) -> f64 {
         return 0.0;
     }
     // Rebuild per-client streams exactly as `segment` does.
-    let mut per_client: HashMap<ClientId, Vec<&Access>> = HashMap::new();
+    let mut per_client: BTreeMap<ClientId, Vec<&Access>> = BTreeMap::new();
     for a in &trace.accesses {
         per_client.entry(a.client).or_default().push(a);
     }
@@ -160,7 +156,7 @@ mod tests {
         let total: usize = segs.iter().map(Segment::len).sum();
         assert_eq!(total, t.len());
         // Segments of one client don't overlap and are ordered.
-        let mut per_client: HashMap<ClientId, Vec<&Segment>> = HashMap::new();
+        let mut per_client: BTreeMap<ClientId, Vec<&Segment>> = BTreeMap::new();
         for s in &segs {
             per_client.entry(s.client).or_default().push(s);
         }
@@ -177,7 +173,7 @@ mod tests {
         let t = trace();
         let timeout = Duration::from_secs(5);
         let segs = segment(&t, timeout);
-        let mut per_client: HashMap<ClientId, Vec<&Access>> = HashMap::new();
+        let mut per_client: BTreeMap<ClientId, Vec<&Access>> = BTreeMap::new();
         for a in &t.accesses {
             per_client.entry(a.client).or_default().push(a);
         }
@@ -224,7 +220,7 @@ mod tests {
         let sessions = segment(&t, Duration::from_secs(1_800));
         assert!(strides.len() > sessions.len());
         // Every stride lies within one session segment.
-        let mut sess_by_client: HashMap<ClientId, Vec<&Segment>> = HashMap::new();
+        let mut sess_by_client: BTreeMap<ClientId, Vec<&Segment>> = BTreeMap::new();
         for s in &sessions {
             sess_by_client.entry(s.client).or_default().push(s);
         }

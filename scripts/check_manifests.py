@@ -46,6 +46,37 @@ def counter(metrics, name):
     return metrics.get(name, {}).get("Counter", {}).get("value", 0)
 
 
+def diff_paths(a, b, prefix=""):
+    """Key paths at which two JSON trees differ (leaves only)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        paths = []
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                paths.append(f"{prefix}{key}")
+            else:
+                paths.extend(diff_paths(a[key], b[key], f"{prefix}{key}."))
+        return paths
+    return [] if a == b else [prefix.rstrip(".")]
+
+
+# Known nondeterminism classes from the specweb-lint rule set (DESIGN
+# §8), matched against the differing key path so a manifest diff points
+# straight at the rule family that typically causes it.
+LINT_RULE_HINTS = (
+    ("seed", "D4", "an unseeded RNG shifts every derived stream"),
+    ("time", "D3", "a wall-clock read leaked into the deterministic channel"),
+    ("metrics", "D1/D2", "a partial_cmp float sort or hash-map iteration "
+                         "order leaked into deterministic results"),
+)
+
+
+def lint_hint(path):
+    for fragment, rules, why in LINT_RULE_HINTS:
+        if fragment in path.lower():
+            return f" [lint rule {rules}: {why}; run `cargo run -p specweb-lint`]"
+    return ""
+
+
 def cmd_compare(dir_a, dir_b):
     a, b = load_manifests(dir_a), load_manifests(dir_b)
     failures = []
@@ -55,8 +86,10 @@ def cmd_compare(dir_a, dir_b):
             f"only in {dir_b}: {sorted(set(b) - set(a))}"
         )
     for name in sorted(set(a) & set(b)):
-        if a[name]["deterministic"] != b[name]["deterministic"]:
-            failures.append(f"{name}: deterministic section differs between runs")
+        for path in diff_paths(a[name]["deterministic"], b[name]["deterministic"]):
+            failures.append(
+                f"{name}: deterministic section differs at `{path}`{lint_hint(path)}"
+            )
     return failures
 
 

@@ -1,0 +1,26 @@
+//! Tier-1 hook for the determinism & safety lint: a plain `cargo test`
+//! at the workspace root fails on any rule violation or stale
+//! `lint:allow`, exactly like CI's
+//! `cargo run -p specweb-lint -- --deny-all`.
+//!
+//! The full rule-by-rule behavior is specified by the fixture tests in
+//! `crates/lint/tests/`; this test only asserts the tree is clean.
+
+#[test]
+fn workspace_passes_the_determinism_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = specweb_lint::lint_workspace(root).expect("walking the workspace");
+
+    let mut msgs: Vec<String> = report.violations.iter().map(|d| d.to_string()).collect();
+    msgs.extend(
+        report
+            .unused_allows
+            .iter()
+            .map(|d| format!("(unused allow) {d}")),
+    );
+    assert!(
+        msgs.is_empty(),
+        "determinism lint failed (see DESIGN.md §8):\n{}",
+        msgs.join("\n")
+    );
+}
