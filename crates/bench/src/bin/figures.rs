@@ -18,8 +18,11 @@
 //! only `bench_timings.json` and the manifests' `nondeterministic`
 //! sections vary.
 //!
-//! `figures --report` re-reads the manifests from `--out` and prints a
-//! per-subsystem summary without re-running anything.
+//! Every run also regenerates `<out>/REPORT.md`, a deterministic-only
+//! markdown summary of the manifests (no jobs/git/timing, so it joins
+//! the byte-identical set). `figures --report` re-reads the manifests
+//! from `--out`, prints the per-subsystem summary, and rewrites
+//! `REPORT.md` without re-running anything.
 
 use std::time::Instant;
 
@@ -65,8 +68,11 @@ fn main() {
         return;
     }
     if args.report {
-        match render_manifest_report(&args.out_dir) {
-            Ok(report) => println!("{report}"),
+        match load_manifests(&args.out_dir) {
+            Ok(manifests) => {
+                println!("{}", obs::render_report(&manifests));
+                write_markdown_report(&args.out_dir, &manifests);
+            }
             Err(e) => die(&e),
         }
         return;
@@ -86,8 +92,6 @@ fn main() {
     let jobs = jobs.unwrap_or_else(specweb_core::par::default_jobs);
     specweb_core::par::set_default_jobs(jobs);
 
-    // lint:allow(D3): bench timing only; lands in bench_timings.json,
-    // which CI strips before the byte-identity diff.
     let t0 = Instant::now();
     let scale_name = match scale {
         Scale::Full => "full",
@@ -100,7 +104,6 @@ fn main() {
     let both_56 = wanted.iter().any(|w| w == "fig5") && wanted.iter().any(|w| w == "fig6");
     let (shared_sweep, sweep_seconds) = if both_56 {
         log!(Info, "figures", "running fig5/fig6 shared sweep…");
-        // lint:allow(D3): bench timing only; never feeds deterministic output.
         let started = Instant::now();
         let sweep_obs = obs::Obs::new();
         let sweep = fig5::sweep_replicated(scale, seed, Some(&sweep_obs))
@@ -118,7 +121,6 @@ fn main() {
     // process, so a failed experiment cannot be silently dropped.
     let pool = specweb_core::par::Pool::new(jobs.min(wanted.len().max(1)));
     let results: Vec<(Report, f64)> = pool.map_indexed(&wanted, |_, id| {
-        // lint:allow(D3): bench timing only; never feeds deterministic output.
         let started = Instant::now();
         let report = run_one(id, scale, seed, &shared_sweep)
             .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));
@@ -171,6 +173,14 @@ fn main() {
     }
     write_manifest(&out_dir, &run_manifest);
 
+    // REPORT.md rides along with every run: re-read the full manifest
+    // set (this run's plus any earlier experiments still in --out) so
+    // the report always reflects everything in the directory.
+    match load_manifests(&out_dir) {
+        Ok(manifests) => write_markdown_report(&out_dir, &manifests),
+        Err(e) => die(&e),
+    }
+
     let timings = Timings {
         jobs: pool.jobs(),
         scale: scale_name.into(),
@@ -206,9 +216,17 @@ fn write_manifest(dir: &std::path::Path, manifest: &RunManifest) {
         .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
 }
 
-/// Loads every `manifest_*.json` in `dir` (sorted by file name so the
-/// output order is stable) and renders the cross-experiment summary.
-fn render_manifest_report(dir: &std::path::Path) -> Result<String, String> {
+/// Writes the deterministic-only markdown report to `<dir>/REPORT.md`.
+fn write_markdown_report(dir: &std::path::Path, manifests: &[RunManifest]) {
+    let path = dir.join("REPORT.md");
+    std::fs::write(&path, obs::render_report_markdown(manifests))
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+    log!(Info, "figures", "report → {}", path.display());
+}
+
+/// Loads every `manifest_*.json` in `dir`, sorted by file name so the
+/// manifest order (and therefore any rendered report) is stable.
+fn load_manifests(dir: &std::path::Path) -> Result<Vec<RunManifest>, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| {
         format!(
             "reading {}: {e} (run some experiments first)",
@@ -238,7 +256,7 @@ fn render_manifest_report(dir: &std::path::Path) -> Result<String, String> {
             serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
         manifests.push(manifest);
     }
-    Ok(obs::render_report(&manifests))
+    Ok(manifests)
 }
 
 /// Dispatches one experiment id.

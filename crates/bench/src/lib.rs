@@ -77,8 +77,6 @@ impl Report {
             id,
             title,
             text,
-            // lint:allow(S2): report values are plain data structs
-            // (no non-string map keys), so serialization cannot fail.
             json: serde_json::to_value(value).expect("results are serializable"),
             metrics: specweb_core::obs::MetricSnapshot::default(),
         }
@@ -112,7 +110,6 @@ impl Report {
         std::fs::write(dir.join(format!("{}.txt", self.id)), self.render())?;
         std::fs::write(
             dir.join(format!("{}.json", self.id)),
-            // lint:allow(S2): `self.json` is already a `serde_json::Value`.
             serde_json::to_string_pretty(&self.json).expect("valid json"),
         )?;
         Ok(())

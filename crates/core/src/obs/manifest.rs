@@ -204,6 +204,62 @@ pub fn render_report(manifests: &[RunManifest]) -> String {
     out
 }
 
+/// Renders the manifests as a markdown report (`results/REPORT.md`).
+///
+/// Deliberately restricted to the **deterministic** sections: no jobs,
+/// git describe, timing, or wall-clock metrics. The file is regenerated
+/// by every `figures` run, so anything nondeterministic in it would
+/// make `REPORT.md` churn across `--jobs` settings and break the CI
+/// serial-vs-parallel `diff -r` gate the same way a nondeterministic
+/// figure would.
+pub fn render_report_markdown(manifests: &[RunManifest]) -> String {
+    let mut out = String::new();
+    let mut totals: BTreeMap<String, MetricValue> = BTreeMap::new();
+
+    out.push_str("# specweb run report\n\n");
+    out.push_str(
+        "Deterministic metrics per experiment, rendered from the\n\
+         `manifest_*.json` files. Regenerated by every `figures` run\n\
+         (and by `figures --report` without re-running anything);\n\
+         wall-clock data lives in the manifests' `nondeterministic`\n\
+         sections and `bench_timings.json`, never here.\n",
+    );
+
+    for m in manifests {
+        out.push_str(&format!(
+            "\n## {} (seed {}, scale {})\n",
+            m.id, m.deterministic.seed_root, m.deterministic.scale
+        ));
+        if m.deterministic.metrics.is_empty() {
+            out.push_str("\n(no deterministic metrics recorded)\n");
+            continue;
+        }
+        let mut last_subsystem = "";
+        for (name, value) in &m.deterministic.metrics {
+            let sub = subsystem_of(name);
+            if sub != last_subsystem {
+                out.push_str(&format!("\n### {sub}\n\n| metric | value |\n|---|---|\n"));
+                last_subsystem = sub;
+            }
+            out.push_str(&format!("| `{name}` | {} |\n", fmt_value(value)));
+            match totals.get_mut(name) {
+                Some(existing) => existing.merge(value),
+                None => {
+                    totals.insert(name.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    if !totals.is_empty() {
+        out.push_str("\n## totals across experiments\n\n| metric | value |\n|---|---|\n");
+        for (name, value) in &totals {
+            out.push_str(&format!("| `{name}` | {} |\n", fmt_value(value)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::registry::Registry;
@@ -239,6 +295,23 @@ mod tests {
         let m = sample_manifest("exp-closure");
         let back = RunManifest::from_value(&m.to_value()).expect("roundtrip");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn markdown_report_is_deterministic_only() {
+        let md = render_report_markdown(&[sample_manifest("fig4"), sample_manifest("tab1")]);
+        assert!(md.starts_with("# specweb run report"));
+        assert!(md.contains("## fig4 (seed 1996, scale quick)"));
+        assert!(md.contains("### spec"));
+        assert!(md.contains("| `spec.pushes` | 10 |"));
+        assert!(md.contains("## totals across experiments"));
+        assert!(md.contains("| `spec.pushes` | 20 |"));
+        // Nothing from the nondeterministic section may leak in: no
+        // jobs/git line, no timing, no wall-clock metrics.
+        assert!(!md.contains("jobs"), "{md}");
+        assert!(!md.contains("abc1234"), "{md}");
+        assert!(!md.contains("time."), "{md}");
+        assert!(!md.contains("par.workers_spawned"), "{md}");
     }
 
     #[test]

@@ -34,8 +34,8 @@ use std::sync::OnceLock;
 pub use events::{Event, Span, Tracer};
 pub use logging::{set_default_level, Level};
 pub use manifest::{
-    git_describe, render_report, DeterministicSection, NondeterministicSection, PhaseTiming,
-    RunManifest,
+    git_describe, render_report, render_report_markdown, DeterministicSection,
+    NondeterministicSection, PhaseTiming, RunManifest,
 };
 pub use registry::{
     Channel, Counter, Gauge, HistogramHandle, MetricSnapshot, MetricValue, Registry,

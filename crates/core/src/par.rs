@@ -153,7 +153,7 @@ impl Pool {
             .map(|s| {
                 s.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    // lint:allow(S2): the atomic cursor hands out every
+                    // lint:allow(G3): the atomic cursor hands out every
                     // index below `n` exactly once and the scope joins
                     // all workers, so each slot was filled; a None here
                     // is a pool bug, not a caller error.

@@ -56,7 +56,6 @@ impl ServerProfile {
             });
         }
         // Dense doc-id → local index map for this server.
-        // lint:allow(D2): indexed lookups only; per_doc keeps catalog order.
         let mut index = std::collections::HashMap::with_capacity(per_doc.len());
         for (i, &(doc, ..)) in per_doc.iter().enumerate() {
             index.insert(doc, i);

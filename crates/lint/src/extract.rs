@@ -1,0 +1,1067 @@
+//! Item / call-site extraction over the sanitized token stream.
+//!
+//! The second lint engine (DESIGN §9) needs a whole-workspace call
+//! graph, but the vendored-deps constraint rules out `syn`. This module
+//! is the std-only middle ground: it tokenizes the per-line code
+//! channel produced by [`crate::lexer::sanitize`] and runs a small
+//! state machine that recognizes
+//!
+//! * `mod` nesting, `impl`/`trait` blocks, and `fn` items (including
+//!   nested fns), yielding a qualified name per function such as
+//!   `spec::deps::DepMatrix::closure`;
+//! * call sites — free calls (`helper(..)`), path calls
+//!   (`module::helper(..)`, `Type::method(..)`), and method calls
+//!   (`x.method(..)`) — attributed to the innermost enclosing `fn`
+//!   (closure bodies attribute to the defining fn, which is exactly the
+//!   conservative choice taint analysis wants);
+//! * nondeterminism / hazard **sources** per function: wall-clock
+//!   reads, unseeded RNG constructors, hash-collection *iteration*
+//!   (not mere use — see below), thread spawns, panic-capable ops
+//!   (`unwrap`/`expect`; raw indexing is counted but not enforced),
+//!   and lock acquisitions.
+//!
+//! Hash iteration is detected by first collecting, per file, the
+//! identifiers declared with a hash-collection type (`x: HashMap<..>`
+//! ascriptions — struct fields, params, lets — and
+//! `let x = HashMap::new()`-style constructions), then flagging any
+//! iteration of such a name (`for .. in x`, `x.iter()`, `x.keys()`,
+//! `x.values()`, `x.drain(..)`, …). The approximation is documented in
+//! DESIGN §9: names are file-scoped and matched textually, so a hash
+//! map that escapes behind a generic `IntoIterator` is out of scope,
+//! while a same-named non-hash binding in the same file may be flagged
+//! spuriously (the `lint:allow` valve covers that direction).
+//!
+//! Everything here is deterministic by construction — no hashing, no
+//! wall clock — so the serialized call graph is byte-identical for any
+//! `--jobs` count.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Line;
+
+/// The nondeterminism / hazard source classes the taint pass tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// `Instant::now` / `SystemTime` outside the obs wall channel.
+    WallClock,
+    /// `thread_rng` / `from_entropy`.
+    Rng,
+    /// Iteration over a hash-typed binding.
+    HashIter,
+    /// `thread::spawn` / `thread::Builder` / `thread::scope` outside
+    /// the sanctioned owners.
+    ThreadSpawn,
+    /// `.unwrap()` / `.expect()`.
+    Panic,
+}
+
+impl SourceKind {
+    /// Stable identifier used in JSON and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "wall_clock",
+            SourceKind::Rng => "unseeded_rng",
+            SourceKind::HashIter => "hash_iter",
+            SourceKind::ThreadSpawn => "thread_spawn",
+            SourceKind::Panic => "panic",
+        }
+    }
+
+    /// The legacy line-rule class this source corresponds to, shown in
+    /// diagnostics so the G1 report reads as "D2, proven transitively".
+    pub fn legacy_rule(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "D3",
+            SourceKind::Rng => "D4",
+            SourceKind::HashIter => "D2",
+            SourceKind::ThreadSpawn => "D5",
+            SourceKind::Panic => "S2",
+        }
+    }
+}
+
+/// One detected source site inside a function.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceSite {
+    /// 1-based line number.
+    pub line: usize,
+    /// Source class.
+    pub kind: SourceKind,
+    /// What tripped it (`follows` for a hash iteration, `unwrap` for a
+    /// panic site, …).
+    pub what: String,
+}
+
+/// An unresolved call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee as written (the final path segment / method name).
+    pub name: String,
+    /// `a::b` for `a::b::name(..)`; empty for free and method calls.
+    pub qualifier: String,
+    /// True for `x.name(..)` / `self.name(..)` forms.
+    pub is_method: bool,
+    /// True specifically for `self.name(..)`.
+    pub on_self: bool,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// One lock acquisition (`recv.lock()`).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// The receiver's base identifier (`inner` for
+    /// `self.inner.lock()`), the lock's identity for the G2 check.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// True when the guard is bound with `let` (can be held across
+    /// later statements and calls); statement-temporary guards drop at
+    /// the `;` and cannot participate in an ordering cycle.
+    pub held: bool,
+}
+
+/// One extracted function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Fully qualified name: module path + enclosing type/fn names +
+    /// the function name, `::`-joined.
+    pub qname: String,
+    /// Simple name.
+    pub name: String,
+    /// Enclosing module path (no type/fn segments).
+    pub module: String,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Unresolved call sites, in source order.
+    pub calls: Vec<Call>,
+    /// Detected sources, in source order.
+    pub sources: Vec<SourceSite>,
+    /// Count of raw index expressions (`x[i]`): recorded as a
+    /// panic-capability signal in the graph JSON but not enforced by
+    /// G3 (slice indexing is ubiquitous and mostly bounds-proven).
+    pub index_sites: usize,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockSite>,
+}
+
+/// Extraction result for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileExtract {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Module path derived from the file path (`spec::deps`).
+    pub module: String,
+    /// Extracted functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Types this file `impl`s or declares as traits.
+    pub impl_types: BTreeSet<String>,
+}
+
+/// Maps a workspace-relative path to a module path: `crates/spec/src/
+/// deps.rs` → `spec::deps`, `crates/bench/src/bin/figures.rs` →
+/// `bench::bin::figures`, `src/lib.rs` → `specweb`, `examples/x.rs` →
+/// `examples::x`.
+pub fn module_path(rel: &str) -> String {
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    let mut out: Vec<String> = Vec::new();
+    if parts.first() == Some(&"crates") && parts.len() > 2 {
+        out.push(parts[1].to_string());
+        parts.drain(..2);
+    } else if parts.first() == Some(&"examples") {
+        out.push("examples".to_string());
+        parts.remove(0);
+    } else {
+        out.push("specweb".to_string());
+    }
+    if parts.first() == Some(&"src") {
+        parts.remove(0);
+    }
+    for (i, p) in parts.iter().enumerate() {
+        let last = i + 1 == parts.len();
+        let p = if last {
+            p.strip_suffix(".rs").unwrap_or(p)
+        } else {
+            p
+        };
+        if last && (p == "lib" || p == "mod") {
+            continue;
+        }
+        if last && p == "main" && out.len() == 1 {
+            continue;
+        }
+        out.push(p.to_string());
+    }
+    out.join("::")
+}
+
+/// Method names that iterate their receiver.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Keywords that look like call targets but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "fn", "impl", "mod", "struct",
+    "enum", "trait", "use", "pub", "const", "static", "type", "where", "unsafe", "as", "in", "ref",
+    "move", "dyn", "crate", "super", "self", "Self", "break", "continue", "async", "await", "box",
+];
+
+fn is_keyword(w: &str) -> bool {
+    KEYWORDS.contains(&w)
+}
+
+/// One token of the sanitized code channel.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier (never a lifetime; those are skipped).
+    I(String),
+    /// Single punctuation character.
+    P(char),
+}
+
+/// Tokenizes sanitized lines, skipping `skip`-masked (test) regions,
+/// lifetimes, blanked literal bodies, and numeric literals. Returns
+/// `(token, 1-based line)` pairs.
+fn tokenize(lines: &[Line], skip: &[bool]) -> Vec<(Tok, usize)> {
+    let mut toks = Vec::new();
+    let mut in_str = false;
+    for (idx, line) in lines.iter().enumerate() {
+        if skip.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        let n = chars.len();
+        let mut i = 0;
+        if in_str {
+            // Inside a blanked multi-line string: skip to its close.
+            while i < n && chars[i] != '"' {
+                i += 1;
+            }
+            if i < n {
+                in_str = false;
+                i += 1; // consume the closing quote
+            } else {
+                continue;
+            }
+        }
+        while i < n {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c == '"' {
+                // Blanked string body: skip to the close (or carry the
+                // open state to the next line).
+                i += 1;
+                while i < n && chars[i] != '"' {
+                    i += 1;
+                }
+                if i < n {
+                    i += 1;
+                } else {
+                    in_str = true;
+                }
+            } else if c == '\'' {
+                // Lifetime (`'a`) or blanked char literal (`' '`).
+                i += 1;
+                if i < n && (chars[i].is_ascii_alphabetic() || chars[i] == '_') {
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    // A closing quote means this was a char literal
+                    // whose (blanked) body looked like an identifier.
+                    if i < n && chars[i] == '\'' {
+                        i += 1;
+                    }
+                } else {
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    if i < n {
+                        i += 1;
+                    }
+                }
+            } else if c.is_ascii_digit() {
+                // Numeric literal (including float / tuple-index runs).
+                i += 1;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push((Tok::I(chars[start..i].iter().collect()), idx + 1));
+            } else {
+                toks.push((Tok::P(c), idx + 1));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Collects the identifiers this file declares with a hash-collection
+/// type: `name: HashMap<..>` ascriptions (fields, params, lets) and
+/// `let name = HashMap::new()`-style constructions.
+fn hash_typed_names(lines: &[Line], skip: &[bool]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if skip.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = &line.code;
+        for needle in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(needle) {
+                let at = from + pos;
+                from = at + needle.len();
+                if let Some(name) = declared_name_before(code, at) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Given `code[..at]` ending just before a `HashMap`/`HashSet` token,
+/// recovers the identifier being declared, for both ascription
+/// (`name: [&mut ]Hash..`) and construction (`let [mut] name = [path::]
+/// Hash..`) forms.
+fn declared_name_before(code: &str, at: usize) -> Option<String> {
+    let mut pre = code[..at].trim_end();
+    // Strip a leading path (`std::collections::`).
+    loop {
+        let stripped = pre.strip_suffix("::").map(str::trim_end);
+        match stripped {
+            Some(rest) => {
+                let ident_len = rest
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .count();
+                pre = rest[..rest.len() - ident_len].trim_end();
+            }
+            None => break,
+        }
+    }
+    // Reference / mutability sigils in ascriptions.
+    while let Some(rest) = pre
+        .strip_suffix('&')
+        .or_else(|| pre.strip_suffix("mut").filter(|r| !ends_ident(r)))
+    {
+        pre = rest.trim_end();
+    }
+    let pre = if let Some(rest) = pre.strip_suffix(':') {
+        // `name: HashMap<..>` — but not a path `x::HashMap` (handled
+        // above) and not a pattern-match arm `..:`.
+        rest.trim_end()
+    } else if let Some(rest) = pre.strip_suffix('=') {
+        // `let [mut] name = HashMap::new()`; `==`/`=>` never precede a
+        // type name, so a bare `=` suffix is an assignment.
+        rest.trim_end_matches(['=', '>']).trim_end()
+    } else {
+        return None;
+    };
+    let name: String = pre
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn ends_ident(s: &str) -> bool {
+    s.chars()
+        .last()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScopeKind {
+    Mod,
+    /// `impl` block or `trait` definition.
+    Type,
+    Fn,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    name: String,
+    /// Brace depth immediately after this scope's `{`.
+    depth: usize,
+    /// Index into `FileExtract::fns` for `Fn` scopes.
+    fn_idx: Option<usize>,
+}
+
+/// Extracts items, calls, and sources from one sanitized file.
+///
+/// `skip` is the test-region mask (same length as `lines`).
+pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
+    let module = module_path(rel);
+    // The sanctioned-owner whitelists carry over from the line engine:
+    // the obs wall channel may read real time, and the scoped pool /
+    // server may spawn threads (DESIGN §7, §9). Sources there are
+    // policy, not hazards.
+    let wall_exempt = crate::rules::path_has_prefix(rel, crate::rules::D3_EXEMPT);
+    let thread_exempt = crate::rules::path_has_prefix(rel, crate::rules::D5_EXEMPT);
+    let hash_names = hash_typed_names(lines, skip);
+    let toks = tokenize(lines, skip);
+    let mut out = FileExtract {
+        rel: rel.to_string(),
+        module: module.clone(),
+        ..FileExtract::default()
+    };
+
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut depth: usize = 0;
+    // Pending item headers between their keyword and their `{` / `;`.
+    let mut pend_fn: Option<usize> = None; // index into out.fns
+    let mut pend_named: Option<(ScopeKind, String)> = None; // mod / trait
+    let mut impl_hdr: Option<ImplHdr> = None;
+    // For-loop header capture: Some(seen_in) while inside one.
+    let mut for_hdr: Option<bool> = None;
+
+    #[derive(Debug, Default)]
+    struct ImplHdr {
+        name: Option<String>,
+        after_for: bool,
+        angle: i32,
+        in_where: bool,
+    }
+
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        let (tok, line) = &toks[i];
+        let line = *line;
+        match tok {
+            Tok::P('{') => {
+                depth += 1;
+                if let Some(fi) = pend_fn.take() {
+                    stack.push(Scope {
+                        kind: ScopeKind::Fn,
+                        name: out.fns[fi].name.clone(),
+                        depth,
+                        fn_idx: Some(fi),
+                    });
+                } else if let Some(hdr) = impl_hdr.take() {
+                    let name = hdr.name.unwrap_or_else(|| "?".to_string());
+                    out.impl_types.insert(name.clone());
+                    stack.push(Scope {
+                        kind: ScopeKind::Type,
+                        name,
+                        depth,
+                        fn_idx: None,
+                    });
+                } else if let Some((kind, name)) = pend_named.take() {
+                    if kind == ScopeKind::Type {
+                        out.impl_types.insert(name.clone());
+                    }
+                    stack.push(Scope {
+                        kind,
+                        name,
+                        depth,
+                        fn_idx: None,
+                    });
+                }
+                for_hdr = None;
+                i += 1;
+            }
+            Tok::P('}') => {
+                depth = depth.saturating_sub(1);
+                while stack.last().is_some_and(|s| s.depth > depth) {
+                    stack.pop();
+                }
+                i += 1;
+            }
+            Tok::P(';') => {
+                pend_fn = None;
+                pend_named = None;
+                impl_hdr = None;
+                i += 1;
+            }
+            Tok::P('<') if impl_hdr.is_some() => {
+                if let Some(h) = impl_hdr.as_mut() {
+                    h.angle += 1;
+                }
+                i += 1;
+            }
+            Tok::P('>') if impl_hdr.is_some() => {
+                if let Some(h) = impl_hdr.as_mut() {
+                    h.angle = (h.angle - 1).max(0);
+                }
+                i += 1;
+            }
+            Tok::P('[') => {
+                // Raw index expression: `x[..]` / `f(..)[..]`.
+                if i > 0 {
+                    let indexing = match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w),
+                        Tok::P(')') | Tok::P(']') => true,
+                        _ => false,
+                    };
+                    if indexing {
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.index_sites += 1;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Tok::P(_) => {
+                i += 1;
+            }
+            Tok::I(w) => {
+                // Impl-header capture consumes idents until `{`.
+                if let Some(h) = impl_hdr.as_mut() {
+                    if w == "for" {
+                        h.after_for = true;
+                        h.name = None;
+                    } else if w == "where" {
+                        h.in_where = true;
+                    } else if h.angle == 0 && !h.in_where && (h.name.is_none() || !h.after_for) {
+                        h.name = Some(w.clone());
+                    }
+                    i += 1;
+                    continue;
+                }
+                // For-loop header: record iterated hash names.
+                if let Some(seen_in) = for_hdr.as_mut() {
+                    if w == "in" {
+                        *seen_in = true;
+                        i += 1;
+                        continue;
+                    }
+                    if *seen_in
+                        && hash_names.contains(w.as_str())
+                        && toks.get(i + 1).map(|(t, _)| t) != Some(&Tok::P('('))
+                    {
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.sources.push(SourceSite {
+                                line,
+                                kind: SourceKind::HashIter,
+                                what: w.clone(),
+                            });
+                        }
+                    }
+                    // fall through: calls inside the header still count.
+                }
+
+                let next_is = |k: char| toks.get(i + 1).map(|(t, _)| t) == Some(&Tok::P(k));
+                let in_fn_sig =
+                    pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+
+                match w.as_str() {
+                    "fn" => {
+                        if let Some((Tok::I(name), _)) = toks.get(i + 1) {
+                            if pend_fn.is_none() {
+                                let (module_full, self_type) = scope_context(&module, &stack);
+                                let qname = format!("{module_full}::{name}");
+                                out.fns.push(FnItem {
+                                    qname,
+                                    name: name.clone(),
+                                    module: module_of(&module, &stack),
+                                    self_type,
+                                    line,
+                                    calls: Vec::new(),
+                                    sources: Vec::new(),
+                                    index_sites: 0,
+                                    locks: Vec::new(),
+                                });
+                                pend_fn = Some(out.fns.len() - 1);
+                            }
+                            i += 2; // consume `fn` and the name
+                            continue;
+                        }
+                        // `fn(..)` pointer type — not an item.
+                        i += 1;
+                        continue;
+                    }
+                    "mod" if pend_fn.is_none() => {
+                        if let Some((Tok::I(name), _)) = toks.get(i + 1) {
+                            pend_named = Some((ScopeKind::Mod, name.clone()));
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "trait" if pend_fn.is_none() => {
+                        if let Some((Tok::I(name), _)) = toks.get(i + 1) {
+                            pend_named = Some((ScopeKind::Type, name.clone()));
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "impl" if pend_fn.is_none() => {
+                        impl_hdr = Some(ImplHdr::default());
+                        i += 1;
+                        continue;
+                    }
+                    "for" if !in_fn_sig => {
+                        for_hdr = Some(false);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+
+                // Source patterns on bare identifiers.
+                let kind_hit = match w.as_str() {
+                    "SystemTime" if !wall_exempt => Some((SourceKind::WallClock, w.clone())),
+                    "thread_rng" | "from_entropy" => Some((SourceKind::Rng, w.clone())),
+                    _ => None,
+                };
+                if let Some((kind, what)) = kind_hit {
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.sources.push(SourceSite { line, kind, what });
+                    }
+                }
+
+                // Call site: identifier followed by `(` (macros have a
+                // `!` in between and fall outside this pattern).
+                if next_is('(') && !is_keyword(w) {
+                    let prev_dot = i > 0 && toks[i - 1].0 == Tok::P('.');
+                    if prev_dot {
+                        // Method call `recv.w(..)`.
+                        let recv = receiver_before(&toks, i - 1);
+                        let on_self = recv.as_deref() == Some("self");
+                        if ITER_METHODS.contains(&w.as_str()) {
+                            if let Some(r) = recv.as_deref() {
+                                if hash_names.contains(r) {
+                                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                        f.sources.push(SourceSite {
+                                            line,
+                                            kind: SourceKind::HashIter,
+                                            what: r.to_string(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        if w == "unwrap" || w == "expect" {
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.sources.push(SourceSite {
+                                    line,
+                                    kind: SourceKind::Panic,
+                                    what: w.clone(),
+                                });
+                            }
+                        }
+                        if w == "lock" {
+                            let name = recv.clone().unwrap_or_else(|| "?".to_string());
+                            let held = binds_with_let(&toks, i);
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.locks.push(LockSite { name, line, held });
+                            }
+                        }
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.calls.push(Call {
+                                name: w.clone(),
+                                qualifier: String::new(),
+                                is_method: true,
+                                on_self,
+                                line,
+                            });
+                        }
+                    } else {
+                        let qualifier = path_qualifier_before(&toks, i);
+                        if !thread_exempt
+                            && (qualifier == "thread" || qualifier.ends_with("::thread"))
+                            && matches!(w.as_str(), "spawn" | "scope")
+                        {
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.sources.push(SourceSite {
+                                    line,
+                                    kind: SourceKind::ThreadSpawn,
+                                    what: format!("thread::{w}"),
+                                });
+                            }
+                        }
+                        if w == "now"
+                            && !wall_exempt
+                            && (qualifier == "Instant" || qualifier.ends_with("::Instant"))
+                        {
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.sources.push(SourceSite {
+                                    line,
+                                    kind: SourceKind::WallClock,
+                                    what: "Instant::now".to_string(),
+                                });
+                            }
+                        }
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.calls.push(Call {
+                                name: w.clone(),
+                                qualifier,
+                                is_method: false,
+                                on_self: false,
+                                line,
+                            });
+                        }
+                    }
+                }
+                // `thread::Builder` (no call parens on the path tail).
+                if w == "Builder"
+                    && !thread_exempt
+                    && path_qualifier_before(&toks, i).ends_with("thread")
+                {
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.sources.push(SourceSite {
+                            line,
+                            kind: SourceKind::ThreadSpawn,
+                            what: "thread::Builder".to_string(),
+                        });
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The innermost enclosing function, if any (a pending fn header counts
+/// so signature-level sources attribute correctly).
+fn current_fn<'a>(
+    stack: &[Scope],
+    pend_fn: Option<usize>,
+    out: &'a mut FileExtract,
+) -> Option<&'a mut FnItem> {
+    if let Some(fi) = pend_fn {
+        return out.fns.get_mut(fi);
+    }
+    let fi = stack.iter().rev().find_map(|s| s.fn_idx)?;
+    out.fns.get_mut(fi)
+}
+
+/// Full scope prefix (module + mods + type + enclosing fns) and the
+/// innermost type name.
+fn scope_context(module: &str, stack: &[Scope]) -> (String, Option<String>) {
+    let mut parts = vec![module.to_string()];
+    let mut self_type = None;
+    for s in stack {
+        parts.push(s.name.clone());
+        if s.kind == ScopeKind::Type {
+            self_type = Some(s.name.clone());
+        }
+    }
+    (parts.join("::"), self_type)
+}
+
+/// Module path including inline `mod` scopes (but not type/fn scopes).
+fn module_of(module: &str, stack: &[Scope]) -> String {
+    let mut parts = vec![module.to_string()];
+    for s in stack {
+        if s.kind == ScopeKind::Mod {
+            parts.push(s.name.clone());
+        }
+    }
+    parts.join("::")
+}
+
+/// The receiver identifier for the method call whose `.` is at `dot`:
+/// walks back over one balanced `(..)`/`[..]` group and returns the
+/// identifier found (`slots` for `slots[i].lock()`).
+fn receiver_before(toks: &[(Tok, usize)], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    // Balance back over a trailing call/index group.
+    let close = match &toks[j].0 {
+        Tok::P(')') => Some(('(', ')')),
+        Tok::P(']') => Some(('[', ']')),
+        _ => None,
+    };
+    if let Some((open, close)) = close {
+        let mut depth = 1;
+        while depth > 0 {
+            j = j.checked_sub(1)?;
+            match &toks[j].0 {
+                Tok::P(c) if *c == close => depth += 1,
+                Tok::P(c) if *c == open => depth -= 1,
+                _ => {}
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    match &toks[j].0 {
+        Tok::I(w) => Some(w.clone()),
+        _ => None,
+    }
+}
+
+/// The `a::b` qualifier preceding the call-name token at `at`.
+fn path_qualifier_before(toks: &[(Tok, usize)], at: usize) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = at;
+    while j >= 2 && toks[j - 1].0 == Tok::P(':') && toks[j - 2].0 == Tok::P(':') {
+        if j >= 3 {
+            if let Tok::I(w) = &toks[j - 3].0 {
+                segs.push(w.clone());
+                j -= 3;
+                continue;
+            }
+        }
+        break;
+    }
+    segs.reverse();
+    segs.join("::")
+}
+
+/// Whether the statement containing token `at` starts with `let`
+/// (scanning back to the previous `;`, `{`, or `}`).
+fn binds_with_let(toks: &[(Tok, usize)], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].0 {
+            Tok::P(';') | Tok::P('{') | Tok::P('}') => {
+                return matches!(&toks.get(j + 1).map(|(t, _)| t), Some(Tok::I(w)) if w == "let");
+            }
+            _ => {}
+        }
+    }
+    matches!(&toks.first().map(|(t, _)| t), Some(Tok::I(w)) if w == "let")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::sanitize;
+
+    fn ex(rel: &str, src: &str) -> FileExtract {
+        let lines = sanitize(src);
+        let skip = vec![false; lines.len()];
+        extract(rel, &lines, &skip)
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path("crates/spec/src/deps.rs"), "spec::deps");
+        assert_eq!(
+            module_path("crates/core/src/obs/events.rs"),
+            "core::obs::events"
+        );
+        assert_eq!(module_path("crates/core/src/obs/mod.rs"), "core::obs");
+        assert_eq!(module_path("crates/core/src/lib.rs"), "core");
+        assert_eq!(
+            module_path("crates/bench/src/bin/figures.rs"),
+            "bench::bin::figures"
+        );
+        assert_eq!(module_path("src/lib.rs"), "specweb");
+        assert_eq!(module_path("src/bin/specweb.rs"), "specweb::bin::specweb");
+        assert_eq!(
+            module_path("examples/quickstart.rs"),
+            "examples::quickstart"
+        );
+    }
+
+    #[test]
+    fn fns_impls_and_mods_get_qualified_names() {
+        let src = "
+mod inner {
+    pub struct Thing;
+    impl Thing {
+        pub fn make() -> Thing { helper() }
+    }
+    fn helper() -> Thing { Thing }
+}
+impl fmt::Display for Wide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write(f) }
+}
+pub fn top() { inner::helper(); }
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = fx.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "x::inner::Thing::make",
+                "x::inner::helper",
+                "x::Wide::fmt",
+                "x::top"
+            ],
+            "{fx:#?}"
+        );
+        assert!(fx.impl_types.contains("Thing"));
+        assert!(fx.impl_types.contains("Wide"));
+        let top = fx.fns.iter().find(|f| f.name == "top").unwrap();
+        assert_eq!(top.calls.len(), 1);
+        assert_eq!(top.calls[0].qualifier, "inner");
+        assert_eq!(top.calls[0].name, "helper");
+    }
+
+    #[test]
+    fn method_and_path_calls_are_distinguished() {
+        let src = "fn f(x: &W) { x.step(); self.tick(); W::boot(); a::b::go(); }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let calls = &fx.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "step" && c.is_method && !c.on_self));
+        assert!(calls.iter().any(|c| c.name == "tick" && c.on_self));
+        assert!(calls.iter().any(|c| c.name == "boot" && c.qualifier == "W"));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "go" && c.qualifier == "a::b"));
+    }
+
+    #[test]
+    fn hash_iteration_is_a_source_but_lookup_is_not() {
+        let src = "
+fn lookup(m: &HashMap<u32, u32>) -> Option<u32> { m.get(&1).copied() }
+fn leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    for (a, b) in &m2 { v.push(*a + *b); }
+    v
+}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let lookup = fx.fns.iter().find(|f| f.name == "lookup").unwrap();
+        assert!(
+            lookup
+                .sources
+                .iter()
+                .all(|s| s.kind != SourceKind::HashIter),
+            "{lookup:#?}"
+        );
+        let leak = fx.fns.iter().find(|f| f.name == "leak").unwrap();
+        let iters: Vec<&SourceSite> = leak
+            .sources
+            .iter()
+            .filter(|s| s.kind == SourceKind::HashIter)
+            .collect();
+        // `m.keys()` trips; the for-loop over `m2` does not (m2 is not
+        // hash-typed in this file).
+        assert_eq!(iters.len(), 1, "{leak:#?}");
+        assert_eq!(iters[0].what, "m");
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_is_a_source() {
+        let src = "
+struct B { follows: HashMap<(u32, u32), u64> }
+impl B {
+    fn build(&self) { for (k, n) in &self.follows { use_it(k, n); } }
+}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let build = fx.fns.iter().find(|f| f.name == "build").unwrap();
+        assert!(
+            build
+                .sources
+                .iter()
+                .any(|s| s.kind == SourceKind::HashIter && s.what == "follows"),
+            "{build:#?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_rng_thread_and_panic_sources() {
+        let src = "
+fn f() {
+    let t = Instant::now();
+    let st = SystemTime::now();
+    let r = thread_rng();
+    std::thread::spawn(|| {});
+    let v = x.unwrap();
+    let w = y.expect( );
+}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let kinds: Vec<SourceKind> = fx.fns[0].sources.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SourceKind::WallClock));
+        assert!(kinds.contains(&SourceKind::Rng));
+        assert!(kinds.contains(&SourceKind::ThreadSpawn));
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == SourceKind::Panic).count(),
+            2,
+            "{:#?}",
+            fx.fns[0].sources
+        );
+        // SystemTime::now yields both the ident hit and the call-path
+        // hit at the same site; the graph dedups per line.
+        assert!(
+            kinds
+                .iter()
+                .filter(|&&k| k == SourceKind::WallClock)
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn lock_sites_record_receiver_and_let_binding() {
+        let src = "
+fn f(&self) {
+    let g = self.inner.lock();
+    *slots[i].lock().unwrap_or_else(e) = 1;
+}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let locks = &fx.fns[0].locks;
+        assert_eq!(locks.len(), 2, "{locks:#?}");
+        assert_eq!(locks[0].name, "inner");
+        assert!(locks[0].held);
+        assert_eq!(locks[1].name, "slots");
+        assert!(!locks[1].held);
+    }
+
+    #[test]
+    fn closure_bodies_attribute_to_the_defining_fn() {
+        let src = "fn f() { pool.map_indexed(&xs, |_, x| helper(x)); }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        assert!(fx.fns[0].calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn trait_default_methods_are_methods_of_the_trait() {
+        let src = "trait T { fn req(&self); fn has_default(&self) { self.req(); } }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = fx.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, ["x::T::req", "x::T::has_default"]);
+        assert_eq!(fx.fns[1].self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn fn_pointer_types_and_sig_impls_do_not_confuse_scopes() {
+        let src = "
+fn f(cb: fn(u32) -> u32, it: impl Fn() -> u32) -> u32 { cb(1) + it() }
+fn g() {}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = fx.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, ["x::f", "x::g"], "{fx:#?}");
+    }
+
+    #[test]
+    fn index_sites_are_counted_not_reported() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + v[i + 1] }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        assert_eq!(fx.fns[0].index_sites, 2);
+        assert!(fx.fns[0].sources.is_empty());
+    }
+}

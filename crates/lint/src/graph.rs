@@ -1,0 +1,591 @@
+//! Workspace call graph: resolution of the extractor's raw call sites
+//! into edges, plus a deterministic JSON serialization.
+//!
+//! Name resolution is deliberately **over-approximate** (DESIGN §9): an
+//! edge we cannot rule out is an edge we keep. The ladder, most to
+//! least precise:
+//!
+//! 1. `self.m(..)` where the enclosing `impl`/`trait` type defines `m`
+//!    → exactly those candidates;
+//! 2. `Type::f(..)` where `Type` is a known impl/trait type → that
+//!    type's `f`;
+//! 3. `module::f(..)` where the qualifier suffix-matches a known module
+//!    path → that module's `f`;
+//! 4. unqualified `f(..)` → same-module `f` when one exists;
+//! 5. everything else (method calls on unknown receivers, foreign-path
+//!    calls, unresolved free calls) → **every** workspace fn named `f`.
+//!
+//! Rung 5 is the conservative fallback the ISSUE calls for: `x.get(..)`
+//! on an opaque receiver edges to every `get` in the workspace. That
+//! can only create false reachability (handled by `lint:allow` at the
+//! source site), never hide a real path — the soundness direction the
+//! whole pass is built around.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::extract::{FileExtract, LockSite, SourceKind, SourceSite};
+
+/// The workspace crate-dependency DAG, used to prune infeasible edges:
+/// a fn in crate A cannot call a fn in crate B unless A (transitively)
+/// depends on B — `rustc` would not even resolve the name. This is the
+/// one *under*-approximation-free filter layered on the conservative
+/// name fallback: it removes edges that are impossible by construction,
+/// never edges that are merely unlikely.
+#[derive(Debug, Clone, Default)]
+pub struct CrateDeps {
+    /// crate → transitive dependency closure (crate names as they
+    /// appear as the first qname segment, e.g. `spec`, `core`).
+    deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CrateDeps {
+    /// No pruning: every cross-crate edge is feasible. Used by
+    /// in-memory fixture analyses that have no Cargo metadata.
+    pub fn permissive() -> CrateDeps {
+        CrateDeps::default()
+    }
+
+    /// Builds from direct-dependency pairs `(crate, dep)`, computing
+    /// the transitive closure.
+    pub fn from_pairs(pairs: &[(String, String)]) -> CrateDeps {
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (a, b) in pairs {
+            deps.entry(a.clone()).or_default().insert(b.clone());
+            deps.entry(b.clone()).or_default();
+        }
+        // Closure: iterate to fixpoint (the workspace DAG is tiny).
+        loop {
+            let mut grew = false;
+            let snapshot = deps.clone();
+            for set in deps.values_mut() {
+                let extra: BTreeSet<String> = set
+                    .iter()
+                    .filter_map(|d| snapshot.get(d))
+                    .flatten()
+                    .filter(|d| !set.contains(*d))
+                    .cloned()
+                    .collect();
+                if !extra.is_empty() {
+                    set.extend(extra);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        CrateDeps { deps }
+    }
+
+    /// Whether a call edge from crate `a` to crate `b` is feasible.
+    /// Crates absent from the map (fixtures, the root package) are
+    /// treated permissively — pruning must never under-approximate.
+    pub fn edge_ok(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        match self.deps.get(a) {
+            Some(set) => !self.deps.contains_key(b) || set.contains(b),
+            None => true,
+        }
+    }
+}
+
+/// First qname segment = crate.
+fn crate_of(qname: &str) -> &str {
+    qname.split("::").next().unwrap_or(qname)
+}
+
+/// Std / foreign type and path qualifiers whose associated fns never
+/// reenter workspace code directly (callbacks they take are closures,
+/// whose bodies the extractor already attributes to the defining fn).
+/// Resolving `Vec::new(..)` to every workspace `new` would only add
+/// noise, so these short-circuit to "no candidates".
+const STD_QUALIFIERS: &[&str] = &[
+    "Arc",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "Cell",
+    "Command",
+    "Condvar",
+    "Cow",
+    "Duration",
+    "File",
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "Ipv4Addr",
+    "Mutex",
+    "NonZeroU32",
+    "NonZeroUsize",
+    "Option",
+    "OsStr",
+    "OsString",
+    "Ordering",
+    "Path",
+    "PathBuf",
+    "Rc",
+    "RefCell",
+    "Reverse",
+    "RwLock",
+    "SocketAddr",
+    "String",
+    "SystemTime",
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "Vec",
+    "VecDeque",
+    "char",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "str",
+    "u16",
+    "u32",
+    "u64",
+    "u8",
+    "usize",
+];
+
+fn is_std_qualifier(q: &str) -> bool {
+    let first = q.split("::").next().unwrap_or(q);
+    let last = q.rsplit("::").next().unwrap_or(q);
+    matches!(first, "std" | "alloc") || STD_QUALIFIERS.contains(&last)
+}
+
+/// One resolved function node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Module path (no type/fn segments).
+    pub module: String,
+    /// Simple name.
+    pub name: String,
+    /// Enclosing impl/trait type, when any.
+    pub self_type: Option<String>,
+    /// Resolved callees (qnames).
+    pub calls: BTreeSet<String>,
+    /// Nondeterminism / hazard sources, deduped by (line, kind).
+    pub sources: Vec<SourceSite>,
+    /// Raw index expressions (recorded, not enforced).
+    pub index_sites: usize,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockSite>,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// qname → node. BTreeMap so every traversal and the JSON dump are
+    /// order-deterministic.
+    pub nodes: BTreeMap<String, Node>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file extraction results, with
+    /// permissive (no) crate-dependency pruning.
+    pub fn build(files: &[FileExtract]) -> CallGraph {
+        CallGraph::build_with_deps(files, &CrateDeps::permissive())
+    }
+
+    /// Builds the graph, pruning candidate edges that contradict the
+    /// crate-dependency DAG (see [`CrateDeps`]).
+    pub fn build_with_deps(files: &[FileExtract], deps: &CrateDeps) -> CallGraph {
+        // Index pass: name → qnames, (type, name) → qnames,
+        // module → set of fn names, known module paths.
+        let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut by_type_name: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
+        let mut by_module_name: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
+        let mut modules: BTreeSet<&str> = BTreeSet::new();
+        for fx in files {
+            for f in &fx.fns {
+                by_name.entry(&f.name).or_default().push(&f.qname);
+                if let Some(t) = &f.self_type {
+                    by_type_name
+                        .entry((t.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(&f.qname);
+                }
+                by_module_name
+                    .entry((f.module.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(&f.qname);
+                modules.insert(&f.module);
+            }
+        }
+        let known_types: BTreeSet<&str> = files
+            .iter()
+            .flat_map(|fx| fx.impl_types.iter().map(String::as_str))
+            .collect();
+        let method_qnames: BTreeSet<&str> = files
+            .iter()
+            .flat_map(|fx| fx.fns.iter())
+            .filter(|f| f.self_type.is_some())
+            .map(|f| f.qname.as_str())
+            .collect();
+
+        let mut nodes: BTreeMap<String, Node> = BTreeMap::new();
+        for fx in files {
+            for f in &fx.fns {
+                let mut calls: BTreeSet<String> = BTreeSet::new();
+                for c in &f.calls {
+                    let cands: Vec<&str> = if c.is_method {
+                        if c.on_self {
+                            if let Some(t) = &f.self_type {
+                                match by_type_name.get(&(t.as_str(), c.name.as_str())) {
+                                    Some(v) => v.clone(),
+                                    // Unknown on this type (trait method
+                                    // via blanket impl, deref…): fall
+                                    // back to any same-named fn.
+                                    None => {
+                                        by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                                    }
+                                }
+                            } else {
+                                by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                            }
+                        } else {
+                            // Opaque receiver: every method named `m`
+                            // (free fns can't be method targets).
+                            by_name
+                                .get(c.name.as_str())
+                                .map(|v| {
+                                    v.iter()
+                                        .filter(|q| method_qnames.contains(*q))
+                                        .copied()
+                                        .collect::<Vec<_>>()
+                                })
+                                .unwrap_or_default()
+                        }
+                    } else if !c.qualifier.is_empty() {
+                        let last = c.qualifier.rsplit("::").next().unwrap_or(&c.qualifier);
+                        if known_types.contains(last) {
+                            by_type_name
+                                .get(&(last, c.name.as_str()))
+                                .cloned()
+                                .unwrap_or_else(|| {
+                                    by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                                })
+                        } else if let Some(m) = match_module(&modules, &c.qualifier, &f.module) {
+                            by_module_name
+                                .get(&(m, c.name.as_str()))
+                                .cloned()
+                                .unwrap_or_default()
+                        } else if is_std_qualifier(&c.qualifier) {
+                            // Std/foreign type: never reenters
+                            // workspace code directly (closures it is
+                            // handed are attributed to the defining fn
+                            // already).
+                            Vec::new()
+                        } else {
+                            // Unknown foreign path: conservative
+                            // any-name fallback.
+                            by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                        }
+                    } else {
+                        // Unqualified free call: same module wins.
+                        match by_module_name.get(&(f.module.as_str(), c.name.as_str())) {
+                            Some(v) => v.clone(),
+                            None => by_name.get(c.name.as_str()).cloned().unwrap_or_default(),
+                        }
+                    };
+                    let from_crate = crate_of(&f.qname);
+                    for q in cands {
+                        if q != f.qname && deps.edge_ok(from_crate, crate_of(q)) {
+                            calls.insert(q.to_string());
+                        }
+                    }
+                }
+
+                // Dedup sources by (line, kind) — `SystemTime::now()`
+                // trips both the ident and the call-path pattern.
+                let mut seen: BTreeSet<(usize, SourceKind)> = BTreeSet::new();
+                let sources: Vec<SourceSite> = f
+                    .sources
+                    .iter()
+                    .filter(|s| seen.insert((s.line, s.kind)))
+                    .cloned()
+                    .collect();
+
+                let node = Node {
+                    file: fx.rel.clone(),
+                    line: f.line,
+                    module: f.module.clone(),
+                    name: f.name.clone(),
+                    self_type: f.self_type.clone(),
+                    calls,
+                    sources,
+                    index_sites: f.index_sites,
+                    locks: f.locks.clone(),
+                };
+                match nodes.entry(f.qname.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(node);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        // Same qname twice (e.g. cfg-gated twins):
+                        // merge conservatively.
+                        let n = e.get_mut();
+                        n.calls.extend(node.calls);
+                        n.sources.extend(node.sources);
+                        n.index_sites += node.index_sites;
+                        n.locks.extend(node.locks);
+                    }
+                }
+            }
+        }
+        CallGraph { nodes }
+    }
+
+    /// Serializes the graph as stable, key-sorted JSON (schema
+    /// `specweb-callgraph/v1`). Byte-identical for identical inputs —
+    /// the golden test diffs this across `--jobs` counts.
+    pub fn to_json(&self, roots: &[String], hot_roots: &[String]) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"specweb-callgraph/v1\",\n");
+        s.push_str(&format!("  \"fn_count\": {},\n", self.nodes.len()));
+        let edge_count: usize = self.nodes.values().map(|n| n.calls.len()).sum();
+        s.push_str(&format!("  \"edge_count\": {edge_count},\n"));
+        s.push_str("  \"roots\": [");
+        s.push_str(
+            &roots
+                .iter()
+                .map(|r| format!("\"{}\"", esc(r)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("],\n  \"hot_roots\": [");
+        s.push_str(
+            &hot_roots
+                .iter()
+                .map(|r| format!("\"{}\"", esc(r)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("],\n  \"nodes\": {\n");
+        let mut first = true;
+        for (q, n) in &self.nodes {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&format!("    \"{}\": {{", esc(q)));
+            s.push_str(&format!("\"file\": \"{}\", ", esc(&n.file)));
+            s.push_str(&format!("\"line\": {}, ", n.line));
+            s.push_str("\"calls\": [");
+            s.push_str(
+                &n.calls
+                    .iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push_str("], \"sources\": [");
+            s.push_str(
+                &n.sources
+                    .iter()
+                    .map(|src| {
+                        format!(
+                            "{{\"kind\": \"{}\", \"line\": {}, \"what\": \"{}\"}}",
+                            src.kind.id(),
+                            src.line,
+                            esc(&src.what)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push_str("], \"locks\": [");
+            s.push_str(
+                &n.locks
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{{\"name\": \"{}\", \"line\": {}, \"held\": {}}}",
+                            esc(&l.name),
+                            l.line,
+                            l.held
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push_str(&format!("], \"index_sites\": {}}}", n.index_sites));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+/// Matches a call-site qualifier against the known module set:
+/// an exact module path, a suffix of one (`deps::helper(..)` inside
+/// `spec` matches `spec::deps`), or a `crate::`-prefixed path rooted at
+/// the caller's crate.
+fn match_module<'m>(
+    modules: &BTreeSet<&'m str>,
+    qualifier: &str,
+    caller_module: &str,
+) -> Option<&'m str> {
+    let q = qualifier.strip_prefix("crate::").map(|rest| {
+        let krate = caller_module.split("::").next().unwrap_or(caller_module);
+        format!("{krate}::{rest}")
+    });
+    let q = q.as_deref().unwrap_or(qualifier);
+    if qualifier == "crate" {
+        let krate = caller_module.split("::").next().unwrap_or(caller_module);
+        return modules.get(krate).copied();
+    }
+    if let Some(m) = modules.get(q) {
+        return Some(m);
+    }
+    // Suffix match: prefer the caller's own crate on ties.
+    let mut hits: Vec<&str> = modules
+        .iter()
+        .filter(|m| m.ends_with(&format!("::{q}")))
+        .copied()
+        .collect();
+    if hits.len() > 1 {
+        let krate = caller_module.split("::").next().unwrap_or(caller_module);
+        if let Some(own) = hits
+            .iter()
+            .find(|m| m.split("::").next() == Some(krate))
+            .copied()
+        {
+            return Some(own);
+        }
+    }
+    hits.pop()
+}
+
+/// Minimal JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::lexer::sanitize;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let fx: Vec<FileExtract> = files
+            .iter()
+            .map(|(rel, src)| {
+                let lines = sanitize(src);
+                let skip = vec![false; lines.len()];
+                extract(rel, &lines, &skip)
+            })
+            .collect();
+        CallGraph::build(&fx)
+    }
+
+    #[test]
+    fn cross_module_path_calls_resolve() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper::go(); }"),
+            ("crates/a/src/helper.rs", "pub fn go() {}"),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert!(entry.calls.contains("a::helper::go"), "{entry:#?}");
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+struct T;
+impl T {
+    fn outer(&self) { self.inner(); }
+    fn inner(&self) {}
+}
+struct U;
+impl U {
+    fn inner(&self) {}
+}
+",
+        )]);
+        let outer = &g.nodes["a::T::outer"];
+        assert_eq!(
+            outer.calls.iter().collect::<Vec<_>>(),
+            ["a::T::inner"],
+            "self.inner() must not edge to U::inner"
+        );
+    }
+
+    #[test]
+    fn opaque_method_calls_fall_back_to_all_same_named_methods() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+struct T;
+impl T { fn step(&self) {} }
+struct U;
+impl U { fn step(&self) {} }
+fn drive(x: &T) { x.step(); }
+",
+        )]);
+        let drive = &g.nodes["a::drive"];
+        assert!(drive.calls.contains("a::T::step"));
+        assert!(
+            drive.calls.contains("a::U::step"),
+            "conservative fallback keeps both"
+        );
+    }
+
+    #[test]
+    fn type_qualified_calls_resolve_to_the_type() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+struct T;
+impl T { fn new() -> T { T } }
+fn make() -> T { T::new() }
+",
+        )]);
+        let make = &g.nodes["a::make"];
+        assert_eq!(make.calls.iter().collect::<Vec<_>>(), ["a::T::new"]);
+    }
+
+    #[test]
+    fn json_is_stable_under_input_permutation() {
+        let files = [
+            ("crates/a/src/lib.rs", "pub fn f() { g(); }\npub fn g() {}"),
+            ("crates/b/src/lib.rs", "pub fn h() {}"),
+        ];
+        let mut rev = files;
+        rev.reverse();
+        let a = graph(&files).to_json(&[], &[]);
+        let b = graph(&rev).to_json(&[], &[]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"specweb-callgraph/v1\""));
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let g = graph(&[("crates/a/src/lib.rs", "pub fn rec(n: u32) { rec(n); }")]);
+        assert!(g.nodes["a::rec"].calls.is_empty());
+    }
+}

@@ -12,12 +12,25 @@
 //! checked mechanically — so this crate walks every workspace `.rs`
 //! file and enforces the rules in [`rules::RULES`].
 //!
-//! # How it works
+//! # The two engines
 //!
-//! The vendored-deps constraint rules out `syn`, so the pass is a small
-//! hand-rolled lexer ([`lexer`]) that strips comments and blanks
-//! literal bodies, plus a line-oriented rule engine over the sanitized
-//! code. Violations are suppressible in place with
+//! The vendored-deps constraint rules out `syn`, so everything is built
+//! on a small hand-rolled lexer ([`lexer`]) that strips comments and
+//! blanks literal bodies.
+//!
+//! * The **line engine** runs per-line pattern rules over the sanitized
+//!   code (D1 float comparators, S1 unsafe hygiene, plus — in
+//!   standalone/fixture mode — the path-heuristic rules D2–D5/S2).
+//! * The **graph engine** ([`extract`] → [`graph`] → [`taint`])
+//!   extracts `fn` items and call sites from the same token stream,
+//!   builds a whole-workspace call graph, and proves determinism
+//!   *transitively*: a nondeterminism source is only a violation when
+//!   it is call-reachable from a deterministic root (G1/G3), and every
+//!   finding carries a root→site evidence chain. Workspace runs use
+//!   this engine in place of the D2/D3/D4/D5/S2 heuristics, so e.g. a
+//!   lookup-only `HashMap` no longer needs an allow. See DESIGN §9.
+//!
+//! Violations from either engine are suppressible in place with
 //! `// lint:allow(<rule>): <reason>` — the reason is mandatory, and an
 //! allow that stops matching anything is reported so suppressions
 //! cannot silently outlive the code they excused.
@@ -28,8 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod extract;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -87,6 +103,9 @@ pub struct Report {
     pub allowed: Vec<(String, String, usize)>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Whether the call-graph engine ran (workspace mode) or only the
+    /// line engine (standalone / fixture mode).
+    pub graph_engine: bool,
 }
 
 impl Report {
@@ -96,6 +115,7 @@ impl Report {
         self.unused_allows.extend(other.unused_allows);
         self.allowed.extend(other.allowed);
         self.files_scanned += other.files_scanned;
+        self.graph_engine |= other.graph_engine;
     }
 
     /// Per-rule `(violations, allowed)` counts, sorted by rule id.
@@ -114,20 +134,46 @@ impl Report {
     }
 
     /// Render the JSON summary written by `--stats`. Hand-rolled (the
-    /// pass is std-only) and key-sorted, so diffs are stable.
+    /// pass is std-only) and key-sorted, so diffs are stable. Per rule
+    /// it reports current violations/allows plus `retired`: how many of
+    /// that rule's line-engine-era allows (see [`rules::ALLOW_BASELINE`])
+    /// the reachability analysis has since proven unnecessary.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"engines\": [{}],\n",
+            if self.graph_engine {
+                "\"line\", \"graph\""
+            } else {
+                "\"line\""
+            }
+        ));
         out.push_str("  \"rules\": {\n");
         let per_rule = self.per_rule();
         let total = per_rule.len();
         for (i, (rule, (viol, allowed))) in per_rule.iter().enumerate() {
             let comma = if i + 1 == total { "" } else { "," };
+            let baseline = rules::allow_baseline(rule);
+            let retired = baseline.saturating_sub(*allowed);
             out.push_str(&format!(
-                "    \"{rule}\": {{ \"violations\": {viol}, \"allowed\": {allowed} }}{comma}\n"
+                "    \"{rule}\": {{ \"violations\": {viol}, \"allowed\": {allowed}, \
+                 \"baseline_allows\": {baseline}, \"retired\": {retired} }}{comma}\n"
             ));
         }
         out.push_str("  },\n");
+        let remaining = self.allowed.len();
+        let baseline_total: usize = rules::ALLOW_BASELINE.iter().map(|&(_, n)| n).sum();
+        out.push_str(&format!("  \"allows_remaining\": {remaining},\n"));
+        out.push_str(&format!(
+            "  \"allows_retired\": {},\n",
+            baseline_total.saturating_sub(
+                self.allowed
+                    .iter()
+                    .filter(|(r, _, _)| rules::allow_baseline(r) > 0)
+                    .count()
+            )
+        ));
         out.push_str(&format!(
             "  \"unused_allows\": {}\n",
             self.unused_allows.len()
@@ -135,6 +181,20 @@ impl Report {
         out.push_str("}\n");
         out
     }
+}
+
+/// A full two-engine analysis: the lint report plus the artifacts the
+/// graph engine produced (for `--graph` serialization and tests).
+#[derive(Debug)]
+pub struct Analysis {
+    /// Combined report (line + graph findings, suppression applied).
+    pub report: Report,
+    /// The resolved workspace call graph.
+    pub graph: graph::CallGraph,
+    /// Deterministic roots found in the graph (qnames, sorted).
+    pub roots: Vec<String>,
+    /// Simulator hot-loop roots (G3), subset of `roots`.
+    pub hot_roots: Vec<String>,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -284,25 +344,51 @@ fn test_regions(lines: &[lexer::Line]) -> Vec<bool> {
     skip
 }
 
-/// Lint one file's source text. `rel` is the workspace-relative path
-/// (forward slashes); `kind` usually comes from [`classify`] but is a
-/// parameter so fixture tests can exercise Lib rules on arbitrary
-/// sources.
-pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
-    let mut report = Report {
-        files_scanned: 1,
-        ..Report::default()
+/// Which engine combination a file pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Full legacy line-rule set, no extraction (fixtures, `lint_source`).
+    LineOnly,
+    /// Line rules minus the path heuristics, plus extraction for the
+    /// graph engine (workspace runs).
+    Hybrid,
+}
+
+/// Per-file intermediate result: everything a worker can compute
+/// without seeing other files. Pure function of `(rel, kind, src)`, so
+/// the parallel workspace pass is deterministic by construction.
+#[derive(Debug)]
+struct FilePass {
+    rel: String,
+    /// Malformed-allow diagnostics (always violations).
+    malformed: Vec<Diag>,
+    allows: Vec<Allow>,
+    /// Line-rule hits: (0-based line idx, rule, message).
+    line_hits: Vec<(usize, &'static str, String)>,
+    /// Trimmed raw source lines, for diagnostics.
+    snippets: Vec<String>,
+    /// Extraction result (Hybrid mode, non-test files).
+    extract: Option<extract::FileExtract>,
+}
+
+/// Run the lexer, allow collection, line rules, and (in Hybrid mode)
+/// the extractor over one file.
+fn file_pass(rel: &str, kind: FileKind, src: &str, engine: Engine) -> FilePass {
+    let snippets: Vec<String> = src.lines().map(|s| s.trim().to_string()).collect();
+    let mut pass = FilePass {
+        rel: rel.to_string(),
+        malformed: Vec::new(),
+        allows: Vec::new(),
+        line_hits: Vec::new(),
+        snippets,
+        extract: None,
     };
     if kind == FileKind::Test {
-        return report;
+        return pass;
     }
     let lines = lexer::sanitize(src);
     let skip = test_regions(&lines);
-    let raw: Vec<&str> = src.lines().collect();
-    let snippet = |idx: usize| raw.get(idx).map(|s| s.trim()).unwrap_or("").to_string();
 
-    // Pass 1: collect suppressions (and flag malformed ones).
-    let mut allows: Vec<Allow> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         if skip[idx] {
             continue;
@@ -319,24 +405,24 @@ pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
                 } else {
                     idx
                 };
-                allows.push(Allow {
+                pass.allows.push(Allow {
                     line: idx,
                     covers,
                     rules: ids,
                     used: false,
                 });
             }
-            Err(why) => report.violations.push(Diag {
+            Err(why) => pass.malformed.push(Diag {
                 file: rel.to_string(),
                 line: idx + 1,
                 rule: "allow".into(),
                 message: why,
-                snippet: snippet(idx),
+                snippet: pass.snippets.get(idx).cloned().unwrap_or_default(),
             }),
         }
     }
 
-    // Pass 2: run the rules, consuming suppressions.
+    let legacy = engine == Engine::LineOnly;
     for (idx, line) in lines.iter().enumerate() {
         if skip[idx] {
             continue;
@@ -346,31 +432,78 @@ pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
         } else {
             ""
         };
-        for hit in rules::check_line(rel, kind, &line.code, &line.comment, prev_comment) {
-            let covered = allows
-                .iter_mut()
-                .find(|a| a.covers == idx && a.rules.iter().any(|r| r == hit.rule));
-            match covered {
-                Some(a) => {
-                    a.used = true;
-                    report
-                        .allowed
-                        .push((hit.rule.to_string(), rel.to_string(), idx + 1));
-                }
-                None => report.violations.push(Diag {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: hit.rule.to_string(),
-                    message: hit.message,
-                    snippet: snippet(idx),
-                }),
-            }
+        for hit in
+            rules::check_line_with(rel, kind, &line.code, &line.comment, prev_comment, legacy)
+        {
+            pass.line_hits.push((idx, hit.rule, hit.message));
         }
     }
 
-    for a in allows.iter().filter(|a| !a.used) {
+    if engine == Engine::Hybrid {
+        pass.extract = Some(extract::extract(rel, &lines, &skip));
+    }
+    pass
+}
+
+/// Apply suppression to a file's combined line + graph hits and emit
+/// its final report slice.
+fn finish_file(mut pass: FilePass, graph_hits: &[taint::GraphHit], graph_engine: bool) -> Report {
+    let mut report = Report {
+        files_scanned: 1,
+        graph_engine,
+        ..Report::default()
+    };
+    report.violations.append(&mut pass.malformed);
+    let snippet = |idx: usize| pass.snippets.get(idx).cloned().unwrap_or_default();
+
+    for (idx, rule, message) in &pass.line_hits {
+        let covered = pass
+            .allows
+            .iter_mut()
+            .find(|a| a.covers == *idx && a.rules.iter().any(|r| r == rule));
+        match covered {
+            Some(a) => {
+                a.used = true;
+                report
+                    .allowed
+                    .push((rule.to_string(), pass.rel.clone(), idx + 1));
+            }
+            None => report.violations.push(Diag {
+                file: pass.rel.clone(),
+                line: idx + 1,
+                rule: rule.to_string(),
+                message: message.clone(),
+                snippet: snippet(*idx),
+            }),
+        }
+    }
+
+    for h in graph_hits {
+        let idx = h.line.saturating_sub(1);
+        let covered = pass
+            .allows
+            .iter_mut()
+            .find(|a| a.covers == idx && a.rules.iter().any(|r| r == h.rule));
+        match covered {
+            Some(a) => {
+                a.used = true;
+                report
+                    .allowed
+                    .push((h.rule.to_string(), pass.rel.clone(), h.line));
+            }
+            None => report.violations.push(Diag {
+                file: pass.rel.clone(),
+                line: h.line,
+                rule: h.rule.to_string(),
+                message: h.message.clone(),
+                snippet: snippet(idx),
+            }),
+        }
+    }
+
+    for a in pass.allows.iter().filter(|a| !a.used) {
         report.unused_allows.push(Diag {
-            file: rel.to_string(),
+            file: pass.rel.clone(),
             line: a.line + 1,
             rule: "allow".into(),
             message: format!(
@@ -383,9 +516,104 @@ pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
     report
 }
 
-/// Lint every `.rs` file under `root`.
-pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+/// Lint one file's source text with the full legacy line-rule set (no
+/// call graph — a single file has no callers to prove reachability
+/// from). `rel` is the workspace-relative path (forward slashes);
+/// `kind` usually comes from [`classify`] but is a parameter so fixture
+/// tests can exercise Lib rules on arbitrary sources.
+pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Report {
+    let pass = file_pass(rel, kind, src, Engine::LineOnly);
+    finish_file(pass, &[], false)
+}
+
+/// Run the two-engine analysis over an in-memory file set — the
+/// multi-file counterpart of [`lint_source`], used by graph fixture
+/// tests. Files are `(rel, kind, src)`.
+pub fn analyze_sources(files: &[(String, FileKind, String)]) -> Analysis {
+    let passes: Vec<FilePass> = files
+        .iter()
+        .map(|(rel, kind, src)| file_pass(rel, *kind, src, Engine::Hybrid))
+        .collect();
+    finish_analysis(passes, &graph::CrateDeps::permissive())
+}
+
+/// Read the workspace crate-dependency DAG from `crates/*/Cargo.toml`
+/// (intra-workspace `specweb-*` dependencies only), for pruning
+/// infeasible cross-crate call edges. A root that has no `crates/`
+/// directory yields an empty (permissive) DAG.
+pub fn load_crate_deps(root: &Path) -> graph::CrateDeps {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return graph::CrateDeps::permissive();
+    };
+    let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        // The dep crate name (`specweb-spec`) maps to the qname crate
+        // segment (`spec`) — crate directories and package suffixes
+        // agree by workspace convention.
+        pairs.push((name.to_string(), name.to_string()));
+        for line in manifest.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("specweb-") {
+                let dep: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !dep.is_empty() && dep != name {
+                    pairs.push((name.to_string(), dep));
+                }
+            }
+        }
+    }
+    graph::CrateDeps::from_pairs(&pairs)
+}
+
+/// Shared tail of the workspace / in-memory analyses: build the graph,
+/// run the taint checks, apply suppression per file.
+fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
+    let extracts: Vec<extract::FileExtract> =
+        passes.iter().filter_map(|p| p.extract.clone()).collect();
+    let g = graph::CallGraph::build_with_deps(&extracts, deps);
+    let (roots, hot_roots) = taint::resolve_roots(&g);
+    let mut ghits = taint::check_reachability(&g, &roots, &hot_roots);
+    ghits.extend(taint::check_lock_order(&g));
+
+    let mut by_file: BTreeMap<&str, Vec<&taint::GraphHit>> = BTreeMap::new();
+    for h in &ghits {
+        by_file.entry(h.file.as_str()).or_default().push(h);
+    }
+
     let mut report = Report::default();
+    for pass in passes {
+        let hits: Vec<taint::GraphHit> = by_file
+            .get(pass.rel.as_str())
+            .map(|v| v.iter().map(|h| (*h).clone()).collect())
+            .unwrap_or_default();
+        report.merge(finish_file(pass, &hits, true));
+    }
+    Analysis {
+        report,
+        graph: g,
+        roots,
+        hot_roots,
+    }
+}
+
+/// Run the two-engine analysis over every `.rs` file under `root`,
+/// fanning the per-file pass over `jobs` workers. The per-file stage is
+/// a pure function and results are merged in sorted file order, so the
+/// output — including the serialized call graph — is byte-identical
+/// for any `jobs` count (golden-tested).
+pub fn analyze_workspace(root: &Path, jobs: usize) -> Result<Analysis, String> {
+    let mut inputs: Vec<(String, FileKind, String)> = Vec::new();
     for path in collect_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -393,9 +621,20 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        report.merge(lint_source(&rel, classify(&rel), &src));
+        let kind = classify(&rel);
+        inputs.push((rel, kind, src));
     }
-    Ok(report)
+    let pool = specweb_core::par::Pool::new(jobs);
+    let passes = pool.map_indexed(&inputs, |_, (rel, kind, src)| {
+        file_pass(rel, *kind, src, Engine::Hybrid)
+    });
+    Ok(finish_analysis(passes, &load_crate_deps(root)))
+}
+
+/// Lint every `.rs` file under `root` with the two-engine analysis
+/// (serial). Kept as the stable entry point for the tier-1 gates.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    analyze_workspace(root, 1).map(|a| a.report)
 }
 
 #[cfg(test)]
@@ -500,7 +739,53 @@ mod tests {
         );
         let json = r.to_json();
         assert!(json.contains("\"files_scanned\": 1"));
-        assert!(json.contains("\"D2\": { \"violations\": 0, \"allowed\": 1 }"));
+        assert!(json.contains("\"engines\": [\"line\"]"));
+        assert!(json.contains(
+            "\"D2\": { \"violations\": 0, \"allowed\": 1, \"baseline_allows\": 11, \"retired\": 10 }"
+        ));
         assert!(json.contains("\"unused_allows\": 0"));
+    }
+
+    #[test]
+    fn hybrid_analysis_accepts_lookup_only_hashmap_without_allow() {
+        // Under the line engine this file needs a lint:allow(D2); the
+        // graph engine proves the map is never iterated on any path
+        // from a root and accepts it as-is.
+        let files = vec![
+            (
+                "crates/dissem/src/simulate.rs".to_string(),
+                FileKind::Lib,
+                "pub fn run(t: &T) -> u32 { lookup(t) }\n".to_string(),
+            ),
+            (
+                "crates/dissem/src/lib.rs".to_string(),
+                FileKind::Lib,
+                "pub fn lookup(t: &T) -> u32 {\n    let m: HashMap<u32, u32> = t.map();\n    *m.get(&1).unwrap_or(&0)\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let a = analyze_sources(&files);
+        assert!(a.report.violations.is_empty(), "{:#?}", a.report.violations);
+        assert!(a.report.graph_engine);
+        // Same source under the line engine: D2 fires.
+        let line = lint_source("crates/dissem/src/lib.rs", FileKind::Lib, &files[1].2);
+        assert!(line.violations.iter().any(|d| d.rule == "D2"));
+    }
+
+    #[test]
+    fn graph_hits_respect_allows() {
+        let files = vec![(
+            "crates/dissem/src/simulate.rs".to_string(),
+            FileKind::Lib,
+            "pub fn run(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+             // lint:allow(G1): keys are collected and sorted before use\n    \
+             let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort();\n    v\n}\n"
+                .to_string(),
+        )];
+        let a = analyze_sources(&files);
+        assert!(a.report.violations.is_empty(), "{:#?}", a.report.violations);
+        assert_eq!(a.report.allowed.len(), 1);
+        assert_eq!(a.report.allowed[0].0, "G1");
+        assert!(a.report.unused_allows.is_empty());
     }
 }

@@ -1,9 +1,11 @@
 //! CLI for the determinism & safety lint pass.
 //!
 //! ```text
-//! cargo run -p specweb-lint                  # lint the workspace
+//! cargo run -p specweb-lint                  # lint the workspace (two engines)
 //! cargo run -p specweb-lint -- --deny-all    # also fail on unused allows (CI mode)
+//! cargo run -p specweb-lint -- --graph       # write results/callgraph.json
 //! cargo run -p specweb-lint -- --stats       # write results/lint_report.json
+//! cargo run -p specweb-lint -- --jobs 4      # parallel per-file pass
 //! cargo run -p specweb-lint -- --list-rules  # print the rule table
 //! ```
 //!
@@ -13,22 +15,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use specweb_lint::{lint_workspace, rules};
+use specweb_lint::{analyze_workspace, rules};
 
 struct Options {
     root: PathBuf,
     deny_all: bool,
     stats: bool,
+    graph: bool,
+    jobs: usize,
     list_rules: bool,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--list-rules] [--quiet]\n\
+    "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--graph] [--jobs N] \
+     [--list-rules] [--quiet]\n\
      \n\
      --root PATH    workspace root to lint (default: this workspace)\n\
      --deny-all     treat unused lint:allow suppressions as errors (CI mode)\n\
      --stats        write <root>/results/lint_report.json and print a summary\n\
+     --graph        write <root>/results/callgraph.json (the resolved call graph)\n\
+     --jobs N       fan the per-file pass over N workers (output is byte-identical\n\
+                    for any N; default 1)\n\
      --list-rules   print the rule table and exit\n\
      --quiet        suppress per-violation diagnostics (summary only)"
 }
@@ -42,6 +50,8 @@ fn parse_args() -> Result<Options, String> {
         root: default_root,
         deny_all: false,
         stats: false,
+        graph: false,
+        jobs: 1,
         list_rules: false,
         quiet: false,
     };
@@ -54,6 +64,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--deny-all" => opts.deny_all = true,
             "--stats" => opts.stats = true,
+            "--graph" => opts.graph = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a count")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs: `{v}` is not a number"))?
+                    .max(1);
+            }
             "--list-rules" => opts.list_rules = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
@@ -87,13 +105,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match lint_workspace(&opts.root) {
-        Ok(r) => r,
+    let analysis = match analyze_workspace(&opts.root, opts.jobs) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("specweb-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let report = &analysis.report;
 
     if !opts.quiet {
         for d in &report.violations {
@@ -105,27 +124,51 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.stats {
-        let out = opts.root.join("results").join("lint_report.json");
-        if let Some(parent) = out.parent() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("specweb-lint: create {}: {e}", parent.display());
-                return ExitCode::from(2);
-            }
+    let results = opts.root.join("results");
+    if (opts.stats || opts.graph) && !results.exists() {
+        if let Err(e) = std::fs::create_dir_all(&results) {
+            eprintln!("specweb-lint: create {}: {e}", results.display());
+            return ExitCode::from(2);
         }
-        if let Err(e) = std::fs::write(&out, report.to_json()) {
+    }
+
+    if opts.graph {
+        let out = results.join("callgraph.json");
+        let json = analysis.graph.to_json(&analysis.roots, &analysis.hot_roots);
+        if let Err(e) = std::fs::write(&out, json) {
             eprintln!("specweb-lint: write {}: {e}", out.display());
             return ExitCode::from(2);
         }
         println!("wrote {}", out.display());
     }
 
-    let suppressed = report.allowed.len();
+    if opts.stats {
+        let out = results.join("lint_report.json");
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("specweb-lint: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+        let per_rule = report.per_rule();
+        println!("allows retired vs remaining (line-engine baseline -> now):");
+        for (rule, (_, allowed)) in &per_rule {
+            let baseline = rules::allow_baseline(rule);
+            if baseline == 0 && *allowed == 0 {
+                continue;
+            }
+            println!(
+                "  {rule:<4} baseline {baseline:>2}  remaining {allowed:>2}  retired {:>2}",
+                baseline.saturating_sub(*allowed)
+            );
+        }
+    }
+
     println!(
-        "specweb-lint: {} files, {} violation(s), {} suppressed, {} unused allow(s)",
+        "specweb-lint: {} files, {} fn(s), {} violation(s), {} suppressed, {} unused allow(s)",
         report.files_scanned,
+        analysis.graph.nodes.len(),
         report.violations.len(),
-        suppressed,
+        report.allowed.len(),
         report.unused_allows.len()
     );
 

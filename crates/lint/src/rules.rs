@@ -58,7 +58,39 @@ pub const RULES: &[Rule] = &[
         summary: "no unwrap/expect in non-test library code; return \
                   CoreError or justify with lint:allow",
     },
+    Rule {
+        id: "G1",
+        summary: "graph: a nondeterminism source (hash-map iteration, \
+                  wall clock, unseeded RNG, ad-hoc thread) is \
+                  call-reachable from a deterministic root",
+    },
+    Rule {
+        id: "G2",
+        summary: "graph: lock-order cycle — a held lock can be \
+                  re-acquired (or two locks acquired in both orders) \
+                  along some call path",
+    },
+    Rule {
+        id: "G3",
+        summary: "graph: a panic-capable op (unwrap/expect) is \
+                  call-reachable from a simulator hot loop",
+    },
 ];
+
+/// Per-rule `lint:allow` counts as of the line-engine sweep (PR 4),
+/// before the call-graph engine existed. `--stats` reports
+/// `retired = baseline - remaining` per rule, so the suppression debt
+/// the reachability analysis paid down stays visible in the report.
+pub const ALLOW_BASELINE: &[(&str, usize)] = &[("D2", 11), ("D3", 5), ("S2", 4)];
+
+/// The line-engine allow baseline for `id` (0 when unrecorded).
+pub fn allow_baseline(id: &str) -> usize {
+    ALLOW_BASELINE
+        .iter()
+        .find(|(r, _)| *r == id)
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
 
 /// True when `id` names a known rule.
 pub fn is_known_rule(id: &str) -> bool {
@@ -71,16 +103,20 @@ pub fn is_known_rule(id: &str) -> bool {
 /// until a measured hot path proves otherwise.
 pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 
-/// Module prefixes exempt from D3: the wall-clock side of the
-/// observability layer is the one sanctioned consumer of real time
-/// (metrics tagged `Channel::Wall`, never the deterministic channel).
-const D3_EXEMPT: &[&str] = &["crates/core/src/obs/"];
+/// Module prefixes exempt from D3 (and the graph engine's wall-clock
+/// source class): the wall-clock side of the observability layer is the
+/// one sanctioned consumer of real time (metrics tagged
+/// `Channel::Wall`, never the deterministic channel).
+pub const D3_EXEMPT: &[&str] = &["crates/core/src/obs/"];
 
-/// Module prefixes exempt from D5: the scoped worker pool and the
-/// network server are the two sanctioned thread owners.
-const D5_EXEMPT: &[&str] = &["crates/core/src/par.rs", "crates/serve/src/"];
+/// Module prefixes exempt from D5 (and the graph engine's thread-spawn
+/// source class): the scoped worker pool and the network server are the
+/// two sanctioned thread owners. The pool's determinism is proven
+/// separately by the serial-vs-parallel golden tests.
+pub const D5_EXEMPT: &[&str] = &["crates/core/src/par.rs", "crates/serve/src/"];
 
-fn path_has_prefix(rel: &str, prefixes: &[&str]) -> bool {
+/// Whether `rel` falls under any of `prefixes`.
+pub fn path_has_prefix(rel: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p))
 }
 
@@ -93,18 +129,39 @@ pub struct Hit {
     pub message: String,
 }
 
-/// Run every applicable rule over one sanitized code line.
-///
-/// `rel` is the workspace-relative path with forward slashes; `kind`
-/// is the target classification; `comment` is the same line's comment
-/// channel (used by S1's `SAFETY:` requirement together with
-/// `prev_comment`, the preceding line's comment channel).
+/// Run every applicable rule over one sanitized code line — the full
+/// line-oriented rule set, including the path-heuristic rules that the
+/// call-graph engine supersedes on workspace runs (see
+/// [`check_line_with`]).
 pub fn check_line(
     rel: &str,
     kind: FileKind,
     code: &str,
     comment: &str,
     prev_comment: &str,
+) -> Vec<Hit> {
+    check_line_with(rel, kind, code, comment, prev_comment, true)
+}
+
+/// Run the line rules over one sanitized code line.
+///
+/// `rel` is the workspace-relative path with forward slashes; `kind`
+/// is the target classification; `comment` is the same line's comment
+/// channel (used by S1's `SAFETY:` requirement together with
+/// `prev_comment`, the preceding line's comment channel).
+///
+/// With `legacy_path_rules` set, the pre-graph heuristics D2–D5 and S2
+/// run too (standalone/fixture mode). Workspace runs pass `false`: the
+/// call-graph engine re-implements those rule classes as reachability
+/// checks (G1/G3), so a `HashMap` that is never iterated on any path
+/// from a deterministic root no longer needs an allow.
+pub fn check_line_with(
+    rel: &str,
+    kind: FileKind,
+    code: &str,
+    comment: &str,
+    prev_comment: &str,
+    legacy_path_rules: bool,
 ) -> Vec<Hit> {
     let mut hits = Vec::new();
     if kind == FileKind::Test {
@@ -124,7 +181,7 @@ pub fn check_line(
     }
 
     // D2 — hash collections in deterministic paths.
-    if has_ident(code, "HashMap") || has_ident(code, "HashSet") {
+    if legacy_path_rules && (has_ident(code, "HashMap") || has_ident(code, "HashSet")) {
         hits.push(Hit {
             rule: "D2",
             message: "HashMap/HashSet iteration order is randomized per \
@@ -135,7 +192,8 @@ pub fn check_line(
     }
 
     // D3 — wall-clock reads outside the observability wall channel.
-    if !path_has_prefix(rel, D3_EXEMPT)
+    if legacy_path_rules
+        && !path_has_prefix(rel, D3_EXEMPT)
         && (code.contains("Instant::now") || has_ident(code, "SystemTime"))
     {
         hits.push(Hit {
@@ -148,7 +206,10 @@ pub fn check_line(
     }
 
     // D4 — unseeded RNG construction outside bin targets.
-    if kind != FileKind::Bin && (has_ident(code, "thread_rng") || has_ident(code, "from_entropy")) {
+    if legacy_path_rules
+        && kind != FileKind::Bin
+        && (has_ident(code, "thread_rng") || has_ident(code, "from_entropy"))
+    {
         hits.push(Hit {
             rule: "D4",
             message: "unseeded RNG in library code: construct from a \
@@ -158,7 +219,8 @@ pub fn check_line(
     }
 
     // D5 — thread creation outside the sanctioned owners.
-    if !path_has_prefix(rel, D5_EXEMPT)
+    if legacy_path_rules
+        && !path_has_prefix(rel, D5_EXEMPT)
         && (code.contains("thread::spawn")
             || code.contains("thread::Builder")
             || code.contains("thread::scope"))
@@ -194,7 +256,10 @@ pub fn check_line(
     }
 
     // S2 — panicking extractors in non-test library code.
-    if kind == FileKind::Lib && (code.contains(".unwrap(") || code.contains(".expect(")) {
+    if legacy_path_rules
+        && kind == FileKind::Lib
+        && (code.contains(".unwrap(") || code.contains(".expect("))
+    {
         hits.push(Hit {
             rule: "S2",
             message: "unwrap/expect in library code: return CoreError (or \

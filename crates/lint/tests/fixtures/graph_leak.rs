@@ -1,0 +1,24 @@
+// Graph-engine fixture: a cross-function hash-order leak the line
+// engine MISSES. The one HashMap-mentioning line carries a
+// plausible-sounding (but wrong) lint:allow, and the iteration line
+// never mentions `HashMap`, so the line engine reports nothing — while
+// `predict()` pushes ids in hash order into a vec that flows back into
+// the simulator root.
+pub struct Profile {
+    // lint:allow(D2): keyed lookups only; never iterated. (Wrong —
+    // predict() below iterates it; exactly the claim the graph engine
+    // exists to check.)
+    scores: std::collections::HashMap<u32, f64>,
+}
+
+impl Profile {
+    pub fn predict(&self) -> Vec<u32> {
+        let mut hot = Vec::new();
+        for (id, score) in &self.scores {
+            if *score > 0.5 {
+                hot.push(*id);
+            }
+        }
+        hot
+    }
+}

@@ -1,0 +1,21 @@
+// Graph-engine fixture: two locks acquired in both orders across two
+// fns — a classic AB/BA deadlock shape (G2). Each guard is `let`-bound
+// and therefore held across the second acquisition.
+pub struct Pair {
+    alpha: std::sync::Mutex<u64>,
+    beta: std::sync::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        *a - *b
+    }
+}

@@ -1,0 +1,9 @@
+// Graph-engine fixture: a hash map used for keyed lookups only. The
+// line engine flags the two HashMap tokens (needing allows); the
+// reachability engine accepts the file as-is because no iteration of
+// the map is reachable from any root.
+use std::collections::HashMap;
+
+pub fn lookup(table: &HashMap<u32, f64>, id: u32) -> f64 {
+    *table.get(&id).unwrap_or(&0.0)
+}

@@ -129,9 +129,32 @@ fn cfg_test_regions_are_exempt() {
 }
 
 #[test]
+fn bytestring_bodies_are_opaque_to_every_rule() {
+    // b"..." / br#"..."# bodies mention HashMap, unwrap, thread::spawn
+    // and unbalanced braces — all of it must be masked by the lexer.
+    assert_eq!(rules_of(&as_lib("lex_bytestr.rs")), [] as [&str; 0]);
+}
+
+#[test]
+fn char_literals_with_quotes_and_braces_do_not_derail_the_lexer() {
+    // '"' must not open a string (which would swallow the rest of the
+    // file, including a real string containing "HashMap").
+    assert_eq!(rules_of(&as_lib("lex_charlit.rs")), [] as [&str; 0]);
+}
+
+#[test]
+fn lifetime_ticks_are_not_char_literals() {
+    // If `'a` opened a char literal the lexer would blank real code;
+    // the trailing genuine `use std::collections::HashMap;` proves the
+    // lexer is still reading code after the lifetimes.
+    assert_eq!(rules_of(&as_lib("lex_lifetime.rs")), ["D2"]);
+}
+
+#[test]
 fn fixtures_all_have_a_test() {
-    // Every fixture file must be exercised above; a fixture nobody
-    // reads is dead weight. Keep this list in sync when adding one.
+    // Every fixture file must be exercised above or in tests/graph.rs;
+    // a fixture nobody reads is dead weight. Keep this list in sync
+    // when adding one.
     let used = [
         "allow_bad.rs",
         "allow_good.rs",
@@ -144,6 +167,13 @@ fn fixtures_all_have_a_test() {
         "d3_bad.rs",
         "d4_bad.rs",
         "d5_bad.rs",
+        "graph_leak.rs",
+        "graph_lock_cycle.rs",
+        "graph_lookup_only.rs",
+        "graph_panic.rs",
+        "lex_bytestr.rs",
+        "lex_charlit.rs",
+        "lex_lifetime.rs",
         "s1_bad.rs",
         "s2_bad.rs",
     ];

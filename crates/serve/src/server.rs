@@ -266,14 +266,11 @@ impl AcceptLoop {
             // a slot (connections queue in the OS backlog meanwhile),
             // then refuse with BUSY. Speculation shedding has already
             // happened at demand_only_at — refusal is the last rung.
-            // lint:allow(D3): admission timeout is real wall-clock by design —
-            // the TCP front end races live peers, not simulated time.
             let deadline = std::time::Instant::now() + self.config.admit_timeout;
             let guard = loop {
                 match self.ctl.try_admit() {
                     Some(g) => break Some(g),
                     None if self.token.is_triggered() => break None,
-                    // lint:allow(D3): same wall-clock admission deadline as above.
                     None if std::time::Instant::now() >= deadline => break None,
                     None => thread::sleep(Duration::from_millis(5)),
                 }

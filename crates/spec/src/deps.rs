@@ -15,9 +15,6 @@
 //! `[0, 1]`, dominates `P` entrywise, and equals `P^N` on the chain
 //! structures (embedding trees) the closure exists for.
 
-// lint:allow(D2): HashMap is used only for the hot Dijkstra/streaming
-// scratch maps below, each justified at its declaration; every result
-// container is a BTreeMap.
 use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
@@ -183,13 +180,9 @@ impl DepMatrix {
             }
         }
 
-        // lint:allow(D2): Dijkstra frontier scores; lookup-only (entry),
-        // never iterated.
         let mut best: HashMap<DocId, f64> = HashMap::new();
         let mut heap = BinaryHeap::new();
         heap.push(Item(1.0, src));
-        // lint:allow(D2): hot search scratch; materialized into a vec and
-        // fully sorted (total_cmp + id tie-break) before any use below.
         let mut settled: HashMap<DocId, f64> = HashMap::new();
         let mut truncated = false;
         while let Some(Item(p, d)) = heap.pop() {
@@ -214,6 +207,9 @@ impl DepMatrix {
             }
         }
         settled.remove(&src);
+        // lint:allow(G1): the hash-order stream is materialized here and
+        // fully re-sorted below with a total, id-tiebroken order before
+        // anything downstream can observe it.
         let mut row: Vec<(DocId, f64)> = settled.into_iter().collect();
         // Keep the strongest max_row entries, then restore id order.
         // Ties on probability break by id: the pre-sort order is HashMap
@@ -261,13 +257,8 @@ pub struct DepMatrixBuilder {
     /// occurrence of `i` remembers which followers it has already
     /// counted, so `p[i,j]` is the fraction of `i`-occurrences followed
     /// by **at least one** `j` — not a raw pair count.
-    // lint:allow(D2): per-access streaming hot path; keyed lookups only —
-    // never iterated.
     pending: HashMap<ClientId, Vec<PendingAccess>>,
-    // lint:allow(D2): keyed lookups only on the streaming hot path.
     occurrences: HashMap<DocId, u64>,
-    // lint:allow(D2): iterated only in build(), where every row is
-    // re-sorted by id before use (sorted collect).
     follows: HashMap<(DocId, DocId), u64>,
 }
 
@@ -326,6 +317,9 @@ impl DepMatrixBuilder {
     /// >50k accesses).
     pub fn build(&self, min_support: u64) -> DepMatrix {
         let mut rows: BTreeMap<DocId, Vec<(DocId, f64)>> = BTreeMap::new();
+        // lint:allow(G1): iteration order lands in per-id BTreeMap rows
+        // that are re-sorted (probability desc, id asc) before truncation,
+        // so the hash order cannot reach the returned matrix.
         for (&(i, j), &n) in &self.follows {
             let occ = *self.occurrences.get(&i).unwrap_or(&0);
             if occ < min_support.max(1) {

@@ -26,8 +26,6 @@
 //!   real classification is re-derived by `specweb-dissem`'s
 //!   `Classifier` from the trace itself, exactly as a server would.
 
-// lint:allow(D2): HashMap backs only the keyed interning/scratch maps
-// justified at their declarations; nothing in this module iterates one.
 use std::collections::HashMap;
 
 use specweb_core::ids::{ClientId, DocId, ServerId};
@@ -84,12 +82,9 @@ pub fn trace_from_records(
     }
 
     // Intern paths → dense doc ids; track max observed size.
-    // lint:allow(D2): per-record interning map, looked up by key only;
-    // ids are assigned in record order, never by map iteration.
     let mut doc_ids: HashMap<&str, DocId> = HashMap::new();
     let mut sizes: Vec<Bytes> = Vec::new();
     // Intern clients → dense ids (log client ids can be sparse).
-    // lint:allow(D2): same interning pattern as doc_ids — key lookups only.
     let mut client_ids: HashMap<ClientId, ClientId> = HashMap::new();
     let mut localities: Vec<Locality> = Vec::new();
 
@@ -163,8 +158,6 @@ pub fn trace_from_records(
     let population = ClientPopulation::from_clients(clients)?;
 
     // Accesses, with timing-derived session ids per client.
-    // lint:allow(D2): per-client scratch, read back by key per record;
-    // session ids come from record order, never from map iteration.
     let mut last_seen: HashMap<ClientId, (specweb_core::time::SimTime, u32)> = HashMap::new();
     let mut next_session: u32 = 0;
     let mut accesses = Vec::with_capacity(records.len());
