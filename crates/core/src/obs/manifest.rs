@@ -29,6 +29,10 @@ pub struct DeterministicSection {
     pub scale: String,
     /// Deterministic-channel metrics.
     pub metrics: BTreeMap<String, MetricValue>,
+    /// Digests of deterministic artifacts the run produced (name →
+    /// hex digest) — e.g. the session digest of a serve replay. Golden
+    /// comparisons of this section therefore also pin the artifacts.
+    pub artifacts: BTreeMap<String, String>,
 }
 
 /// One phase's wall-clock share in the timing breakdown.
@@ -75,6 +79,7 @@ impl RunManifest {
                 seed_root,
                 scale: scale.to_string(),
                 metrics: snapshot.deterministic,
+                artifacts: BTreeMap::new(),
             },
             nondeterministic: NondeterministicSection {
                 jobs: 0,
@@ -89,6 +94,16 @@ impl RunManifest {
     pub fn with_run_info(mut self, jobs: usize, git: &str) -> RunManifest {
         self.nondeterministic.jobs = jobs;
         self.nondeterministic.git = git.to_string();
+        self
+    }
+
+    /// Records a deterministic artifact digest (builder-style). The
+    /// digest joins the golden-compared section: two runs that agree on
+    /// metrics but disagree on an artifact still diff.
+    pub fn with_artifact(mut self, name: &str, digest: &str) -> RunManifest {
+        self.deterministic
+            .artifacts
+            .insert(name.to_string(), digest.to_string());
         self
     }
 
@@ -277,6 +292,7 @@ mod tests {
         RunManifest::new(id, 1996, "quick", reg.snapshot())
             .with_run_info(4, "abc1234")
             .with_timing("total", 1.5)
+            .with_artifact("session", "00000000deadbeef")
     }
 
     #[test]
@@ -287,6 +303,10 @@ mod tests {
         assert_eq!(m.nondeterministic.metrics.len(), 1);
         assert_eq!(m.nondeterministic.jobs, 4);
         assert_eq!(m.file_name(), "manifest_fig4.json");
+        assert_eq!(
+            m.deterministic.artifacts["session"], "00000000deadbeef",
+            "artifact digests live in the golden-compared section"
+        );
     }
 
     #[test]

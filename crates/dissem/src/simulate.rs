@@ -118,6 +118,9 @@ struct FaultTally {
     fault_denied: u64,
     retries: u64,
     unavailable: u64,
+    stalled: u64,
+    slow_served: u64,
+    partial_write_resends: u64,
 }
 
 /// Results of [`DisseminationSim::run_with_faults`]: the faulted
@@ -144,6 +147,17 @@ pub struct DegradedDisseminationOutcome {
     /// — how much extra traffic the faults induced (> 1 when fall-
     /// throughs outweigh the traffic removed by unavailability).
     pub byte_hops_inflation: f64,
+    /// Requests deferred because the client was stalled (a leaf in a
+    /// `stall` window); the request waits out the window and is served
+    /// at the deferred instant.
+    pub stalled: u64,
+    /// Requests served to a slow-draining client (a leaf in a
+    /// `slow_client` window).
+    pub slow_served: u64,
+    /// Transfers that fragmented at a partial-writing client and were
+    /// re-sent whole; the wasted first copy's `bytes×hops` are charged
+    /// to the faulted run's traffic.
+    pub partial_write_resends: u64,
 }
 
 /// The dissemination simulator.
@@ -309,6 +323,9 @@ impl<'a> DisseminationSim<'a> {
             unavailable: tally.unavailable,
             availability,
             byte_hops_inflation,
+            stalled: tally.stalled,
+            slow_served: tally.slow_served,
+            partial_write_resends: tally.partial_write_resends,
         })
     }
 
@@ -412,6 +429,22 @@ impl<'a> DisseminationSim<'a> {
             let route = router.route(client_node, a.server);
             baseline.record(size, route.origin_hops);
 
+            // A stalled client defers its request to the end of the
+            // window; every later fault lookup sees the deferred
+            // instant. (Daily shedding counters stay on the access's
+            // calendar day — the cap is the proxy's, not the client's.)
+            let mut t = a.time;
+            if let Some(plan) = faults {
+                if let Some(resume) = plan.stalled_until(client_node, t) {
+                    tally.stalled += 1;
+                    tally.retries += 1;
+                    t = resume;
+                }
+                if plan.client_slow_factor(client_node, t) > 1.0 {
+                    tally.slow_served += 1;
+                }
+            }
+
             let mut served = None;
             for (i, itc) in route.interceptions.iter().enumerate() {
                 let holds = stores
@@ -421,14 +454,14 @@ impl<'a> DisseminationSim<'a> {
                     continue;
                 }
                 if let Some(plan) = faults {
-                    if !plan.proxy_up(itc.proxy, a.time)
-                        || !plan.path_up(self.topo, client_node, itc.proxy, a.time)
+                    if !plan.proxy_up(itc.proxy, t)
+                        || !plan.path_up(self.topo, client_node, itc.proxy, t)
                     {
                         tally.fault_denied += 1;
                         tally.retries += 1;
                         continue; // fall through toward the home server
                     }
-                    let f = plan.capacity_factor(itc.proxy, a.time);
+                    let f = plan.capacity_factor(itc.proxy, t);
                     if f < 1.0 {
                         let c = cap_counters.entry(itc.proxy).or_insert((0u64, 0u64));
                         c.0 += 1;
@@ -451,16 +484,16 @@ impl<'a> DisseminationSim<'a> {
                 served = Some(i);
                 break;
             }
-            match served {
+            let served_hops = match served {
                 Some(i) => {
                     proxy_hits += 1;
-                    with_d.record(size, route.served_hops(Some(i)));
+                    route.served_hops(Some(i))
                 }
                 None => {
                     if let Some(plan) = faults {
-                        if !plan.path_up(self.topo, client_node, Topology::ROOT, a.time) {
+                        if !plan.path_up(self.topo, client_node, Topology::ROOT, t) {
                             if plan
-                                .path_recovery(self.topo, client_node, Topology::ROOT, a.time)
+                                .path_recovery(self.topo, client_node, Topology::ROOT, t)
                                 .is_some()
                             {
                                 // Served after the path recovers: one
@@ -473,7 +506,17 @@ impl<'a> DisseminationSim<'a> {
                         }
                     }
                     origin_hits += 1;
-                    with_d.record(size, route.origin_hops);
+                    route.origin_hops
+                }
+            };
+            with_d.record(size, served_hops);
+            if let Some(plan) = faults {
+                if plan.partial_write_active(client_node, t) {
+                    // The transfer fragments at the client and
+                    // truncates; the re-send succeeds, but the wasted
+                    // first copy still crossed every hop.
+                    tally.partial_write_resends += 1;
+                    with_d.record(size, served_hops);
                 }
             }
         }
@@ -497,6 +540,9 @@ impl<'a> DisseminationSim<'a> {
                 ("dissem.fault_denied", tally.fault_denied),
                 ("dissem.retries", tally.retries),
                 ("dissem.unavailable", tally.unavailable),
+                ("dissem.stalled", tally.stalled),
+                ("dissem.slow_served", tally.slow_served),
+                ("dissem.partial_write_resends", tally.partial_write_resends),
             ];
             for (name, v) in pairs {
                 obs.metrics.counter(name).add(v);
@@ -952,5 +998,49 @@ mod tests {
             d.byte_hops_inflation
         );
         assert!((d.availability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn client_side_chaos_surfaces_in_the_degraded_outcome() {
+        let (trace, topo) = setup(93);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        let cfg = DisseminationConfig::default();
+        let chaotic = specweb_netsim::fault::FaultConfig::chaotic(trace.duration);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(931), &topo, &chaotic).unwrap();
+        let d = sim.run_with_faults(&cfg, &[], &plan).unwrap();
+        // The chaotic preset keeps each leaf degraded for a sizable
+        // fraction of the horizon: every client-side class must leave a
+        // visible mark in the outcome.
+        assert!(d.stalled > 0, "no stalls surfaced");
+        assert!(d.slow_served > 0, "no slow-client serves surfaced");
+        assert!(d.partial_write_resends > 0, "no resends surfaced");
+        // A stalled request still arrives (deferred), so requests are
+        // conserved minus the truly unavailable ones.
+        assert_eq!(
+            d.outcome.proxy_hits + d.outcome.origin_hits + d.unavailable,
+            d.healthy.proxy_hits + d.healthy.origin_hits,
+            "requests leaked in the chaotic replay"
+        );
+        // Each resend moves the document once more over the same hops.
+        assert_eq!(
+            d.outcome.with_dissemination.transfers,
+            d.outcome.proxy_hits + d.outcome.origin_hits + d.partial_write_resends
+        );
+        // Bit-for-bit determinism holds with the new classes active.
+        let again = sim.run_with_faults(&cfg, &[], &plan).unwrap();
+        assert_eq!(
+            serde_json::to_string(&d).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        // The light preset keeps every client-side counter at zero, so
+        // the committed degraded-mode experiments are untouched.
+        let light = specweb_netsim::fault::FaultConfig::light(trace.duration);
+        let light_plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(931), &topo, &light).unwrap();
+        let quiet = sim.run_with_faults(&cfg, &[], &light_plan).unwrap();
+        assert_eq!(quiet.stalled, 0);
+        assert_eq!(quiet.slow_served, 0);
+        assert_eq!(quiet.partial_write_resends, 0);
     }
 }

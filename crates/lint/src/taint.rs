@@ -38,6 +38,11 @@ const ROOTS: &[(&str, &str)] = &[
     ("spec::deps", "closure_jobs"),
     ("dissem::alloc", "*"),
     ("bench::exps", "*"),
+    // The event-loop server's purity split (DESIGN §11): the
+    // per-connection state machine and the trace replayer must be
+    // clock/rng-free so a recorded session replays byte-identically.
+    ("serve::conn", "*"),
+    ("serve::session", "replay"),
 ];
 
 /// Hot-loop roots for G3: the per-access simulation loops where a panic
@@ -53,6 +58,10 @@ const HOT_ROOTS: &[(&str, &str)] = &[
     ("trace::generator", "generate"),
     ("spec::deps", "closure"),
     ("spec::deps", "closure_jobs"),
+    // The reactor drives ConnCore once per readiness sweep per
+    // connection; a panic there drops every live session at once.
+    ("serve::conn", "*"),
+    ("serve::session", "replay"),
 ];
 
 /// A graph-rule finding, pre-suppression.

@@ -19,7 +19,18 @@
 //! * **proxy crashes** — an interior node loses its replica service
 //!   until it recovers (requests fall through toward the home server);
 //! * **capacity faults** — an interior node can only serve a fraction
-//!   of the requests it sees while the window lasts.
+//!   of the requests it sees while the window lasts;
+//! * **slow clients** — a leaf drains responses slowly (its fetch
+//!   latency is inflated), the classic event-loop stressor;
+//! * **partial writes** — a leaf's transfers fragment into tiny pieces;
+//!   a speculative push caught in the window arrives truncated and is
+//!   re-sent or wasted;
+//! * **stalls** — a leaf goes completely quiet mid-session and resumes
+//!   when the window ends; its pending requests are deferred.
+//!
+//! The three client-side classes model the degraded peers the
+//! `specweb-serve` event loop must absorb without pinning threads; the
+//! serve chaos harness replays the same windows against real sockets.
 
 use std::collections::BTreeMap;
 
@@ -100,6 +111,17 @@ pub struct FaultConfig {
     /// Fraction of request-serving capacity left during a capacity
     /// fault (in `(0, 1]`).
     pub capacity_factor: f64,
+    /// Slow-client process, per leaf node: the client drains its
+    /// responses slowly, inflating its fetch latency.
+    pub slow_client: FaultRate,
+    /// Fetch-latency multiplier while a client is slow (≥ 1).
+    pub slow_client_factor: f64,
+    /// Partial-write process, per leaf node: transfers fragment into
+    /// tiny pieces; pushes caught in the window arrive truncated.
+    pub partial_write: FaultRate,
+    /// Stall process, per leaf node: the client goes silent until the
+    /// window ends; its requests are deferred.
+    pub stall: FaultRate,
 }
 
 impl FaultConfig {
@@ -126,6 +148,38 @@ impl FaultConfig {
                 mean_down: Duration::from_secs(8 * 3600),
             },
             capacity_factor: 0.25,
+            // The client-side classes are off in the mild preset so the
+            // committed degraded-mode experiment results are unchanged;
+            // `chaotic` turns them on.
+            slow_client: FaultRate::OFF,
+            slow_client_factor: 1.0,
+            partial_write: FaultRate::OFF,
+            stall: FaultRate::OFF,
+        }
+    }
+
+    /// The serve-chaos preset: everything in [`FaultConfig::light`]
+    /// plus the client-side classes (slow clients, partial writes,
+    /// stalls), with rates scaled off the horizon so a plan of any span
+    /// — multi-week simulations or a seconds-long chaos run against
+    /// real sockets — sees each class fire several times.
+    pub fn chaotic(horizon: Duration) -> FaultConfig {
+        let frac = |div: u64| Duration::from_millis((horizon.as_millis() / div).max(1));
+        FaultConfig {
+            slow_client: FaultRate {
+                mean_up: frac(6),
+                mean_down: frac(12),
+            },
+            slow_client_factor: 3.0,
+            partial_write: FaultRate {
+                mean_up: frac(8),
+                mean_down: frac(16),
+            },
+            stall: FaultRate {
+                mean_up: frac(8),
+                mean_down: frac(24),
+            },
+            ..FaultConfig::light(horizon)
         }
     }
 
@@ -140,6 +194,15 @@ impl FaultConfig {
         self.slow.validate("fault.slow")?;
         self.crash.validate("fault.crash")?;
         self.capacity.validate("fault.capacity")?;
+        self.slow_client.validate("fault.slow_client")?;
+        self.partial_write.validate("fault.partial_write")?;
+        self.stall.validate("fault.stall")?;
+        if self.slow_client.enabled() && self.slow_client_factor < 1.0 {
+            return Err(CoreError::invalid_config(
+                "fault.slow_client_factor",
+                format!("must be ≥ 1, got {}", self.slow_client_factor),
+            ));
+        }
         if self.slow.enabled() && self.slow_factor < 1.0 {
             return Err(CoreError::invalid_config(
                 "fault.slow_factor",
@@ -219,6 +282,14 @@ pub struct FaultPlan {
     pub crashes: BTreeMap<NodeId, Vec<FaultWindow>>,
     /// Capacity-fault windows of interior nodes.
     pub capacity: BTreeMap<NodeId, Vec<FaultWindow>>,
+    /// Fetch-latency multiplier during a slow-client window.
+    pub slow_client_factor: f64,
+    /// Slow-client windows of leaf nodes.
+    pub slow_clients: BTreeMap<NodeId, Vec<FaultWindow>>,
+    /// Partial-write windows of leaf nodes.
+    pub partial_writes: BTreeMap<NodeId, Vec<FaultWindow>>,
+    /// Stall windows of leaf nodes.
+    pub stalls: BTreeMap<NodeId, Vec<FaultWindow>>,
 }
 
 /// Draws an exponential duration with the given mean (≥ 1 ms so renewal
@@ -278,6 +349,10 @@ impl FaultPlan {
             link_slow: BTreeMap::new(),
             crashes: BTreeMap::new(),
             capacity: BTreeMap::new(),
+            slow_client_factor: 1.0,
+            slow_clients: BTreeMap::new(),
+            partial_writes: BTreeMap::new(),
+            stalls: BTreeMap::new(),
         }
     }
 
@@ -286,7 +361,9 @@ impl FaultPlan {
     /// Link classes run on every non-root node (the edge to its
     /// parent); crash and capacity classes on interior nodes only —
     /// client leaves have no service to lose and the root is the home
-    /// server itself, whose load is what the experiment measures.
+    /// server itself, whose load is what the experiment measures. The
+    /// client-side classes (slow client, partial write, stall) run on
+    /// leaf nodes, where the clients live.
     pub fn generate(seed: &SeedTree, topo: &Topology, cfg: &FaultConfig) -> Result<FaultPlan> {
         cfg.validate()?;
         let mut plan = FaultPlan {
@@ -305,6 +382,14 @@ impl FaultPlan {
             link_slow: BTreeMap::new(),
             crashes: BTreeMap::new(),
             capacity: BTreeMap::new(),
+            slow_client_factor: if cfg.slow_client.enabled() {
+                cfg.slow_client_factor
+            } else {
+                1.0
+            },
+            slow_clients: BTreeMap::new(),
+            partial_writes: BTreeMap::new(),
+            stalls: BTreeMap::new(),
         };
         for raw in 0..topo.len() as u32 {
             let node = NodeId::new(raw);
@@ -338,6 +423,29 @@ impl FaultPlan {
                 plan.capacity.insert(node, w);
             }
         }
+        for &node in topo.leaves() {
+            let raw: u64 = node.raw().into();
+            let w = renewal_windows(
+                &seed.child_idx("slow-client", raw),
+                &cfg.slow_client,
+                cfg.horizon,
+            );
+            if !w.is_empty() {
+                plan.slow_clients.insert(node, w);
+            }
+            let w = renewal_windows(
+                &seed.child_idx("partial-write", raw),
+                &cfg.partial_write,
+                cfg.horizon,
+            );
+            if !w.is_empty() {
+                plan.partial_writes.insert(node, w);
+            }
+            let w = renewal_windows(&seed.child_idx("stall", raw), &cfg.stall, cfg.horizon);
+            if !w.is_empty() {
+                plan.stalls.insert(node, w);
+            }
+        }
         Ok(plan)
     }
 
@@ -368,6 +476,33 @@ impl FaultPlan {
         } else {
             1.0
         }
+    }
+
+    /// Fetch-latency multiplier for the client at leaf `node` at `t`
+    /// (1 when the client drains at full speed).
+    pub fn client_slow_factor(&self, node: NodeId, t: SimTime) -> f64 {
+        if active(self.slow_clients.get(&node), t) {
+            self.slow_client_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Is the client at leaf `node` fragmenting its transfers into
+    /// partial writes at `t`?
+    pub fn partial_write_active(&self, node: NodeId, t: SimTime) -> bool {
+        active(self.partial_writes.get(&node), t)
+    }
+
+    /// If the client at leaf `node` is stalled at `t`, the first
+    /// instant it resumes; `None` when it is not stalled.
+    pub fn stalled_until(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
+        self.stalls.get(&node).and_then(|ws| {
+            ws.iter()
+                .take_while(|w| w.start <= t)
+                .find(|w| w.contains(t))
+                .map(|w| w.end)
+        })
     }
 
     /// Are all the edges owned by `edges` (each node names the edge to
@@ -461,6 +596,9 @@ impl FaultPlan {
             .chain(self.link_slow.values())
             .chain(self.crashes.values())
             .chain(self.capacity.values())
+            .chain(self.slow_clients.values())
+            .chain(self.partial_writes.values())
+            .chain(self.stalls.values())
             .map(Vec::len)
             .sum()
     }
@@ -473,11 +611,14 @@ impl FaultPlan {
     /// The plan is materialized up front from the seed tree, so
     /// everything recorded here sits on the deterministic channel.
     pub fn record_to(&self, obs: &specweb_core::obs::Obs) {
-        let classes: [(&str, &BTreeMap<NodeId, Vec<FaultWindow>>); 4] = [
+        let classes: [(&str, &BTreeMap<NodeId, Vec<FaultWindow>>); 7] = [
             ("link_down", &self.link_down),
             ("link_slow", &self.link_slow),
             ("crash", &self.crashes),
             ("capacity", &self.capacity),
+            ("slow_client", &self.slow_clients),
+            ("partial_write", &self.partial_writes),
+            ("stall", &self.stalls),
         ];
         for (class, map) in classes {
             let windows: u64 = map.values().map(|ws| ws.len() as u64).sum();
@@ -666,6 +807,73 @@ mod tests {
         assert!(FaultPlan::generate(&SeedTree::new(1), &t, &c).is_err());
         let mut c = cfg();
         c.link.mean_up = Duration::ZERO;
+        assert!(FaultPlan::generate(&SeedTree::new(1), &t, &c).is_err());
+    }
+
+    #[test]
+    fn chaotic_preset_generates_client_side_windows_on_leaves_only() {
+        let t = topo();
+        let cfg = FaultConfig::chaotic(Duration::from_days(30));
+        let plan = FaultPlan::generate(&SeedTree::new(31), &t, &cfg).unwrap();
+        let leaves: std::collections::BTreeSet<NodeId> = t.leaves().iter().copied().collect();
+        for map in [&plan.slow_clients, &plan.partial_writes, &plan.stalls] {
+            assert!(!map.is_empty(), "chaotic config over 30 days is quiet");
+            assert!(map.keys().all(|n| leaves.contains(n)));
+        }
+        // Determinism: same seed, same plan, bit for bit.
+        let again = FaultPlan::generate(&SeedTree::new(31), &t, &cfg).unwrap();
+        assert_eq!(plan, again);
+        // The light preset keeps the new classes silent.
+        let light = FaultPlan::generate(
+            &SeedTree::new(31),
+            &t,
+            &FaultConfig::light(Duration::from_days(30)),
+        )
+        .unwrap();
+        assert!(light.slow_clients.is_empty());
+        assert!(light.partial_writes.is_empty());
+        assert!(light.stalls.is_empty());
+        assert_eq!(light.slow_client_factor, 1.0);
+    }
+
+    #[test]
+    fn client_side_queries_reflect_windows() {
+        let t = topo();
+        let mut plan = FaultPlan::none();
+        plan.horizon = SimTime::from_days(10);
+        plan.slow_client_factor = 3.0;
+        let leaf = t.leaves()[0];
+        let w = FaultWindow {
+            start: SimTime::from_secs(100),
+            end: SimTime::from_secs(200),
+        };
+        plan.slow_clients.insert(leaf, vec![w]);
+        plan.partial_writes.insert(leaf, vec![w]);
+        plan.stalls.insert(leaf, vec![w]);
+        assert_eq!(plan.client_slow_factor(leaf, SimTime::from_secs(99)), 1.0);
+        assert_eq!(plan.client_slow_factor(leaf, SimTime::from_secs(150)), 3.0);
+        assert!(!plan.partial_write_active(leaf, SimTime::from_secs(99)));
+        assert!(plan.partial_write_active(leaf, SimTime::from_secs(150)));
+        assert_eq!(plan.stalled_until(leaf, SimTime::from_secs(99)), None);
+        assert_eq!(
+            plan.stalled_until(leaf, SimTime::from_secs(150)),
+            Some(SimTime::from_secs(200))
+        );
+        assert_eq!(plan.stalled_until(leaf, SimTime::from_secs(200)), None);
+        // Other leaves are untouched.
+        let other = t.leaves()[1];
+        assert_eq!(plan.client_slow_factor(other, SimTime::from_secs(150)), 1.0);
+        assert_eq!(plan.n_windows(), 3);
+    }
+
+    #[test]
+    fn invalid_client_side_configs_are_rejected() {
+        let t = topo();
+        let mut c = FaultConfig::chaotic(Duration::from_days(10));
+        c.slow_client_factor = 0.5;
+        assert!(FaultPlan::generate(&SeedTree::new(1), &t, &c).is_err());
+        let mut c = FaultConfig::chaotic(Duration::from_days(10));
+        c.stall.mean_down = Duration::ZERO;
         assert!(FaultPlan::generate(&SeedTree::new(1), &t, &c).is_err());
     }
 

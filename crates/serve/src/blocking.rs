@@ -1,0 +1,319 @@
+//! The thread-per-connection baseline server.
+//!
+//! This is the original `SpecServer` implementation, preserved verbatim
+//! in spirit after the event-loop rewrite ([`crate::reactor`]): a
+//! blocking accept loop that spawns one OS thread per admitted
+//! connection, each handler owning a blocking socket with read/write
+//! deadlines.
+//!
+//! It exists for one reason: as the measured baseline. The chaos
+//! harness ([`crate::chaos`]) drives both servers with the same seeded
+//! slow-client schedule, and the acceptance bar for the event loop is
+//! sustaining at least 10× this server's concurrent-connection count.
+//! Here every slow or stalled peer pins a whole handler thread for up
+//! to a read-timeout, so `max_connections` is effectively a thread
+//! budget; the reactor holds the same peer for a few kilobytes of
+//! buffer instead.
+//!
+//! Don't grow this module — new server behavior belongs in the reactor
+//! path. It shares [`ServerKnowledge`], [`ServerConfig`] and
+//! [`ServerStats`] with the event loop so the two remain comparable
+//! knob-for-knob.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use specweb_core::obs;
+use specweb_core::{CoreError, Result};
+use specweb_spec::policy::decide;
+
+use crate::overload::{OverloadController, ServiceLevel};
+use crate::protocol::{read_bounded_line, Request, ServerMsg};
+use crate::server::{ServerConfig, ServerKnowledge, ServerStats, StatsSnapshot};
+use crate::shutdown::ShutdownToken;
+
+/// The baseline server. Construct with [`BlockingServer::spawn`].
+#[derive(Debug)]
+pub struct BlockingServer;
+
+impl BlockingServer {
+    /// Binds an ephemeral localhost port, starts the blocking accept
+    /// loop on a background thread, and returns a handle controlling
+    /// it.
+    pub fn spawn(knowledge: ServerKnowledge, config: ServerConfig) -> Result<BlockingHandle> {
+        config.validate()?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let token = ShutdownToken::new();
+        let stats = Arc::new(ServerStats::default());
+        let ctl = Arc::new(OverloadController::new(config.overload)?);
+
+        let accept = AcceptLoop {
+            listener,
+            knowledge: Arc::new(knowledge),
+            config,
+            token: token.clone(),
+            stats: Arc::clone(&stats),
+            ctl: Arc::clone(&ctl),
+        };
+        let join = thread::Builder::new()
+            .name("specweb-accept".into())
+            .spawn(move || accept.run())
+            .map_err(|e| CoreError::Io(e.to_string()))?;
+
+        Ok(BlockingHandle {
+            addr,
+            token,
+            stats,
+            ctl,
+            join: Some(join),
+        })
+    }
+}
+
+/// Control handle for a running [`BlockingServer`].
+#[derive(Debug)]
+pub struct BlockingHandle {
+    addr: SocketAddr,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl BlockingHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the event counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The current service level.
+    pub fn service_level(&self) -> ServiceLevel {
+        self.ctl.level()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// complete (or fail its deadline), and join all threads.
+    pub fn shutdown(mut self) -> Result<()> {
+        obs::global().events.wall_event(
+            "serve",
+            "shutdown",
+            format!("addr={} baseline", self.addr),
+        );
+        self.token.trigger();
+        // Wake the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            join.join()
+                .map_err(|_| CoreError::Io("server accept thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for BlockingHandle {
+    fn drop(&mut self) {
+        // Best-effort stop if the user never called shutdown(); the
+        // accept thread is detached rather than joined here.
+        self.token.trigger();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+struct AcceptLoop {
+    listener: TcpListener,
+    knowledge: Arc<ServerKnowledge>,
+    config: ServerConfig,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.token.is_triggered() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            handlers.retain(|h| !h.is_finished());
+
+            // Admission with backpressure: wait up to admit_timeout for
+            // a slot (connections queue in the OS backlog meanwhile),
+            // then refuse with BUSY. Speculation shedding has already
+            // happened at demand_only_at — refusal is the last rung.
+            let deadline = std::time::Instant::now() + self.config.admit_timeout;
+            let guard = loop {
+                match self.ctl.try_admit() {
+                    Some(g) => break Some(g),
+                    None if self.token.is_triggered() => break None,
+                    None if std::time::Instant::now() >= deadline => break None,
+                    None => thread::sleep(Duration::from_millis(5)),
+                }
+            };
+            let Some(guard) = guard else {
+                ServerStats::bump(&self.stats.refused_connections, "serve.refused_connections");
+                obs::global().events.wall_event(
+                    "serve",
+                    "refuse",
+                    format!(
+                        "{}/{} connections",
+                        self.ctl.active(),
+                        self.ctl.policy().max_connections
+                    ),
+                );
+                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                let mut s = stream;
+                let busy = ServerMsg::Busy {
+                    detail: format!(
+                        "{}/{} connections",
+                        self.ctl.active(),
+                        self.ctl.policy().max_connections
+                    ),
+                };
+                let _ = writeln!(s, "{busy}");
+                continue;
+            };
+
+            ServerStats::bump(&self.stats.connections, "serve.connections");
+            obs::global().events.wall_event(
+                "serve",
+                "accept",
+                format!("active={}", self.ctl.active()),
+            );
+            let conn = Connection {
+                knowledge: Arc::clone(&self.knowledge),
+                config: self.config,
+                token: self.token.clone(),
+                stats: Arc::clone(&self.stats),
+                ctl: Arc::clone(&self.ctl),
+            };
+            match thread::Builder::new()
+                .name("specweb-conn".into())
+                .spawn(move || {
+                    let _guard = guard;
+                    let _ = conn.handle(stream);
+                }) {
+                Ok(h) => handlers.push(h),
+                Err(_) => continue, // stream and guard dropped: refused
+            }
+        }
+        // Graceful drain: every handler finishes its in-flight request
+        // and exits — blocked reads fail within one read_timeout.
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Connection {
+    knowledge: Arc<ServerKnowledge>,
+    config: ServerConfig,
+    token: ShutdownToken,
+    stats: Arc<ServerStats>,
+    ctl: Arc<OverloadController>,
+}
+
+impl Connection {
+    fn handle(&self, stream: TcpStream) -> Result<()> {
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut out = stream;
+        let limits = self.config.limits;
+
+        loop {
+            if self.token.is_triggered() {
+                return Ok(());
+            }
+            let line = match read_bounded_line(&mut reader, limits.max_line_bytes) {
+                Ok(Some(line)) => line,
+                Ok(None) => return Ok(()), // clean EOF
+                Err(e @ CoreError::Protocol { .. }) => {
+                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
+                    let msg = ServerMsg::Err {
+                        reason: e.to_string(),
+                    };
+                    let _ = writeln!(out, "{msg}");
+                    return Err(e);
+                }
+                // Read deadline or transport failure: drop the peer.
+                Err(e) => return Err(e),
+            };
+            let req = match Request::parse(&line, &limits) {
+                Ok(req) => req,
+                Err(e) => {
+                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
+                    let msg = ServerMsg::Err {
+                        reason: e.to_string(),
+                    };
+                    let _ = writeln!(out, "{msg}");
+                    return Err(e);
+                }
+            };
+            match req {
+                Request::Quit => return Ok(()),
+                Request::Get { doc, have } => {
+                    ServerStats::bump(&self.stats.requests, "serve.requests");
+                    let k = &self.knowledge;
+                    if doc.index() >= k.catalog.len() {
+                        // Well-formed but unknown: report and keep the
+                        // session alive.
+                        let msg = ServerMsg::Err {
+                            reason: format!("no such document {}", doc.raw()),
+                        };
+                        writeln!(out, "{msg}").map_err(CoreError::from)?;
+                        continue;
+                    }
+                    let doc_msg = ServerMsg::Doc {
+                        doc,
+                        size: k.catalog.size(doc).get(),
+                    };
+                    writeln!(out, "{doc_msg}").map_err(CoreError::from)?;
+
+                    // Speculation is the first load to shed (§2.3):
+                    // under DemandOnly the response carries no pushes.
+                    if self.ctl.level() == ServiceLevel::Full {
+                        let decision = decide(
+                            &k.policy,
+                            &k.closure,
+                            &k.direct,
+                            doc,
+                            &k.catalog,
+                            k.max_size,
+                            |j| have.contains(&j),
+                        );
+                        for (j, _) in decision.push {
+                            if j == doc {
+                                continue;
+                            }
+                            ServerStats::bump(&self.stats.pushes, "serve.pushes");
+                            let push = ServerMsg::Push {
+                                doc: j,
+                                size: k.catalog.size(j).get(),
+                            };
+                            writeln!(out, "{push}").map_err(CoreError::from)?;
+                        }
+                    } else {
+                        ServerStats::bump(&self.stats.shed_speculation, "serve.shed_total");
+                        obs::global().events.wall_event(
+                            "serve",
+                            "shed",
+                            format!("demand-only response for doc {}", doc.raw()),
+                        );
+                    }
+                    writeln!(out, "{}", ServerMsg::End).map_err(CoreError::from)?;
+                }
+            }
+        }
+    }
+}

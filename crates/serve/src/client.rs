@@ -161,7 +161,18 @@ impl SpecClient {
         let mut last: Option<CoreError> = None;
         for attempt in 0..=self.config.retry.max_attempts {
             if attempt > 0 {
-                thread::sleep(self.backoff(attempt - 1));
+                let pause = self.backoff(attempt - 1);
+                // Backoff time is real service-time cost the retry
+                // policy imposes on the user; account it next to the
+                // retry count so sweeps can weigh delay against load.
+                specweb_core::obs::global()
+                    .metrics
+                    .counter_on(
+                        "serve.client_backoff_ms",
+                        specweb_core::obs::Channel::WallClock,
+                    )
+                    .add(pause.as_millis() as u64);
+                thread::sleep(pause);
             }
             match self.try_fetch(doc) {
                 Ok(r) => return Ok(r),

@@ -1,0 +1,332 @@
+//! The readiness-based event loop — one thread, every connection.
+//!
+//! A std-only reactor: the listener and every connection socket are
+//! nonblocking, and a single thread sweeps them, treating `WouldBlock`
+//! as "not ready". When a whole sweep makes no progress the thread
+//! parks briefly, so an idle server costs near-zero CPU while a busy
+//! one never sleeps.
+//!
+//! Per-connection work is delegated to the pure [`ConnCore`] state
+//! machine; this file owns everything impure — sockets, wall-clock
+//! deadlines, overload admission, stats mirroring, and (when
+//! recording) the session trace. That split is deliberate: the reactor
+//! reads `Instant::now` freely and is **not** a registered
+//! deterministic root, while `ConnCore` and the replay driver are
+//! (DESIGN §9) and must stay clock- and randomness-free.
+//!
+//! Compared to the thread-per-connection baseline ([`crate::blocking`])
+//! the resource model flips: a slow, stalled or malicious peer used to
+//! pin one OS thread for up to a read-timeout; here it holds a few
+//! kilobytes of buffer and one file descriptor, and backpressure is
+//! explicit — a connection whose output buffer is over
+//! [`out_buffer_cap`](crate::server::ServerConfig::out_buffer_cap) is
+//! simply not read from until it drains.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use specweb_core::obs;
+
+use crate::conn::{ConnCore, ConnCounters};
+use crate::overload::{ConnectionGuard, OverloadController};
+use crate::server::{ServerConfig, ServerKnowledge, ServerStats, TraceSlot};
+use crate::session::SessionRecorder;
+use crate::shutdown::ShutdownToken;
+
+/// How long the reactor parks when a full sweep made no progress.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Read-buffer size per sweep step.
+const READ_CHUNK: usize = 16 * 1024;
+
+pub(crate) struct Reactor {
+    pub(crate) listener: TcpListener,
+    pub(crate) knowledge: Arc<ServerKnowledge>,
+    pub(crate) config: ServerConfig,
+    pub(crate) token: ShutdownToken,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) ctl: Arc<OverloadController>,
+    pub(crate) recorder: Option<SessionRecorder>,
+    pub(crate) trace_slot: Option<TraceSlot>,
+}
+
+/// An admitted connection under reactor management.
+struct Live {
+    stream: TcpStream,
+    core: ConnCore,
+    _guard: ConnectionGuard,
+    /// Last instant a byte moved in either direction.
+    last_progress: Instant,
+    /// Counters already mirrored into [`ServerStats`].
+    mirrored: ConnCounters,
+    /// Peer reached end of input.
+    eof: bool,
+}
+
+/// A connection waiting in the admission queue.
+struct Pending {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl Reactor {
+    pub(crate) fn run(self) {
+        let Reactor {
+            listener,
+            knowledge,
+            config,
+            token,
+            stats,
+            ctl,
+            mut recorder,
+            trace_slot,
+        } = self;
+
+        let mut conns: BTreeMap<u64, Live> = BTreeMap::new();
+        let mut pending: VecDeque<Pending> = VecDeque::new();
+        let mut next_id: u64 = 0;
+        let mut buf = vec![0u8; READ_CHUNK];
+
+        while !token.is_triggered() {
+            let mut progress = false;
+
+            // Phase 1: drain the accept queue into the admission queue.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        pending.push_back(Pending {
+                            stream,
+                            deadline: Instant::now() + config.admit_timeout,
+                        });
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            // Phase 2: admission with backpressure — FIFO, waiting up
+            // to admit_timeout for a slot, then refusing with BUSY
+            // (the last rung of the degradation ladder).
+            while let Some(front) = pending.front() {
+                if let Some(guard) = ctl.try_admit() {
+                    let Some(p) = pending.pop_front() else { break };
+                    let id = next_id;
+                    next_id += 1;
+                    ServerStats::bump(&stats.connections, "serve.connections");
+                    obs::global().events.wall_event(
+                        "serve",
+                        "accept",
+                        format!("conn={id} active={}", ctl.active()),
+                    );
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.on_accept(id);
+                    }
+                    conns.insert(
+                        id,
+                        Live {
+                            stream: p.stream,
+                            core: ConnCore::new(id, config.limits),
+                            _guard: guard,
+                            last_progress: Instant::now(),
+                            mirrored: ConnCounters::default(),
+                            eof: false,
+                        },
+                    );
+                    progress = true;
+                } else if Instant::now() >= front.deadline {
+                    let Some(mut p) = pending.pop_front() else {
+                        break;
+                    };
+                    ServerStats::bump(&stats.refused_connections, "serve.refused_connections");
+                    obs::global().events.wall_event(
+                        "serve",
+                        "refuse",
+                        format!(
+                            "{}/{} connections",
+                            ctl.active(),
+                            ctl.policy().max_connections
+                        ),
+                    );
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.on_refused();
+                    }
+                    // Best effort; the peer may already be gone, and a
+                    // nonblocking short write is as much as a refusal
+                    // deserves.
+                    let busy = format!(
+                        "BUSY {}/{} connections\n",
+                        ctl.active(),
+                        ctl.policy().max_connections
+                    );
+                    let _ = p.stream.write(busy.as_bytes());
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+
+            // Phase 3: sweep every live connection — flush output,
+            // then read input unless backpressured.
+            let now = Instant::now();
+            let mut closed: Vec<u64> = Vec::new();
+            for (&id, live) in conns.iter_mut() {
+                let mut dead = false;
+
+                // Flush: partial writes are normal; WouldBlock means
+                // the peer is slow and we stop pushing for this sweep.
+                while live.core.buffered() > 0 {
+                    match live.stream.write(live.core.output()) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            live.core.consume_output(n);
+                            live.last_progress = now;
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+
+                // Read, unless the session ended or the output buffer
+                // exceeds the backpressure cap.
+                if !dead
+                    && !live.eof
+                    && !live.core.draining()
+                    && live.core.buffered() < config.out_buffer_cap
+                {
+                    match live.stream.read(&mut buf) {
+                        Ok(0) => {
+                            live.eof = true;
+                            live.last_progress = now;
+                            progress = true;
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.on_eof(id);
+                            }
+                            live.core.on_eof();
+                            mirror(&stats, live);
+                        }
+                        Ok(n) => {
+                            live.last_progress = now;
+                            progress = true;
+                            let level = ctl.level();
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.on_level(level);
+                                rec.on_data(id, &buf[..n]);
+                            }
+                            live.core.on_bytes(&buf[..n], level, &knowledge);
+                            mirror(&stats, live);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => dead = true,
+                    }
+                }
+
+                let idle = now.duration_since(live.last_progress) > config.read_timeout;
+                if dead || live.core.done() || (live.eof && live.core.buffered() == 0) || idle {
+                    closed.push(id);
+                }
+            }
+            for id in closed {
+                if let Some(live) = conns.remove(&id) {
+                    close_conn(&stats, &mut recorder, live);
+                    progress = true;
+                }
+            }
+
+            if !progress {
+                thread::park_timeout(IDLE_PARK);
+            }
+        }
+
+        // Shutdown drain: flush buffered responses, bounded by
+        // write_timeout, then close everything and finish the trace.
+        let deadline = Instant::now() + config.write_timeout;
+        while Instant::now() < deadline && conns.values().any(|l| l.core.buffered() > 0) {
+            let mut moved = false;
+            for live in conns.values_mut() {
+                while live.core.buffered() > 0 {
+                    match live.stream.write(live.core.output()) {
+                        Ok(n) if n > 0 => {
+                            live.core.consume_output(n);
+                            moved = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        _ => break,
+                    }
+                }
+            }
+            if !moved {
+                thread::park_timeout(Duration::from_millis(1));
+            }
+        }
+        for (_, live) in std::mem::take(&mut conns) {
+            close_conn(&stats, &mut recorder, live);
+        }
+        if let Some(rec) = recorder {
+            let trace = rec.finish();
+            if let Some(slot) = trace_slot {
+                if let Ok(mut guard) = slot.lock() {
+                    *guard = Some(trace);
+                }
+            }
+        }
+    }
+}
+
+/// Mirrors the delta since the last mirror into the shared stats (and
+/// the wall-clock obs channel), emitting the shed trace event the
+/// blocking server used to emit inline.
+fn mirror(stats: &ServerStats, live: &mut Live) {
+    let cur = live.core.counters();
+    let prev = live.mirrored;
+    ServerStats::bump_by(
+        &stats.requests,
+        "serve.requests",
+        cur.requests - prev.requests,
+    );
+    ServerStats::bump_by(&stats.pushes, "serve.pushes", cur.pushes - prev.pushes);
+    ServerStats::bump_by(
+        &stats.shed_speculation,
+        "serve.shed_total",
+        cur.shed - prev.shed,
+    );
+    ServerStats::bump_by(
+        &stats.protocol_errors,
+        "serve.protocol_errors",
+        cur.protocol_errors - prev.protocol_errors,
+    );
+    if cur.shed > prev.shed {
+        obs::global().events.wall_event(
+            "serve",
+            "shed",
+            format!("demand-only responses on conn {}", live.core.id()),
+        );
+    }
+    live.mirrored = cur;
+}
+
+fn close_conn(stats: &ServerStats, recorder: &mut Option<SessionRecorder>, mut live: Live) {
+    mirror(stats, &mut live);
+    if let Some(rec) = recorder.as_mut() {
+        rec.on_close(&live.core);
+    }
+    obs::global()
+        .events
+        .wall_event("serve", "conn.close", live.core.describe());
+}

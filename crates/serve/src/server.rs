@@ -1,37 +1,51 @@
 //! The hardened speculative-service server.
 //!
-//! A multi-threaded TCP server speaking the [`crate::protocol`] wire
-//! format, built around four robustness mechanisms the §4 prototype
-//! lacked:
+//! An event-loop TCP server speaking the [`crate::protocol`] wire
+//! format. The engine is a single reactor thread ([`crate::reactor`])
+//! sweeping nonblocking sockets and feeding the pure per-connection
+//! state machines of [`crate::conn`]; this file owns the public
+//! surface: knowledge, config, stats, and the spawn/shutdown handle.
 //!
-//! * **bounded parsing** — request lines go through
-//!   [`read_bounded_line`] and [`Request::parse`], so hostile peers hit
+//! Robustness mechanisms, grown from the §4 prototype:
+//!
+//! * **bounded parsing** — request lines go through the incremental
+//!   [`FrameDecoder`](crate::conn::FrameDecoder), so hostile peers hit
 //!   typed [`CoreError::Protocol`] errors, never unbounded buffers;
-//! * **deadlines** — every connection carries read and write timeouts;
-//!   a stalled peer costs one handler thread for at most one timeout;
+//! * **backpressure, not threads** — a slow or stalled client costs a
+//!   few kilobytes of buffer, not a pinned handler thread; a connection
+//!   whose output buffer is full simply stops being read;
+//! * **deadlines** — a peer that makes no progress for `read_timeout`
+//!   is disconnected by the reactor's sweep;
 //! * **graceful degradation** — an [`OverloadController`] sheds
 //!   speculation first (demand-only service, the §2.3 move) and only
-//!   refuses connections at the hard cap, after waiting `admit_timeout`
-//!   for a slot (accept-loop backpressure);
-//! * **graceful shutdown** — a [`ShutdownToken`] asks the accept loop
-//!   and every handler to finish the request in flight and exit;
-//!   [`ServerHandle::shutdown`] joins them all.
+//!   refuses connections at the hard cap, after holding them in an
+//!   admission queue for `admit_timeout`;
+//! * **graceful shutdown** — a [`ShutdownToken`] stops the reactor,
+//!   which flushes buffered responses before closing;
+//! * **record/replay** — [`SpecServer::spawn_recording`] captures the
+//!   session into a deterministic [`SessionTrace`] that
+//!   [`crate::session::replay`] re-drives byte-identically.
+//!
+//! The original thread-per-connection implementation survives as
+//! [`crate::blocking`], kept as the baseline the chaos harness measures
+//! the event loop against.
 
-use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use specweb_core::obs::{self, Channel};
 use specweb_core::{Bytes, CoreError, Result};
 use specweb_spec::deps::DepMatrix;
-use specweb_spec::policy::{decide, Policy};
+use specweb_spec::policy::Policy;
 use specweb_trace::document::Catalog;
 
 use crate::overload::{OverloadController, OverloadPolicy, ServiceLevel};
-use crate::protocol::{read_bounded_line, ProtocolLimits, Request, ServerMsg};
+use crate::protocol::ProtocolLimits;
+use crate::reactor::Reactor;
+use crate::session::{KnowledgeSpec, SessionRecorder, SessionTrace};
 use crate::shutdown::ShutdownToken;
 
 /// Everything the server needs to answer and speculate, fixed at
@@ -57,14 +71,18 @@ pub struct ServerConfig {
     pub limits: ProtocolLimits,
     /// Degradation thresholds.
     pub overload: OverloadPolicy,
-    /// Per-connection read deadline: a peer silent for longer is
-    /// disconnected.
+    /// Per-connection progress deadline: a peer that neither delivers
+    /// nor accepts a byte for this long is disconnected.
     pub read_timeout: Duration,
-    /// Per-connection write deadline.
+    /// Bound on the shutdown flush of buffered responses.
     pub write_timeout: Duration,
-    /// How long the accept loop waits for a free slot before refusing a
-    /// connection with `BUSY`.
+    /// How long an unadmitted connection waits in the admission queue
+    /// for a free slot before being refused with `BUSY`.
     pub admit_timeout: Duration,
+    /// Per-connection output-buffer cap: a connection with more than
+    /// this many unflushed response bytes exerts backpressure (it is
+    /// not read from) instead of growing the buffer.
+    pub out_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +93,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             admit_timeout: Duration::from_secs(1),
+            out_buffer_cap: 64 * 1024,
         }
     }
 }
@@ -90,19 +109,25 @@ impl ServerConfig {
                 "read and write timeouts must be positive",
             ));
         }
+        if self.out_buffer_cap < self.limits.max_line_bytes {
+            return Err(CoreError::invalid_config(
+                "serve.out_buffer_cap",
+                "must hold at least one maximum-length line",
+            ));
+        }
         Ok(())
     }
 }
 
-/// Monotonic event counters, shared with the handler threads.
+/// Monotonic event counters, shared with the reactor thread.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    pushes: AtomicU64,
-    shed_speculation: AtomicU64,
-    refused_connections: AtomicU64,
-    protocol_errors: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) pushes: AtomicU64,
+    pub(crate) shed_speculation: AtomicU64,
+    pub(crate) refused_connections: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -127,12 +152,20 @@ impl ServerStats {
     /// observability registry. Server counters live on the wall-clock
     /// channel: they depend on real sockets and thread scheduling, so
     /// they are excluded from deterministic golden comparisons.
-    fn bump(counter: &AtomicU64, name: &'static str) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &AtomicU64, name: &'static str) {
+        Self::bump_by(counter, name, 1);
+    }
+
+    /// [`ServerStats::bump`], for a batch of `n` events.
+    pub(crate) fn bump_by(counter: &AtomicU64, name: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        counter.fetch_add(n, Ordering::Relaxed);
         obs::global()
             .metrics
             .counter_on(name, Channel::WallClock)
-            .incr();
+            .add(n);
     }
 
     /// Reads all counters.
@@ -148,32 +181,59 @@ impl ServerStats {
     }
 }
 
+pub(crate) type TraceSlot = Arc<Mutex<Option<SessionTrace>>>;
+
 /// The server. Construct with [`SpecServer::spawn`].
 #[derive(Debug)]
 pub struct SpecServer;
 
 impl SpecServer {
-    /// Binds an ephemeral localhost port, starts the accept loop on a
+    /// Binds an ephemeral localhost port, starts the reactor on a
     /// background thread, and returns a handle controlling it.
     pub fn spawn(knowledge: ServerKnowledge, config: ServerConfig) -> Result<ServerHandle> {
+        Self::spawn_inner(knowledge, config, None)
+    }
+
+    /// Like [`SpecServer::spawn`], but records every event-loop input
+    /// into a `specweb-session/v1` trace. `spec` must describe how
+    /// `knowledge` was built (it is embedded in the trace so a replay
+    /// can rebuild the same knowledge from the seed). Retrieve the
+    /// trace with [`ServerHandle::shutdown_into_trace`].
+    pub fn spawn_recording(
+        knowledge: ServerKnowledge,
+        config: ServerConfig,
+        spec: KnowledgeSpec,
+    ) -> Result<ServerHandle> {
+        Self::spawn_inner(knowledge, config, Some(spec))
+    }
+
+    fn spawn_inner(
+        knowledge: ServerKnowledge,
+        config: ServerConfig,
+        spec: Option<KnowledgeSpec>,
+    ) -> Result<ServerHandle> {
         config.validate()?;
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let token = ShutdownToken::new();
         let stats = Arc::new(ServerStats::default());
         let ctl = Arc::new(OverloadController::new(config.overload)?);
+        let trace: Option<TraceSlot> = spec.as_ref().map(|_| Arc::new(Mutex::new(None)));
 
-        let accept = AcceptLoop {
+        let reactor = Reactor {
             listener,
             knowledge: Arc::new(knowledge),
             config,
             token: token.clone(),
             stats: Arc::clone(&stats),
             ctl: Arc::clone(&ctl),
+            recorder: spec.map(|s| SessionRecorder::new(s, config.limits)),
+            trace_slot: trace.clone(),
         };
         let join = thread::Builder::new()
-            .name("specweb-accept".into())
-            .spawn(move || accept.run())
+            .name("specweb-reactor".into())
+            .spawn(move || reactor.run())
             .map_err(|e| CoreError::Io(e.to_string()))?;
 
         Ok(ServerHandle {
@@ -182,6 +242,7 @@ impl SpecServer {
             stats,
             ctl,
             join: Some(join),
+            trace,
         })
     }
 }
@@ -194,6 +255,7 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     ctl: Arc<OverloadController>,
     join: Option<JoinHandle<()>>,
+    trace: Option<TraceSlot>,
 }
 
 impl ServerHandle {
@@ -217,18 +279,39 @@ impl ServerHandle {
         self.token.clone()
     }
 
-    /// Graceful shutdown: stop accepting, let every in-flight request
-    /// complete (or fail its deadline), and join all threads.
+    /// Graceful shutdown: stop accepting, flush buffered responses
+    /// (bounded by `write_timeout`), and join the reactor.
     pub fn shutdown(mut self) -> Result<()> {
+        self.shutdown_inner()
+    }
+
+    /// Graceful shutdown of a recording server, returning the captured
+    /// session trace. Errors if the server was not spawned with
+    /// [`SpecServer::spawn_recording`].
+    pub fn shutdown_into_trace(mut self) -> Result<SessionTrace> {
+        let slot = self.trace.clone().ok_or_else(|| {
+            CoreError::invalid_config("serve.record", "server was not spawned in recording mode")
+        })?;
+        self.shutdown_inner()?;
+        let mut guard = slot
+            .lock()
+            .map_err(|_| CoreError::Io("trace slot poisoned".into()))?;
+        guard
+            .take()
+            .ok_or_else(|| CoreError::Io("reactor exited without finishing the trace".into()))
+    }
+
+    fn shutdown_inner(&mut self) -> Result<()> {
         obs::global()
             .events
             .wall_event("serve", "shutdown", format!("addr={}", self.addr));
         self.token.trigger();
-        // Wake the accept loop out of its blocking accept().
+        // Nudge a possibly-sleeping reactor; it polls the token every
+        // sweep, so this only shortens the last sleep.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             join.join()
-                .map_err(|_| CoreError::Io("server accept thread panicked".into()))?;
+                .map_err(|_| CoreError::Io("server reactor thread panicked".into()))?;
         }
         Ok(())
     }
@@ -237,198 +320,8 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         // Best-effort stop if the user never called shutdown(); the
-        // accept thread is detached rather than joined here.
+        // reactor thread is detached rather than joined here.
         self.token.trigger();
         let _ = TcpStream::connect(self.addr);
-    }
-}
-
-struct AcceptLoop {
-    listener: TcpListener,
-    knowledge: Arc<ServerKnowledge>,
-    config: ServerConfig,
-    token: ShutdownToken,
-    stats: Arc<ServerStats>,
-    ctl: Arc<OverloadController>,
-}
-
-impl AcceptLoop {
-    fn run(self) {
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.token.is_triggered() {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            handlers.retain(|h| !h.is_finished());
-
-            // Admission with backpressure: wait up to admit_timeout for
-            // a slot (connections queue in the OS backlog meanwhile),
-            // then refuse with BUSY. Speculation shedding has already
-            // happened at demand_only_at — refusal is the last rung.
-            let deadline = std::time::Instant::now() + self.config.admit_timeout;
-            let guard = loop {
-                match self.ctl.try_admit() {
-                    Some(g) => break Some(g),
-                    None if self.token.is_triggered() => break None,
-                    None if std::time::Instant::now() >= deadline => break None,
-                    None => thread::sleep(Duration::from_millis(5)),
-                }
-            };
-            let Some(guard) = guard else {
-                ServerStats::bump(&self.stats.refused_connections, "serve.refused_connections");
-                obs::global().events.wall_event(
-                    "serve",
-                    "refuse",
-                    format!(
-                        "{}/{} connections",
-                        self.ctl.active(),
-                        self.ctl.policy().max_connections
-                    ),
-                );
-                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                let mut s = stream;
-                let busy = ServerMsg::Busy {
-                    detail: format!(
-                        "{}/{} connections",
-                        self.ctl.active(),
-                        self.ctl.policy().max_connections
-                    ),
-                };
-                let _ = writeln!(s, "{busy}");
-                continue;
-            };
-
-            ServerStats::bump(&self.stats.connections, "serve.connections");
-            obs::global().events.wall_event(
-                "serve",
-                "accept",
-                format!("active={}", self.ctl.active()),
-            );
-            let conn = Connection {
-                knowledge: Arc::clone(&self.knowledge),
-                config: self.config,
-                token: self.token.clone(),
-                stats: Arc::clone(&self.stats),
-                ctl: Arc::clone(&self.ctl),
-            };
-            match thread::Builder::new()
-                .name("specweb-conn".into())
-                .spawn(move || {
-                    let _guard = guard;
-                    let _ = conn.handle(stream);
-                }) {
-                Ok(h) => handlers.push(h),
-                Err(_) => continue, // stream and guard dropped: refused
-            }
-        }
-        // Graceful drain: every handler finishes its in-flight request
-        // and exits — blocked reads fail within one read_timeout.
-        for h in handlers {
-            let _ = h.join();
-        }
-    }
-}
-
-struct Connection {
-    knowledge: Arc<ServerKnowledge>,
-    config: ServerConfig,
-    token: ShutdownToken,
-    stats: Arc<ServerStats>,
-    ctl: Arc<OverloadController>,
-}
-
-impl Connection {
-    fn handle(&self, stream: TcpStream) -> Result<()> {
-        stream.set_read_timeout(Some(self.config.read_timeout))?;
-        stream.set_write_timeout(Some(self.config.write_timeout))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut out = stream;
-        let limits = self.config.limits;
-
-        loop {
-            if self.token.is_triggered() {
-                return Ok(());
-            }
-            let line = match read_bounded_line(&mut reader, limits.max_line_bytes) {
-                Ok(Some(line)) => line,
-                Ok(None) => return Ok(()), // clean EOF
-                Err(e @ CoreError::Protocol { .. }) => {
-                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
-                    let msg = ServerMsg::Err {
-                        reason: e.to_string(),
-                    };
-                    let _ = writeln!(out, "{msg}");
-                    return Err(e);
-                }
-                // Read deadline or transport failure: drop the peer.
-                Err(e) => return Err(e),
-            };
-            let req = match Request::parse(&line, &limits) {
-                Ok(req) => req,
-                Err(e) => {
-                    ServerStats::bump(&self.stats.protocol_errors, "serve.protocol_errors");
-                    let msg = ServerMsg::Err {
-                        reason: e.to_string(),
-                    };
-                    let _ = writeln!(out, "{msg}");
-                    return Err(e);
-                }
-            };
-            match req {
-                Request::Quit => return Ok(()),
-                Request::Get { doc, have } => {
-                    ServerStats::bump(&self.stats.requests, "serve.requests");
-                    let k = &self.knowledge;
-                    if doc.index() >= k.catalog.len() {
-                        // Well-formed but unknown: report and keep the
-                        // session alive.
-                        let msg = ServerMsg::Err {
-                            reason: format!("no such document {}", doc.raw()),
-                        };
-                        writeln!(out, "{msg}").map_err(CoreError::from)?;
-                        continue;
-                    }
-                    let doc_msg = ServerMsg::Doc {
-                        doc,
-                        size: k.catalog.size(doc).get(),
-                    };
-                    writeln!(out, "{doc_msg}").map_err(CoreError::from)?;
-
-                    // Speculation is the first load to shed (§2.3):
-                    // under DemandOnly the response carries no pushes.
-                    if self.ctl.level() == ServiceLevel::Full {
-                        let decision = decide(
-                            &k.policy,
-                            &k.closure,
-                            &k.direct,
-                            doc,
-                            &k.catalog,
-                            k.max_size,
-                            |j| have.contains(&j),
-                        );
-                        for (j, _) in decision.push {
-                            if j == doc {
-                                continue;
-                            }
-                            ServerStats::bump(&self.stats.pushes, "serve.pushes");
-                            let push = ServerMsg::Push {
-                                doc: j,
-                                size: k.catalog.size(j).get(),
-                            };
-                            writeln!(out, "{push}").map_err(CoreError::from)?;
-                        }
-                    } else {
-                        ServerStats::bump(&self.stats.shed_speculation, "serve.shed_total");
-                        obs::global().events.wall_event(
-                            "serve",
-                            "shed",
-                            format!("demand-only response for doc {}", doc.raw()),
-                        );
-                    }
-                    writeln!(out, "{}", ServerMsg::End).map_err(CoreError::from)?;
-                }
-            }
-        }
     }
 }

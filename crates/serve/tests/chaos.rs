@@ -1,0 +1,86 @@
+//! Slow-client chaos: the event loop vs the blocking baseline.
+//!
+//! Both servers face the same kind of seeded degraded load — clients
+//! that stall outright, dribble one byte per write, or stretch the gap
+//! between chunks — driven by [`specweb_serve::chaos`]. The blocking
+//! baseline pins one OS thread per such peer, so its concurrency is its
+//! thread budget; the reactor holds the same peer for a few kilobytes.
+//! The acceptance bar from the issue: the event loop must sustain at
+//! least **10×** the baseline's connection count with full correctness
+//! (every response well-formed, nothing refused, nothing timed out).
+
+use std::time::Duration;
+
+use specweb_core::time::Duration as SimDuration;
+use specweb_serve::session::KnowledgeSpec;
+use specweb_serve::{
+    run_chaos, BlockingServer, ChaosConfig, OverloadPolicy, ServerConfig, SpecServer,
+};
+
+/// The baseline's whole connection budget.
+const BASELINE_CLIENTS: usize = 24;
+/// What we demand of the event loop: 10× the baseline.
+const EVENT_LOOP_CLIENTS: usize = 240;
+
+fn chaos_config(clients: usize) -> ChaosConfig {
+    ChaosConfig {
+        clients,
+        requests_per_client: 2,
+        n_docs: 8,
+        seed: 7,
+        horizon: SimDuration::from_millis(2_000),
+        deadline: Duration::from_secs(30),
+        chunk_delay: Duration::from_millis(1),
+    }
+}
+
+fn server_config(max_connections: usize) -> ServerConfig {
+    ServerConfig {
+        overload: OverloadPolicy {
+            max_connections,
+            // Shedding speculation under load is allowed (it is the
+            // ladder working); refusing or corrupting is not.
+            demand_only_at: max_connections * 3 / 4,
+        },
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn blocking_baseline_survives_chaos_at_its_thread_budget() {
+    let knowledge = KnowledgeSpec::demo(42).build(1).expect("knowledge builds");
+    let server =
+        BlockingServer::spawn(knowledge, server_config(BASELINE_CLIENTS)).expect("baseline spawns");
+    let report = run_chaos(server.addr(), &chaos_config(BASELINE_CLIENTS)).expect("chaos runs");
+    assert!(
+        report.clean(),
+        "baseline failed at its own budget: {report:?}"
+    );
+    let stats = server.stats();
+    server.shutdown().expect("baseline shuts down");
+    assert_eq!(stats.connections, BASELINE_CLIENTS as u64);
+    assert_eq!(stats.refused_connections, 0);
+}
+
+#[test]
+fn event_loop_sustains_ten_times_the_baseline_under_chaos() {
+    const { assert!(EVENT_LOOP_CLIENTS >= 10 * BASELINE_CLIENTS) };
+    let knowledge = KnowledgeSpec::demo(42).build(1).expect("knowledge builds");
+    // Headroom above the client count so refusal would indicate a
+    // resource leak (stuck connections), not a configured cap.
+    let server = SpecServer::spawn(knowledge, server_config(EVENT_LOOP_CLIENTS + 16))
+        .expect("event loop spawns");
+    let report = run_chaos(server.addr(), &chaos_config(EVENT_LOOP_CLIENTS)).expect("chaos runs");
+    assert!(
+        report.clean(),
+        "event loop shed correctness at 10× the baseline: {report:?}"
+    );
+    let stats = server.stats();
+    server.shutdown().expect("event loop shuts down");
+    assert_eq!(stats.connections, EVENT_LOOP_CLIENTS as u64);
+    assert_eq!(stats.refused_connections, 0);
+    assert_eq!(
+        stats.requests, report.requests_sent,
+        "every pipelined request must be served"
+    );
+}

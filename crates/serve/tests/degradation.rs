@@ -182,6 +182,19 @@ fn busy_refusal_is_transient_and_the_retry_succeeds() {
         stats.refused_connections >= 1,
         "the saturated server must have refused at least once"
     );
+
+    // The retry path must account its cost in the wall-clock registry:
+    // at least one retry and a nonzero backoff pause.
+    let wall = specweb_core::obs::global().snapshot().wallclock;
+    let count = |name: &str| match wall.get(name) {
+        Some(specweb_core::obs::MetricValue::Counter { value }) => *value,
+        _ => 0,
+    };
+    assert!(count("serve.client_retries") >= 1, "retries not counted");
+    assert!(
+        count("serve.client_backoff_ms") >= 1,
+        "backoff time not accounted"
+    );
 }
 
 #[test]

@@ -115,6 +115,9 @@ pub struct SpecSim<'a> {
     /// Per-client edge-owning nodes on the path to the root (for fault
     /// lookups; the root owns no edge and is excluded).
     paths: Vec<Vec<specweb_core::ids::NodeId>>,
+    /// Per-client leaf node (for client-side fault lookups: slow
+    /// clients, partial writes, stalls).
+    nodes: Vec<specweb_core::ids::NodeId>,
     /// Optional observability bundle: per-policy push/hit/waste
     /// accounting lands here (deterministic channel — the replay is a
     /// pure function of trace + config).
@@ -132,6 +135,10 @@ struct ReplayCounters {
     retries: u64,
     unavailable: u64,
     retry_wait_ms: u64,
+    stalled: u64,
+    stall_wait_ms: u64,
+    slow_served: u64,
+    partial_write_pushes: u64,
 }
 
 /// Fault context threaded through a degraded replay.
@@ -164,6 +171,20 @@ pub struct DegradedSpecOutcome {
     pub baseline_retries: u64,
     /// Unserved requests in the baseline replay.
     pub baseline_unavailable: u64,
+    /// Misses deferred because the client was stalled mid-session (a
+    /// leaf in a `stall` window); the request waits out the window.
+    pub stalled: u64,
+    /// Total deferral those stalls imposed, in milliseconds (already
+    /// included in the latency totals).
+    pub stall_wait_ms: u64,
+    /// Misses served to a slow-draining client (a leaf in a
+    /// `slow_client` window): the fetch latency was inflated by the
+    /// plan's slow-client factor.
+    pub slow_served: u64,
+    /// Speculative pushes that landed on a client in a `partial_write`
+    /// window: the first copy arrived truncated, and the re-send's
+    /// bytes are charged to the speculative run's traffic.
+    pub partial_write_pushes: u64,
 }
 
 /// Where a replay gets its `P`/`P*` matrices from.
@@ -200,10 +221,12 @@ impl<'a> SpecSim<'a> {
                 p
             })
             .collect();
+        let nodes = trace.clients.iter().map(|c| c.node).collect();
         SpecSim {
             trace,
             hops,
             paths,
+            nodes,
             obs: None,
         }
     }
@@ -302,6 +325,10 @@ impl<'a> SpecSim<'a> {
             retry_wait_ms: counters.retry_wait_ms,
             baseline_retries: base_counters.retries,
             baseline_unavailable: base_counters.unavailable,
+            stalled: counters.stalled,
+            stall_wait_ms: counters.stall_wait_ms,
+            slow_served: counters.slow_served,
+            partial_write_pushes: counters.partial_write_pushes,
             outcome,
         })
     }
@@ -386,7 +413,18 @@ impl<'a> SpecSim<'a> {
             let mut fetch_time = a.time;
             let mut delay_factor = 1.0;
             if let Some(f) = faults {
+                // A stalled client cannot even send its request: the
+                // miss is deferred to the end of the stall window, and
+                // every later fault lookup sees the deferred instant.
+                if let Some(resume) = f.plan.stalled_until(self.nodes[ci], fetch_time) {
+                    if measured {
+                        counters.stalled += 1;
+                        counters.stall_wait_ms += resume.since(fetch_time).as_millis();
+                    }
+                    fetch_time = resume;
+                }
                 let edges = &self.paths[ci];
+                let after_stall = fetch_time;
                 if !f.plan.edges_up(edges, fetch_time) {
                     let mut reached = false;
                     for attempt in 0..f.retry.max_attempts {
@@ -409,10 +447,19 @@ impl<'a> SpecSim<'a> {
                         continue;
                     }
                     if measured {
-                        counters.retry_wait_ms += fetch_time.since(a.time).as_millis();
+                        counters.retry_wait_ms += fetch_time.since(after_stall).as_millis();
                     }
                 }
                 delay_factor = f.plan.edges_delay_factor(edges, fetch_time);
+                // A slow-draining client stretches the whole transfer:
+                // its factor stacks on top of any slow links en route.
+                let client_factor = f.plan.client_slow_factor(self.nodes[ci], fetch_time);
+                if client_factor > 1.0 {
+                    delay_factor *= client_factor;
+                    if measured {
+                        counters.slow_served += 1;
+                    }
+                }
             }
             if measured {
                 totals.miss_bytes += size;
@@ -461,6 +508,17 @@ impl<'a> SpecSim<'a> {
                     }
                     if measured {
                         totals.bytes_sent += jsize;
+                    }
+                    if let Some(f) = faults {
+                        if f.plan.partial_write_active(self.nodes[ci], fetch_time) {
+                            // The push fragments at the client and
+                            // truncates; the re-send succeeds, but the
+                            // wasted first copy still crossed the wire.
+                            counters.partial_write_pushes += 1;
+                            if measured {
+                                totals.bytes_sent += jsize;
+                            }
+                        }
                     }
                     cache.insert(j, jsize);
                 }
@@ -543,6 +601,10 @@ impl<'a> SpecSim<'a> {
             ("prefetches", counters.prefetches),
             ("retries", counters.retries),
             ("unavailable", counters.unavailable),
+            ("stalled", counters.stalled),
+            ("stall_wait_ms", counters.stall_wait_ms),
+            ("slow_served", counters.slow_served),
+            ("pushes_partial_write", counters.partial_write_pushes),
         ];
         for (name, v) in pairs {
             obs.metrics.counter(&format!("spec.{name}")).add(v);
@@ -1014,5 +1076,64 @@ mod tests {
         assert_eq!(degraded.availability, 1.0);
         assert_eq!(degraded.outcome.speculative, healthy.speculative);
         assert_eq!(degraded.outcome.baseline, healthy.baseline);
+        assert_eq!(degraded.stalled, 0);
+        assert_eq!(degraded.slow_served, 0);
+        assert_eq!(degraded.partial_write_pushes, 0);
+    }
+
+    #[test]
+    fn client_side_chaos_surfaces_in_the_degraded_outcome() {
+        let (trace, topo) = setup(223);
+        let sim = SpecSim::new(&trace, &topo);
+        let horizon = specweb_core::time::Duration::from_days(14);
+        let chaotic = specweb_netsim::FaultConfig::chaotic(horizon);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(1021), &topo, &chaotic).unwrap();
+        let c = cfg(0.3);
+        let healthy = sim.run(&c).unwrap();
+        let degraded = sim
+            .run_with_faults(&c, &plan, RetrySchedule::default())
+            .unwrap();
+        // The chaotic preset keeps each leaf degraded for a sizable
+        // fraction of the horizon: every client-side class must leave a
+        // visible mark in the outcome.
+        assert!(degraded.stalled > 0, "no stalls surfaced");
+        assert!(degraded.stall_wait_ms > 0, "stalls cost no time");
+        assert!(degraded.slow_served > 0, "no slow-client serves surfaced");
+        assert!(
+            degraded.partial_write_pushes > 0,
+            "no partial-write pushes surfaced"
+        );
+        // Truncated pushes are re-sent, so the degraded replay moves
+        // strictly more bytes than the healthy one; deferred and slowed
+        // fetches make it strictly slower.
+        assert!(
+            degraded.outcome.speculative.bytes_sent > healthy.speculative.bytes_sent,
+            "re-sent pushes must inflate traffic"
+        );
+        assert!(degraded.outcome.speculative.latency_ms > healthy.speculative.latency_ms);
+        // Bit-for-bit determinism holds with the new classes active.
+        let again = sim
+            .run_with_faults(&c, &plan, RetrySchedule::default())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&degraded).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        // The light preset keeps every client-side counter at zero, so
+        // the committed degraded-mode experiments are untouched.
+        let light = FaultPlan::generate(
+            &specweb_core::rng::SeedTree::new(1021),
+            &topo,
+            &fault_config(14),
+        )
+        .unwrap();
+        let quiet = sim
+            .run_with_faults(&c, &light, RetrySchedule::default())
+            .unwrap();
+        assert_eq!(quiet.stalled, 0);
+        assert_eq!(quiet.stall_wait_ms, 0);
+        assert_eq!(quiet.slow_served, 0);
+        assert_eq!(quiet.partial_write_pushes, 0);
     }
 }

@@ -214,6 +214,109 @@ proptest! {
     }
 }
 
+/// Server knowledge for the connection-state-machine proptests, built
+/// once — the estimation pipeline is deterministic, so sharing it
+/// across cases is sound and keeps the proptest fast.
+fn conn_knowledge() -> &'static ServerKnowledge {
+    use std::sync::OnceLock;
+    static KNOWLEDGE: OnceLock<ServerKnowledge> = OnceLock::new();
+    KNOWLEDGE.get_or_init(|| {
+        specweb::serve::session::KnowledgeSpec::demo(77)
+            .build(1)
+            .expect("demo knowledge builds")
+    })
+}
+
+/// One request-stream line: valid GETs (with and without HAVE digests),
+/// QUITs, and garbage.
+fn request_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u64..200).prop_map(|d| format!("GET {d}\n")),
+        (0u64..50, prop::collection::vec(0u64..50, 1..5)).prop_map(|(d, have)| {
+            let ids: Vec<String> = have.iter().map(u64::to_string).collect();
+            format!("GET {d} HAVE {}\n", ids.join(","))
+        }),
+        Just("QUIT\n".to_string()),
+        arbitrary_line().prop_map(|mut s| {
+            s.push('\n');
+            s
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The incremental frame decoder is fragmentation-invariant over
+    /// arbitrary bytes: feeding the whole input at once and feeding it
+    /// split at arbitrary boundaries produce identical frames (and
+    /// identical violations), and neither path panics.
+    #[test]
+    fn frame_decoder_is_fragmentation_invariant(
+        bytes in prop::collection::vec(0u8..=255u8, 0..300),
+        raw_cuts in prop::collection::vec(0usize..512, 0..8),
+        cap in 1usize..64,
+    ) {
+        use specweb::serve::conn::FrameDecoder;
+
+        let mut whole = Vec::new();
+        let _ = FrameDecoder::new(cap).feed(&bytes, &mut whole);
+
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut fragmented = Vec::new();
+        let mut decoder = FrameDecoder::new(cap);
+        let mut start = 0;
+        // The caller contract: stop feeding after a violation.
+        let mut ok = true;
+        for cut in cuts.into_iter().chain(std::iter::once(bytes.len())) {
+            if ok && cut > start {
+                ok = decoder.feed(&bytes[start..cut], &mut fragmented);
+            }
+            start = start.max(cut);
+        }
+        prop_assert_eq!(whole, fragmented);
+    }
+
+    /// The whole connection state machine is fragmentation-invariant:
+    /// the same request stream split at arbitrary byte boundaries
+    /// yields byte-identical responses, the same digest, and the same
+    /// counters — the invariant that makes record/replay exact. And it
+    /// never panics, whatever the stream contains.
+    #[test]
+    fn conn_core_output_is_fragmentation_invariant(
+        lines in prop::collection::vec(request_line(), 0..6),
+        raw_cuts in prop::collection::vec(0usize..512, 0..10),
+    ) {
+        use specweb::serve::conn::ConnCore;
+        use specweb::serve::{ProtocolLimits, ServiceLevel};
+
+        let input: Vec<u8> = lines.concat().into_bytes();
+        let k = conn_knowledge();
+        let limits = ProtocolLimits::default();
+
+        let mut whole = ConnCore::new(0, limits);
+        whole.on_bytes(&input, ServiceLevel::Full, k);
+        whole.on_eof();
+
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (input.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut frag = ConnCore::new(0, limits);
+        let mut start = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(input.len())) {
+            if cut > start {
+                frag.on_bytes(&input[start..cut], ServiceLevel::Full, k);
+            }
+            start = start.max(cut);
+        }
+        frag.on_eof();
+
+        prop_assert_eq!(whole.output(), frag.output());
+        prop_assert_eq!(whole.digest_hex(), frag.digest_hex());
+        prop_assert_eq!(whole.counters(), frag.counters());
+    }
+}
+
 #[test]
 fn zero_budget_allocation_is_all_zero() {
     let servers = [
