@@ -84,7 +84,7 @@ pub struct ValveRow {
 pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -98,12 +98,16 @@ pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Full => &[0.7, 0.5, 0.3, 0.15],
         Scale::Quick => &[0.5, 0.15],
     };
+    // The whole ablation — both policies, every T_p, every safety-valve
+    // bound — shares one baseline replay (same cache, same warmup).
+    let baseline = sim.baseline_totals(&cfg)?;
+
     let mut rows = Vec::new();
     for &tp in tps {
         cfg.policy = Policy::Threshold { tp };
-        let c = sim.run_with_store(&cfg, Some(&store))?;
+        let c = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         cfg.policy = Policy::DirectThreshold { tp };
-        let d = sim.run_with_store(&cfg, Some(&store))?;
+        let d = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         rows.push(ClosureRow {
             tp,
             closure: (
@@ -164,7 +168,7 @@ pub fn exp_closure(scale: Scale, seed: u64) -> Result<Report> {
         vcfg.estimator.closure_max_row = max_row;
         let vstore = MatrixStore::precompute(&vcfg.estimator, &trace, total_days)?;
         vstore.record_truncation(&obs);
-        let out = sim.run_with_store(&vcfg, Some(&vstore))?;
+        let out = sim.run_with_store_and_baseline(&vcfg, Some(&vstore), Some(&baseline))?;
         valve.push(ValveRow {
             max_row,
             truncated_rows: vstore.truncated_rows(),
@@ -223,7 +227,7 @@ pub struct RankRow {
 pub fn exp_rank(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let mut rows = Vec::new();
@@ -295,7 +299,7 @@ pub struct TailoredRow {
 pub fn exp_tailored(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let mut rows = Vec::new();
@@ -364,7 +368,7 @@ pub struct ShedRow {
 pub fn exp_shed(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
 
     let caps: &[Option<u64>] = match scale {
@@ -429,7 +433,7 @@ pub fn exp_shed(scale: Scale, seed: u64) -> Result<Report> {
 pub fn exp_hier(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = DisseminationSim::new(&trace, &topo)?.with_obs(&obs);
     let cap = match scale {
         Scale::Full => 400,
@@ -570,7 +574,7 @@ pub struct AgingRow {
 pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::drift_trace(scale, seed)?;
+    let trace = crate::workloads::drift_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -584,6 +588,14 @@ pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
         ("aging decay 0.7/day".into(), Some(0.7)),
     ];
 
+    // One baseline for all estimator variants (the demand replay never
+    // reads the estimator).
+    let baseline = {
+        let mut c = SpecConfig::baseline(0.3);
+        c.warmup_days = crate::workloads::warmup_days(scale);
+        sim.baseline_totals(&c)?
+    };
+
     let mut rows = Vec::new();
     for (label, decay) in variants {
         let mut cfg = SpecConfig::baseline(0.3);
@@ -592,7 +604,7 @@ pub fn exp_aging(scale: Scale, seed: u64) -> Result<Report> {
         cfg.warmup_days = crate::workloads::warmup_days(scale);
         let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
         store.record_truncation(&obs);
-        let out = sim.run_with_store(&cfg, Some(&store))?;
+        let out = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         rows.push(AgingRow {
             variant: label,
             load_reduction_pct: out.ratios.server_load_reduction_pct(),
@@ -714,7 +726,7 @@ pub struct QueueRow {
 pub fn exp_queue(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -733,10 +745,13 @@ pub fn exp_queue(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Full => &[0.9, 0.5, 0.3, 0.15],
         Scale::Quick => &[0.5, 0.15],
     };
+    // One baseline serves the whole T_p sweep.
+    let baseline = sim.baseline_totals(&cfg)?;
+
     let mut rows = Vec::new();
     for &tp in tps {
         cfg.policy = Policy::Threshold { tp };
-        let out = sim.run_with_store(&cfg, Some(&store))?;
+        let out = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         let reduction = out.ratios.server_load_reduction_pct();
         let relief = load_relief(&server, lambda, reduction / 100.0)?;
         rows.push(QueueRow {

@@ -38,8 +38,10 @@ use specweb_core::obs::{self, Level, MetricSnapshot, RunManifest};
 struct Timings {
     /// Worker count used.
     jobs: usize,
-    /// `full` or `quick`.
+    /// `full` or `quick`, with a `-xN` suffix when `--scale N` > 1.
     scale: String,
+    /// Population multiplier (`--scale`).
+    scale_factor: usize,
     /// Master seed.
     seed: u64,
     /// End-to-end wall clock, seconds.
@@ -82,6 +84,7 @@ fn main() {
         seed,
         out_dir,
         jobs,
+        scale_factor,
         wanted,
         ..
     } = args;
@@ -91,12 +94,22 @@ fn main() {
     // honors --jobs. `--jobs 1` makes the entire process serial.
     let jobs = jobs.unwrap_or_else(specweb_core::par::default_jobs);
     specweb_core::par::set_default_jobs(jobs);
+    // Pin the population multiplier before any workload is built.
+    specweb_bench::workloads::set_scale_factor(scale_factor);
 
     let t0 = Instant::now();
-    let scale_name = match scale {
-        Scale::Full => "full",
-        Scale::Quick => "quick",
+    let scale_name: String = {
+        let base = match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        };
+        if scale_factor > 1 {
+            format!("{base}-x{scale_factor}")
+        } else {
+            base.to_string()
+        }
     };
+    let scale_name = scale_name.as_str();
     let git = obs::git_describe();
 
     // fig5 and fig6 share one sweep; run it once if both are requested.
@@ -184,6 +197,7 @@ fn main() {
     let timings = Timings {
         jobs: pool.jobs(),
         scale: scale_name.into(),
+        scale_factor,
         seed,
         total_seconds,
         experiments,

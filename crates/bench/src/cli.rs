@@ -47,6 +47,9 @@ pub struct Args {
     /// Worker count (`--jobs N`); `None` means use the process default
     /// (`SPECWEB_JOBS` or the detected core count).
     pub jobs: Option<usize>,
+    /// Population multiplier (`--scale {1,10,100}`): multiplies
+    /// `sessions_per_day` and the client count of every workload.
+    pub scale_factor: usize,
     /// Experiment ids to run, deduplicated, in request order.
     pub wanted: Vec<String>,
     /// Whether `--help` was requested.
@@ -64,6 +67,7 @@ impl Default for Args {
             seed: 1996,
             out_dir: PathBuf::from("results"),
             jobs: None,
+            scale_factor: 1,
             wanted: Vec::new(),
             help: false,
             report: false,
@@ -74,7 +78,7 @@ impl Default for Args {
 /// The usage string printed by `--help` and on bad invocations.
 pub fn usage() -> String {
     format!(
-        "usage: figures [--quick] [--seed N] [--jobs N] [--out DIR] <ids…|all>\n       \
+        "usage: figures [--quick] [--seed N] [--jobs N] [--scale {{1|10|100}}] [--out DIR] <ids…|all>\n       \
          figures --report [--out DIR]   (summarize manifest_*.json from a past run)\n\
          ids: {}",
         ALL.join(" ")
@@ -111,6 +115,16 @@ where
                     return Err("--jobs must be at least 1".into());
                 }
                 out.jobs = Some(jobs);
+            }
+            "--scale" => {
+                let factor: usize = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--scale needs an integer")?;
+                if ![1, 10, 100].contains(&factor) {
+                    return Err("--scale must be 1, 10 or 100".into());
+                }
+                out.scale_factor = factor;
             }
             "--out" => {
                 out.out_dir = PathBuf::from(argv.next().ok_or("--out needs a path")?);
@@ -193,6 +207,18 @@ mod tests {
         assert!(p(&["--jobs", "four"]).is_err());
         assert!(p(&["--seed"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn scale_parses_and_rejects_off_grid_factors() {
+        assert_eq!(p(&[]).unwrap().scale_factor, 1);
+        assert_eq!(p(&["--scale", "1"]).unwrap().scale_factor, 1);
+        assert_eq!(p(&["--scale", "10", "fig3"]).unwrap().scale_factor, 10);
+        assert_eq!(p(&["--scale", "100"]).unwrap().scale_factor, 100);
+        assert!(p(&["--scale", "2"]).is_err());
+        assert!(p(&["--scale", "0"]).is_err());
+        assert!(p(&["--scale", "ten"]).is_err());
+        assert!(p(&["--scale"]).is_err());
     }
 
     #[test]

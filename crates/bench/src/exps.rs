@@ -99,7 +99,7 @@ pub struct UpdRow {
 pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::drift_trace(scale, seed)?;
+    let trace = crate::workloads::drift_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -114,6 +114,14 @@ pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
     let max_history = schedules.iter().map(|&(_, h)| h).max().unwrap_or(1);
     let warmup = crate::workloads::warmup_days(scale).max(max_history.min(total_days / 2));
 
+    // One baseline serves every schedule: the demand replay reads only
+    // the cache model and warmup days, which the sweep holds fixed.
+    let baseline = {
+        let mut c = SpecConfig::baseline(0.3);
+        c.warmup_days = warmup;
+        sim.baseline_totals(&c)?
+    };
+
     let mut rows: Vec<UpdRow> = Vec::new();
     for &(cycle, history) in schedules {
         let mut cfg = SpecConfig::baseline(0.3);
@@ -122,7 +130,7 @@ pub fn exp_upd(scale: Scale, seed: u64) -> Result<Report> {
         cfg.warmup_days = warmup;
         let store = MatrixStore::precompute(&cfg.estimator, &trace, total_days)?;
         store.record_truncation(&obs);
-        let out = sim.run_with_store(&cfg, Some(&store))?;
+        let out = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         rows.push(UpdRow {
             update_cycle_days: cycle,
             history_days: history,
@@ -210,7 +218,7 @@ pub struct SizeResult {
 pub fn exp_size(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -241,12 +249,16 @@ pub fn exp_size(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Quick => &[0.9, 0.7, 0.3, 0.1],
     };
 
+    // One baseline serves the whole grid: neither MaxSize nor T_p is
+    // read by the demand replay.
+    let baseline = sim.baseline_totals(&cfg)?;
+
     let mut grid = Vec::new();
     for &ms in sizes {
         for &tp in tps {
             cfg.policy = Policy::Threshold { tp };
             cfg.max_size = Bytes::new(ms);
-            let out = sim.run_with_store(&cfg, Some(&store))?;
+            let out = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
             grid.push(SizeCell {
                 max_size: ms,
                 tp,
@@ -348,7 +360,7 @@ pub struct CacheRow {
 pub fn exp_cache(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -444,7 +456,7 @@ pub struct CoopRow {
 pub fn exp_coop(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -463,13 +475,17 @@ pub fn exp_coop(scale: Scale, seed: u64) -> Result<Report> {
         Scale::Full => &[0.7, 0.5, 0.3, 0.15],
         Scale::Quick => &[0.5, 0.15],
     };
+    // One baseline for every (T_p, cooperation) cell — neither knob is
+    // read by the demand replay.
+    let baseline = sim.baseline_totals(&cfg)?;
+
     let mut rows = Vec::new();
     for &tp in tps {
         cfg.policy = Policy::Threshold { tp };
         cfg.cooperative = false;
-        let plain = sim.run_with_store(&cfg, Some(&store))?;
+        let plain = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         cfg.cooperative = true;
-        let coop = sim.run_with_store(&cfg, Some(&store))?;
+        let coop = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
         rows.push(CoopRow {
             tp,
             plain_traffic_pct: plain.ratios.traffic_increase_pct(),
@@ -536,7 +552,7 @@ pub struct PrefRow {
 pub fn exp_pref(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     let sim = SpecSim::new(&trace, &topo).with_obs(&obs);
     let total_days = trace.duration.as_millis() / 86_400_000;
 
@@ -552,9 +568,12 @@ pub fn exp_pref(scale: Scale, seed: u64) -> Result<Report> {
     let store = MatrixStore::precompute(&base().estimator, &trace, total_days)?;
     store.record_truncation(&obs);
 
+    // All five strategies share one baseline (same cache, same warmup).
+    let baseline = sim.baseline_totals(&base())?;
+
     let mut rows = Vec::new();
     let mut run = |label: &str, cfg: &SpecConfig| -> Result<()> {
-        let out = sim.run_with_store(cfg, Some(&store))?;
+        let out = sim.run_with_store_and_baseline(cfg, Some(&store), Some(&baseline))?;
         rows.push(PrefRow {
             strategy: label.to_string(),
             traffic_pct: out.ratios.traffic_increase_pct(),

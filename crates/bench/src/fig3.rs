@@ -66,7 +66,7 @@ fn compute(
     obs: Option<&specweb_core::obs::Obs>,
 ) -> Result<Curves> {
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, obs)?;
     let mut sim = DisseminationSim::new(&trace, &topo)?;
     if let Some(obs) = obs {
         sim = sim.with_obs(obs);

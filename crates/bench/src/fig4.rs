@@ -29,7 +29,7 @@ pub struct Fig4 {
 /// Runs the experiment.
 pub fn run(scale: Scale, seed: u64) -> Result<Report> {
     let obs = specweb_core::obs::Obs::new();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, Some(&obs))?;
     // Like the paper: one month of accesses (or everything, if less).
     let cutoff = trace.accesses.partition_point(|a| a.time.day() < 30);
     let slice = &trace.accesses[..cutoff.max(1)];

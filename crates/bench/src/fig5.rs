@@ -75,7 +75,7 @@ pub fn sweep(scale: Scale, seed: u64) -> Result<Sweep> {
 /// byte-identical across worker counts too.
 fn sweep_jobs(scale: Scale, seed: u64, jobs: usize, obs: Option<&Obs>) -> Result<Sweep> {
     let topo = crate::workloads::topology();
-    let trace = crate::workloads::bu_trace(scale, seed)?;
+    let trace = crate::workloads::bu_trace_with(scale, seed, obs)?;
     let mut sim = SpecSim::new(&trace, &topo);
     if let Some(obs) = obs {
         sim = sim.with_obs(obs);
@@ -91,12 +91,16 @@ fn sweep_jobs(scale: Scale, seed: u64, jobs: usize, obs: Option<&Obs>) -> Result
         store.record_truncation(obs);
     }
 
+    // One baseline replay serves the whole T_p grid — the demand side
+    // never reads the policy.
+    let baseline = sim.baseline_totals(&cfg)?;
+
     let points = specweb_core::par::Pool::new(jobs).try_map_indexed(
         tp_grid(scale),
         |_, &tp| -> Result<SweepPoint> {
             let mut cfg = cfg;
             cfg.policy = specweb_spec::policy::Policy::Threshold { tp };
-            let out = sim.run_with_store(&cfg, Some(&store))?;
+            let out = sim.run_with_store_and_baseline(&cfg, Some(&store), Some(&baseline))?;
             Ok(SweepPoint {
                 tp,
                 traffic_pct: out.ratios.traffic_increase_pct(),

@@ -9,11 +9,31 @@
 //! * the **drift** workload — the same site with visible link churn,
 //!   for the §3.4 staleness experiment.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use specweb_core::obs::Obs;
 use specweb_core::Result;
 use specweb_netsim::topology::Topology;
 use specweb_trace::generator::{Trace, TraceConfig, TraceGenerator};
 
 use crate::Scale;
+
+/// Process-wide population multiplier (the `--scale` flag): multiplies
+/// `sessions_per_day` and the client count of every workload built by
+/// this module. 1 = the paper's population.
+static SCALE_FACTOR: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the population multiplier for every workload built after this
+/// call (clamped to ≥ 1). Called once at startup by the `figures`
+/// binary; tests that set it must restore it.
+pub fn set_scale_factor(factor: usize) {
+    SCALE_FACTOR.store(factor.max(1), Ordering::Relaxed);
+}
+
+/// The current population multiplier.
+pub fn scale_factor() -> usize {
+    SCALE_FACTOR.load(Ordering::Relaxed).max(1)
+}
 
 /// The clientele tree used throughout: root (server) → 3 national
 /// backbones → 9 regionals → 27 edge networks, 6 client leaves each.
@@ -25,13 +45,29 @@ pub fn topology() -> Topology {
 
 /// The `cs-www.bu.edu`-flavored workload at the requested scale.
 pub fn bu_trace(scale: Scale, seed: u64) -> Result<Trace> {
-    let topo = topology();
-    let cfg = bu_config(scale, seed);
-    TraceGenerator::new(cfg)?.generate(&topo)
+    bu_trace_with(scale, seed, None)
 }
 
-/// The configuration behind [`bu_trace`].
+/// Like [`bu_trace`], threading an observability bundle into the
+/// generator so `trace.*` volume counters land in the caller's
+/// per-experiment manifest (per-run accounting — nothing global).
+pub fn bu_trace_with(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Trace> {
+    let topo = topology();
+    let mut generator = TraceGenerator::new(bu_config(scale, seed))?;
+    if let Some(obs) = obs {
+        generator = generator.with_obs(obs);
+    }
+    generator.generate(&topo)
+}
+
+/// The configuration behind [`bu_trace`], with the process-wide
+/// [`scale_factor`] applied to the population.
 pub fn bu_config(scale: Scale, seed: u64) -> TraceConfig {
+    bu_config_with_factor(scale, seed, scale_factor())
+}
+
+/// [`bu_config`] at an explicit population multiplier.
+fn bu_config_with_factor(scale: Scale, seed: u64, factor: usize) -> TraceConfig {
     let mut cfg = TraceConfig::bu_www(seed);
     match scale {
         Scale::Full => {
@@ -44,6 +80,10 @@ pub fn bu_config(scale: Scale, seed: u64) -> TraceConfig {
             cfg.sessions_per_day = 60;
         }
     }
+    if factor > 1 {
+        cfg.sessions_per_day = cfg.sessions_per_day.saturating_mul(factor);
+        cfg.clients.n_clients = cfg.clients.n_clients.saturating_mul(factor);
+    }
     cfg
 }
 
@@ -51,6 +91,12 @@ pub fn bu_config(scale: Scale, seed: u64) -> TraceConfig {
 /// pages re-target their links at a visible rate, over a longer span so
 /// a 60-day update cycle can actually go stale.
 pub fn drift_trace(scale: Scale, seed: u64) -> Result<Trace> {
+    drift_trace_with(scale, seed, None)
+}
+
+/// Like [`drift_trace`], threading an observability bundle into the
+/// generator (see [`bu_trace_with`]).
+pub fn drift_trace_with(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Trace> {
     let topo = topology();
     let mut cfg = bu_config(scale, seed);
     match scale {
@@ -63,7 +109,11 @@ pub fn drift_trace(scale: Scale, seed: u64) -> Result<Trace> {
             cfg.link_churn_per_day = 0.05;
         }
     }
-    TraceGenerator::new(cfg)?.generate(&topo)
+    let mut generator = TraceGenerator::new(cfg)?;
+    if let Some(obs) = obs {
+        generator = generator.with_obs(obs);
+    }
+    generator.generate(&topo)
 }
 
 /// The days a spec-sim should treat as warm-up at each scale (history
@@ -99,6 +149,25 @@ mod tests {
     fn drift_workload_generates() {
         let t = drift_trace(Scale::Quick, 1).unwrap();
         assert_eq!(t.duration.as_millis() / 86_400_000, 24);
+    }
+
+    #[test]
+    fn scale_factor_multiplies_the_population() {
+        // Explicit-factor path only: mutating the process-wide factor
+        // here would race the other tests in this binary.
+        let base = bu_config_with_factor(Scale::Quick, 1, 1);
+        let x10 = bu_config_with_factor(Scale::Quick, 1, 10);
+        assert_eq!(x10.sessions_per_day, base.sessions_per_day * 10);
+        assert_eq!(x10.clients.n_clients, base.clients.n_clients * 10);
+        // Everything else is untouched — same site, same span.
+        assert_eq!(x10.duration_days, base.duration_days);
+        assert_eq!(x10.site.n_pages, base.site.n_pages);
+        // Factor 1 (and the default) is the identity.
+        assert_eq!(
+            base.sessions_per_day,
+            bu_config(Scale::Quick, 1).sessions_per_day
+        );
+        assert_eq!(scale_factor(), 1);
     }
 
     #[test]

@@ -110,12 +110,18 @@ impl Pool {
     {
         let n = items.len();
         let workers = self.jobs.min(n);
-        // Task totals are a pure function of the call graph, so they sit
-        // on the deterministic channel; how tasks land on workers is
-        // scheduling, so those marks are wall-clock-channel only.
+        // Dispatch accounting is execution shape, not results: callers
+        // may legitimately skip the pool entirely at one worker (the
+        // simulators' shard gate does), so map/task totals vary with
+        // `--jobs` and sit on the wall-clock channel with the rest of
+        // the scheduling marks.
         let obs = crate::obs::global();
-        obs.metrics.counter("par.maps_total").incr();
-        obs.metrics.counter("par.tasks_total").add(n as u64);
+        obs.metrics
+            .counter_on("par.maps_total", crate::obs::Channel::WallClock)
+            .incr();
+        obs.metrics
+            .counter_on("par.tasks_total", crate::obs::Channel::WallClock)
+            .add(n as u64);
         if workers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }

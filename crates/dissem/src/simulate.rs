@@ -32,7 +32,7 @@ use specweb_netsim::fault::FaultPlan;
 use specweb_netsim::proxystore::ProxyStore;
 use specweb_netsim::routing::Router;
 use specweb_netsim::topology::Topology;
-use specweb_trace::generator::Trace;
+use specweb_trace::generator::{Access, Trace};
 use specweb_trace::updates::UpdateEvent;
 
 use crate::analysis::ServerProfile;
@@ -170,6 +170,35 @@ pub struct DisseminationSim<'a> {
     /// accounting lands here (deterministic channel — the replay is a
     /// pure function of trace + config + fault plan).
     obs: Option<specweb_core::obs::Obs>,
+    /// Static shard partition for the replay: access indices grouped by
+    /// the root-child subtree ("cluster") the client lives under,
+    /// ordered by cluster node id. [`Router::route`] stops collecting
+    /// interceptions at the root, so every proxy's counters are touched
+    /// by exactly one shard and the merged replay is bit-identical to a
+    /// serial pass (DESIGN §12).
+    shards: Vec<Vec<usize>>,
+}
+
+/// Partial outcome of replaying one shard of the trace.
+#[derive(Debug, Default)]
+struct ReplayPart {
+    baseline: TrafficAccount,
+    with_d: TrafficAccount,
+    proxy_hits: u64,
+    origin_hits: u64,
+    shed: u64,
+    tally: FaultTally,
+}
+
+impl FaultTally {
+    fn merge(&mut self, other: &FaultTally) {
+        self.fault_denied += other.fault_denied;
+        self.retries += other.retries;
+        self.unavailable += other.unavailable;
+        self.stalled += other.stalled;
+        self.slow_served += other.slow_served;
+        self.partial_write_resends += other.partial_write_resends;
+    }
 }
 
 impl<'a> DisseminationSim<'a> {
@@ -185,11 +214,19 @@ impl<'a> DisseminationSim<'a> {
             .unwrap_or(0);
         let servers: Vec<ServerId> = (0..n_servers).map(ServerId::from).collect();
         let profiles = ServerProfile::from_trace_many(trace, &servers, days)?;
+        // Partition the replay by root-child cluster (see `shards` doc).
+        let mut by_cluster: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, a) in trace.accesses.iter().enumerate() {
+            let p = topo.path_to_root(trace.clients.get(a.client).node);
+            let cluster = if p.len() >= 2 { p[p.len() - 2] } else { p[0] };
+            by_cluster.entry(cluster).or_default().push(i);
+        }
         Ok(DisseminationSim {
             trace,
             topo,
             profiles,
             obs: None,
+            shards: by_cluster.into_values().collect(),
         })
     }
 
@@ -402,123 +439,38 @@ impl<'a> DisseminationSim<'a> {
             }
         }
 
-        // Replay.
+        // Replay, sharded by root-child cluster: every interception
+        // proxy lies strictly below the root on its client's path, so
+        // per-proxy counters (daily shedding, capacity thinning) are
+        // shard-local and the merge below reproduces a serial pass
+        // bit for bit (DESIGN §12).
+        let pool = specweb_core::par::Pool::auto();
+        let parts: Vec<ReplayPart> = if self.shards.len() > 1 && pool.jobs() > 1 {
+            pool.map_indexed(&self.shards, |_, idxs| {
+                self.replay_shard(
+                    cfg,
+                    faults,
+                    &router,
+                    &stores,
+                    idxs.iter().map(|&i| &self.trace.accesses[i]),
+                )
+            })
+        } else {
+            vec![self.replay_shard(cfg, faults, &router, &stores, self.trace.accesses.iter())]
+        };
         let mut baseline = TrafficAccount::new();
         let mut with_d = TrafficAccount::new();
         let mut proxy_hits = 0u64;
         let mut origin_hits = 0u64;
         let mut shed = 0u64;
-        // Per-proxy request counters, reset daily (for shedding).
-        let mut day_counters: BTreeMap<NodeId, u64> = BTreeMap::new();
-        let mut current_day = u64::MAX;
         let mut tally = FaultTally::default();
-        // Deterministic thinning at capacity-degraded proxies:
-        // (seen, served) per proxy, counted inside fault windows only.
-        let mut cap_counters: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
-
-        for a in &self.trace.accesses {
-            if cfg.remote_only && a.locality == specweb_trace::clients::Locality::Local {
-                continue;
-            }
-            if a.time.day() != current_day {
-                current_day = a.time.day();
-                day_counters.clear();
-            }
-            let size = self.trace.catalog.size(a.doc);
-            let client_node = self.trace.clients.get(a.client).node;
-            let route = router.route(client_node, a.server);
-            baseline.record(size, route.origin_hops);
-
-            // A stalled client defers its request to the end of the
-            // window; every later fault lookup sees the deferred
-            // instant. (Daily shedding counters stay on the access's
-            // calendar day — the cap is the proxy's, not the client's.)
-            let mut t = a.time;
-            if let Some(plan) = faults {
-                if let Some(resume) = plan.stalled_until(client_node, t) {
-                    tally.stalled += 1;
-                    tally.retries += 1;
-                    t = resume;
-                }
-                if plan.client_slow_factor(client_node, t) > 1.0 {
-                    tally.slow_served += 1;
-                }
-            }
-
-            let mut served = None;
-            for (i, itc) in route.interceptions.iter().enumerate() {
-                let holds = stores
-                    .get(&itc.proxy)
-                    .is_some_and(|s| s.contains(a.server, a.doc));
-                if !holds {
-                    continue;
-                }
-                if let Some(plan) = faults {
-                    if !plan.proxy_up(itc.proxy, t)
-                        || !plan.path_up(self.topo, client_node, itc.proxy, t)
-                    {
-                        tally.fault_denied += 1;
-                        tally.retries += 1;
-                        continue; // fall through toward the home server
-                    }
-                    let f = plan.capacity_factor(itc.proxy, t);
-                    if f < 1.0 {
-                        let c = cap_counters.entry(itc.proxy).or_insert((0u64, 0u64));
-                        c.0 += 1;
-                        if (c.1 + 1) as f64 > f * c.0 as f64 {
-                            tally.fault_denied += 1;
-                            tally.retries += 1;
-                            continue; // degraded proxy sheds this request
-                        }
-                        c.1 += 1;
-                    }
-                }
-                if let Some(cap) = cfg.proxy_daily_request_cap {
-                    let ctr = day_counters.entry(itc.proxy).or_insert(0);
-                    if *ctr >= cap {
-                        shed += 1;
-                        continue; // overloaded: try the next proxy upstream
-                    }
-                    *ctr += 1;
-                }
-                served = Some(i);
-                break;
-            }
-            let served_hops = match served {
-                Some(i) => {
-                    proxy_hits += 1;
-                    route.served_hops(Some(i))
-                }
-                None => {
-                    if let Some(plan) = faults {
-                        if !plan.path_up(self.topo, client_node, Topology::ROOT, t) {
-                            if plan
-                                .path_recovery(self.topo, client_node, Topology::ROOT, t)
-                                .is_some()
-                            {
-                                // Served after the path recovers: one
-                                // client retry, full origin cost.
-                                tally.retries += 1;
-                            } else {
-                                tally.unavailable += 1;
-                                continue;
-                            }
-                        }
-                    }
-                    origin_hits += 1;
-                    route.origin_hops
-                }
-            };
-            with_d.record(size, served_hops);
-            if let Some(plan) = faults {
-                if plan.partial_write_active(client_node, t) {
-                    // The transfer fragments at the client and
-                    // truncates; the re-send succeeds, but the wasted
-                    // first copy still crossed every hop.
-                    tally.partial_write_resends += 1;
-                    with_d.record(size, served_hops);
-                }
-            }
+        for p in &parts {
+            baseline.merge(&p.baseline);
+            with_d.merge(&p.with_d);
+            proxy_hits += p.proxy_hits;
+            origin_hits += p.origin_hits;
+            shed += p.shed;
+            tally.merge(&p.tally);
         }
 
         let total_with = with_d.byte_hops + push_traffic;
@@ -566,6 +518,134 @@ impl<'a> DisseminationSim<'a> {
             },
             tally,
         ))
+    }
+
+    /// Replays one shard of the trace (an in-order subsequence of
+    /// accesses) into a partial outcome. Per-proxy state — the daily
+    /// shedding counters and the capacity-fault thinning counters —
+    /// lives here, which is exact because a proxy only ever intercepts
+    /// clients of its own root-child subtree, i.e. of a single shard.
+    fn replay_shard<'t>(
+        &self,
+        cfg: &DisseminationConfig,
+        faults: Option<&FaultPlan>,
+        router: &Router<'_>,
+        stores: &BTreeMap<NodeId, ProxyStore>,
+        accesses: impl Iterator<Item = &'t Access>,
+    ) -> ReplayPart {
+        let mut part = ReplayPart::default();
+        // Per-proxy request counters, reset daily (for shedding).
+        let mut day_counters: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut current_day = u64::MAX;
+        // Deterministic thinning at capacity-degraded proxies:
+        // (seen, served) per proxy, counted inside fault windows only.
+        let mut cap_counters: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
+
+        for a in accesses {
+            if cfg.remote_only && a.locality == specweb_trace::clients::Locality::Local {
+                continue;
+            }
+            if a.time.day() != current_day {
+                current_day = a.time.day();
+                day_counters.clear();
+            }
+            let size = self.trace.catalog.size(a.doc);
+            let client_node = self.trace.clients.get(a.client).node;
+            let route = router.route(client_node, a.server);
+            part.baseline.record(size, route.origin_hops);
+
+            // A stalled client defers its request to the end of the
+            // window; every later fault lookup sees the deferred
+            // instant. (Daily shedding counters stay on the access's
+            // calendar day — the cap is the proxy's, not the client's.)
+            let mut t = a.time;
+            if let Some(plan) = faults {
+                if let Some(resume) = plan.stalled_until(client_node, t) {
+                    part.tally.stalled += 1;
+                    part.tally.retries += 1;
+                    t = resume;
+                }
+                if plan.client_slow_factor(client_node, t) > 1.0 {
+                    part.tally.slow_served += 1;
+                }
+            }
+
+            let mut served = None;
+            for (i, itc) in route.interceptions.iter().enumerate() {
+                let holds = stores
+                    .get(&itc.proxy)
+                    .is_some_and(|s| s.contains(a.server, a.doc));
+                if !holds {
+                    continue;
+                }
+                if let Some(plan) = faults {
+                    if !plan.proxy_up(itc.proxy, t)
+                        || !plan.path_up(self.topo, client_node, itc.proxy, t)
+                    {
+                        part.tally.fault_denied += 1;
+                        part.tally.retries += 1;
+                        continue; // fall through toward the home server
+                    }
+                    let f = plan.capacity_factor(itc.proxy, t);
+                    if f < 1.0 {
+                        let c = cap_counters.entry(itc.proxy).or_insert((0u64, 0u64));
+                        c.0 += 1;
+                        if (c.1 + 1) as f64 > f * c.0 as f64 {
+                            part.tally.fault_denied += 1;
+                            part.tally.retries += 1;
+                            continue; // degraded proxy sheds this request
+                        }
+                        c.1 += 1;
+                    }
+                }
+                if let Some(cap) = cfg.proxy_daily_request_cap {
+                    let ctr = day_counters.entry(itc.proxy).or_insert(0);
+                    if *ctr >= cap {
+                        part.shed += 1;
+                        continue; // overloaded: try the next proxy upstream
+                    }
+                    *ctr += 1;
+                }
+                served = Some(i);
+                break;
+            }
+            let served_hops = match served {
+                Some(i) => {
+                    part.proxy_hits += 1;
+                    route.served_hops(Some(i))
+                }
+                None => {
+                    if let Some(plan) = faults {
+                        if !plan.path_up(self.topo, client_node, Topology::ROOT, t) {
+                            if plan
+                                .path_recovery(self.topo, client_node, Topology::ROOT, t)
+                                .is_some()
+                            {
+                                // Served after the path recovers: one
+                                // client retry, full origin cost.
+                                part.tally.retries += 1;
+                            } else {
+                                part.tally.unavailable += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    part.origin_hits += 1;
+                    route.origin_hops
+                }
+            };
+            part.with_d.record(size, served_hops);
+            if let Some(plan) = faults {
+                if plan.partial_write_active(client_node, t) {
+                    // The transfer fragments at the client and
+                    // truncates; the re-send succeeds, but the wasted
+                    // first copy still crossed every hop.
+                    part.tally.partial_write_resends += 1;
+                    part.with_d.record(size, served_hops);
+                }
+            }
+        }
+        part
     }
 
     /// The tailored replica for a proxy: rank the server's documents by
@@ -923,6 +1003,44 @@ mod tests {
         let out = sim.run(&DisseminationConfig::default(), &[]).unwrap();
         let expect = out.proxy_hits as f64 / (out.proxy_hits + out.origin_hits) as f64;
         assert!((out.intercepted_fraction - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_replay_equals_serial_replay() {
+        // Forcing everything into one shard must reproduce the sharded
+        // merge bit for bit — with a daily cap (per-proxy day counters),
+        // under faults (capacity thinning), and in the healthy case.
+        // Sharding only engages with >1 worker; output is identical at
+        // any width, so pinning the process default is side-effect-free.
+        specweb_core::par::set_default_jobs(2);
+        let (trace, topo) = setup(93);
+        let sim = DisseminationSim::new(&trace, &topo).unwrap();
+        assert!(sim.shards.len() > 1, "topology must yield several shards");
+        let mut serial_sim = DisseminationSim::new(&trace, &topo).unwrap();
+        serial_sim.shards = vec![(0..trace.accesses.len()).collect()];
+
+        let capped = DisseminationConfig {
+            proxy_daily_request_cap: Some(5),
+            ..DisseminationConfig::default()
+        };
+        for cfg in [&DisseminationConfig::default(), &capped] {
+            let sharded = sim.run(cfg, &[]).unwrap();
+            let serial = serial_sim.run(cfg, &[]).unwrap();
+            assert_eq!(
+                serde_json::to_string(&sharded).unwrap(),
+                serde_json::to_string(&serial).unwrap()
+            );
+        }
+
+        let fcfg = specweb_netsim::fault::FaultConfig::light(trace.duration);
+        let plan =
+            FaultPlan::generate(&specweb_core::rng::SeedTree::new(933), &topo, &fcfg).unwrap();
+        let sharded = sim.run_with_faults(&capped, &[], &plan).unwrap();
+        let serial = serial_sim.run_with_faults(&capped, &[], &plan).unwrap();
+        assert_eq!(
+            serde_json::to_string(&sharded).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
     }
 
     #[test]

@@ -118,13 +118,21 @@ pub struct SpecSim<'a> {
     /// Per-client leaf node (for client-side fault lookups: slow
     /// clients, partial writes, stalls).
     nodes: Vec<specweb_core::ids::NodeId>,
+    /// Static partition of access indices by the client's root-child
+    /// cluster (DESIGN.md §12). Replay state is strictly per-client
+    /// (caches, profiles), the matrices and fault plan are read-only,
+    /// and every accumulator is an integer sum — so any client
+    /// partition replays independently and merges *exactly*. Shards are
+    /// ordered by cluster node id, making the merge canonical for any
+    /// worker count.
+    shards: Vec<Vec<usize>>,
     /// Optional observability bundle: per-policy push/hit/waste
     /// accounting lands here (deterministic channel — the replay is a
     /// pure function of trace + config).
     obs: Option<specweb_core::obs::Obs>,
 }
 
-#[derive(Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 struct ReplayCounters {
     pushes: u64,
     push_bytes: u64,
@@ -139,6 +147,26 @@ struct ReplayCounters {
     stall_wait_ms: u64,
     slow_served: u64,
     partial_write_pushes: u64,
+}
+
+impl ReplayCounters {
+    /// Merges a shard's counters (all plain sums, so the merge is exact
+    /// and order-independent; shards still merge in canonical order).
+    fn merge(&mut self, other: &ReplayCounters) {
+        self.pushes += other.pushes;
+        self.push_bytes += other.push_bytes;
+        self.wasted_pushes += other.wasted_pushes;
+        self.wasted_push_bytes += other.wasted_push_bytes;
+        self.cache_hits += other.cache_hits;
+        self.prefetches += other.prefetches;
+        self.retries += other.retries;
+        self.unavailable += other.unavailable;
+        self.retry_wait_ms += other.retry_wait_ms;
+        self.stalled += other.stalled;
+        self.stall_wait_ms += other.stall_wait_ms;
+        self.slow_served += other.slow_served;
+        self.partial_write_pushes += other.partial_write_pushes;
+    }
 }
 
 /// Fault context threaded through a degraded replay.
@@ -222,11 +250,38 @@ impl<'a> SpecSim<'a> {
             })
             .collect();
         let nodes = trace.clients.iter().map(|c| c.node).collect();
+
+        // Cluster each client under its root-child subtree (clients at
+        // or directly under the root all land in one cluster), then
+        // partition the access indices accordingly.
+        let client_cluster: Vec<specweb_core::ids::NodeId> = trace
+            .clients
+            .iter()
+            .map(|c| {
+                let p = topo.path_to_root(c.node);
+                if p.len() >= 2 {
+                    p[p.len() - 2]
+                } else {
+                    p[0]
+                }
+            })
+            .collect();
+        let mut clusters = client_cluster.clone();
+        clusters.sort_unstable();
+        clusters.dedup();
+        let shard_index: std::collections::BTreeMap<specweb_core::ids::NodeId, usize> =
+            clusters.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+        for (i, a) in trace.accesses.iter().enumerate() {
+            shards[shard_index[&client_cluster[a.client.index()]]].push(i);
+        }
+
         SpecSim {
             trace,
             hops,
             paths,
             nodes,
+            shards,
             obs: None,
         }
     }
@@ -254,6 +309,30 @@ impl<'a> SpecSim<'a> {
         cfg: &SpecConfig,
         store: Option<&MatrixStore>,
     ) -> Result<SpecOutcome> {
+        self.run_with_store_and_baseline(cfg, store, None)
+    }
+
+    /// The baseline (no-speculation) replay alone. The baseline depends
+    /// only on the trace, the cache model and `warmup_days` — not on
+    /// policy, `max_size`, cooperation, hints or the estimator — so
+    /// parameter sweeps over those knobs can compute it **once** and
+    /// hand it to [`SpecSim::run_with_store_and_baseline`] instead of
+    /// re-replaying an identical baseline at every sweep point.
+    pub fn baseline_totals(&self, cfg: &SpecConfig) -> Result<RunTotals> {
+        Ok(self.replay(cfg, false, None, None)?.0)
+    }
+
+    /// Like [`SpecSim::run_with_store`], but reuses a baseline computed
+    /// by [`SpecSim::baseline_totals`]. The caller must have computed it
+    /// under the same `cache` model and `warmup_days` — the only
+    /// configuration the baseline replay reads; passing `None` replays
+    /// the baseline here, exactly like [`SpecSim::run_with_store`].
+    pub fn run_with_store_and_baseline(
+        &self,
+        cfg: &SpecConfig,
+        store: Option<&MatrixStore>,
+        baseline: Option<&RunTotals>,
+    ) -> Result<SpecOutcome> {
         cfg.policy.validate()?;
         cfg.estimator.validate()?;
         if let Some(s) = store {
@@ -265,7 +344,10 @@ impl<'a> SpecSim<'a> {
             }
         }
         let (speculative, counters) = self.replay(cfg, true, store, None)?;
-        let (baseline, _) = self.replay(cfg, false, store, None)?;
+        let baseline = match baseline {
+            Some(b) => *b,
+            None => self.replay(cfg, false, store, None)?.0,
+        };
         let ratios = Ratios::between(&speculative, &baseline);
         Ok(SpecOutcome {
             cost_speculative: cfg.cost.total_cost(&speculative),
@@ -333,13 +415,57 @@ impl<'a> SpecSim<'a> {
         })
     }
 
-    /// One replay pass.
+    /// One replay pass: fans the per-cluster shards out over the
+    /// process-default worker pool and merges the partial totals in
+    /// cluster order. The merge is exact (see the `shards` field), so
+    /// the result is byte-identical to a serial replay for any worker
+    /// count. The single ineligible case is a speculative replay with no
+    /// precomputed store: the [`RollingEstimator`] mutates shared
+    /// cross-client state lazily, so that replay stays serial.
     fn replay(
         &self,
         cfg: &SpecConfig,
         speculate: bool,
         store: Option<&MatrixStore>,
         faults: Option<&FaultCtx<'_>>,
+    ) -> Result<(RunTotals, ReplayCounters)> {
+        let shardable = !(speculate && store.is_none());
+        // Sharding is byte-exact (golden-tested), but the index gather
+        // costs locality — with one worker the serial path is faster.
+        let pool = specweb_core::par::Pool::auto();
+        let (totals, counters) = if shardable && self.shards.len() > 1 && pool.jobs() > 1 {
+            let parts = pool.try_map_indexed(&self.shards, |_, idxs: &Vec<usize>| {
+                self.replay_shard(
+                    cfg,
+                    speculate,
+                    store,
+                    faults,
+                    idxs.iter().map(|&i| &self.trace.accesses[i]),
+                )
+            })?;
+            let mut totals = RunTotals::new();
+            let mut counters = ReplayCounters::default();
+            for (t, c) in &parts {
+                totals.merge(t);
+                counters.merge(c);
+            }
+            (totals, counters)
+        } else {
+            self.replay_shard(cfg, speculate, store, faults, self.trace.accesses.iter())?
+        };
+        self.record_replay(cfg, speculate, &totals, &counters);
+        Ok((totals, counters))
+    }
+
+    /// Replays one shard of accesses (or, on the serial path, all of
+    /// them). Accesses must arrive in trace order within the shard.
+    fn replay_shard(
+        &self,
+        cfg: &SpecConfig,
+        speculate: bool,
+        store: Option<&MatrixStore>,
+        faults: Option<&FaultCtx<'_>>,
+        accesses: impl Iterator<Item = &'a specweb_trace::generator::Access>,
     ) -> Result<(RunTotals, ReplayCounters)> {
         let trace = self.trace;
         let catalog = &trace.catalog;
@@ -367,7 +493,7 @@ impl<'a> SpecSim<'a> {
         let mut totals = RunTotals::new();
         let mut counters = ReplayCounters::default();
 
-        for a in &trace.accesses {
+        for a in accesses {
             let day = a.time.day();
             let measured = day >= cfg.warmup_days;
             let ci = a.client.index();
@@ -565,7 +691,6 @@ impl<'a> SpecSim<'a> {
                 profiles[ci].record(a.time, a.doc);
             }
         }
-        self.record_replay(cfg, speculate, &totals, &counters);
         Ok((totals, counters))
     }
 
@@ -1002,6 +1127,77 @@ mod tests {
         let mut cfg_b = cfg_a;
         cfg_b.estimator.history_days += 1;
         assert!(sim.run_with_store(&cfg_b, Some(&store)).is_err());
+    }
+
+    #[test]
+    fn sharded_replay_equals_serial_replay() {
+        // The per-cluster shards must merge to exactly what a single
+        // full-order pass produces — speculative, baseline, and faulted.
+        // Sharding only engages with >1 worker; output is identical at
+        // any width, so pinning the process default is side-effect-free.
+        specweb_core::par::set_default_jobs(2);
+        let (trace, topo) = setup(240);
+        let sim = SpecSim::new(&trace, &topo);
+        assert!(sim.shards.len() > 1, "topology must yield several shards");
+        let c = cfg(0.3);
+        let store = MatrixStore::precompute(&c.estimator, &trace, 14).unwrap();
+        for speculate in [true, false] {
+            let serial = sim
+                .replay_shard(&c, speculate, Some(&store), None, trace.accesses.iter())
+                .unwrap();
+            let sharded = sim.replay(&c, speculate, Some(&store), None).unwrap();
+            assert_eq!(serial.0, sharded.0, "totals diverge (spec={speculate})");
+            assert_eq!(serial.1, sharded.1, "counters diverge (spec={speculate})");
+        }
+        // Under faults too: the plan is read-only, so shards see the
+        // same outage windows a serial replay would.
+        let plan = FaultPlan::generate(
+            &specweb_core::rng::SeedTree::new(991),
+            &topo,
+            &fault_config(14),
+        )
+        .unwrap();
+        let ctx = FaultCtx {
+            plan: &plan,
+            retry: RetrySchedule::default(),
+        };
+        let serial = sim
+            .replay_shard(&c, false, None, Some(&ctx), trace.accesses.iter())
+            .unwrap();
+        let sharded = sim.replay(&c, false, None, Some(&ctx)).unwrap();
+        assert_eq!(serial.0, sharded.0);
+        assert_eq!(serial.1, sharded.1);
+    }
+
+    #[test]
+    fn baseline_reuse_is_exact() {
+        // The demand replay depends only on trace + cache + warmup, so a
+        // precomputed baseline must reproduce the inline one exactly —
+        // including across policy changes, which is what lets sweeps
+        // share one baseline replay.
+        let (trace, topo) = setup(241);
+        let sim = SpecSim::new(&trace, &topo);
+        let c = cfg(0.3);
+        let store = MatrixStore::precompute(&c.estimator, &trace, 14).unwrap();
+        let inline = sim.run_with_store(&c, Some(&store)).unwrap();
+        let base = sim.baseline_totals(&c).unwrap();
+        let reused = sim
+            .run_with_store_and_baseline(&c, Some(&store), Some(&base))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&inline).unwrap(),
+            serde_json::to_string(&reused).unwrap()
+        );
+        let mut c2 = c;
+        c2.policy = Policy::TopK { k: 3, floor: 0.2 };
+        let inline2 = sim.run_with_store(&c2, Some(&store)).unwrap();
+        let reused2 = sim
+            .run_with_store_and_baseline(&c2, Some(&store), Some(&base))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&inline2).unwrap(),
+            serde_json::to_string(&reused2).unwrap()
+        );
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! (embedding deps, 1/k link choice, session/stride timing) or
 //! calibrated by configuration (popularity skew, local/remote mix,
 //! update rates).
+//!
+//! Generation is **day-sharded** (DESIGN.md §12): each day draws its
+//! randomness from its own `SeedTree` child (`child_idx("day-sessions",
+//! day)`), session ids are derived arithmetically (`day ×
+//! sessions_per_day + i`), and site-graph churn is folded into per-day
+//! graph snapshots *before* the days fan out — so days are independent
+//! work items and the merged trace is byte-identical for any worker
+//! count.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -37,9 +45,12 @@ pub struct Access {
     pub server: ServerId,
     /// Whether the client is local to the producing organization.
     pub locality: Locality,
-    /// The generator's session counter (ground truth; analyzers must
+    /// The generator's session id (ground truth; analyzers must
     /// *re-derive* sessions from timing, this is for validation only).
-    pub session: u32,
+    /// Derived as `day × sessions_per_day + i`, so it is stable under
+    /// day-sharding and cannot wrap at million-client scale (a `u32`
+    /// would silently overflow past 2^32 sessions).
+    pub session: u64,
 }
 
 /// A complete generated workload.
@@ -57,7 +68,7 @@ pub struct Trace {
     /// Total simulated span.
     pub duration: Duration,
     /// Number of sessions generated.
-    pub n_sessions: u32,
+    pub n_sessions: u64,
 }
 
 impl Trace {
@@ -254,10 +265,21 @@ impl TraceConfig {
     }
 }
 
+/// Upper bound on `duration_days × sessions_per_day`: far above any
+/// realistic workload (a century of a million sessions a day), but low
+/// enough that every derived product (`× ~12 accesses × size_of::<Access>`)
+/// stays inside `u64` arithmetic.
+pub const MAX_TOTAL_SESSIONS: u64 = 1 << 40;
+
 /// The trace generator.
 #[derive(Debug)]
 pub struct TraceGenerator {
     cfg: TraceConfig,
+    /// Optional observability bundle: generation volume counters land
+    /// here, per run — a process-global counter would double-count when
+    /// one process generates several traces (every multi-config sweep
+    /// does).
+    obs: Option<specweb_core::obs::Obs>,
 }
 
 impl TraceGenerator {
@@ -281,7 +303,20 @@ impl TraceGenerator {
                 "must be in [0, 1]",
             ));
         }
-        Ok(TraceGenerator { cfg })
+        // The total session count feeds capacity preallocations and the
+        // arithmetic session ids; an unchecked product here is how the
+        // old code could over-allocate gigabytes (or overflow `usize` on
+        // 32-bit hosts) at million-client scale.
+        match cfg.duration_days.checked_mul(cfg.sessions_per_day as u64) {
+            Some(total) if total <= MAX_TOTAL_SESSIONS => {}
+            _ => {
+                return Err(specweb_core::CoreError::invalid_config(
+                    "trace.duration_days × trace.sessions_per_day",
+                    "session volume overflows the generator's bound",
+                ));
+            }
+        }
+        Ok(TraceGenerator { cfg, obs: None })
     }
 
     /// The configuration.
@@ -289,9 +324,30 @@ impl TraceGenerator {
         &self.cfg
     }
 
+    /// Attaches an observability bundle: each [`TraceGenerator::generate`]
+    /// records its own `trace.accesses_generated` /
+    /// `trace.sessions_generated` into it (deterministic channel).
+    /// Clones share state, so the caller snapshots its own handle.
+    pub fn with_obs(mut self, obs: &specweb_core::obs::Obs) -> Self {
+        self.obs = Some(obs.clone());
+        self
+    }
+
     /// Generates the trace over the given topology (clients attach to
-    /// its leaves).
+    /// its leaves), fanning days out over the process-default worker
+    /// count. Byte-identical for any worker count.
     pub fn generate(&self, topo: &Topology) -> Result<Trace> {
+        self.generate_with_jobs(topo, specweb_core::par::default_jobs())
+    }
+
+    /// [`TraceGenerator::generate`] with an explicit worker count.
+    ///
+    /// Each day is an independent work item: its sessions draw from
+    /// `seed.child_idx("day-sessions", day)`, its session ids are `day ×
+    /// sessions_per_day + i`, and it reads the site-graph snapshot the
+    /// sequential churn fold produced for that day. The per-day shards
+    /// are merged in day order, so the result does not depend on `jobs`.
+    pub fn generate_with_jobs(&self, topo: &Topology, jobs: usize) -> Result<Trace> {
         let cfg = &self.cfg;
         let seed = SeedTree::new(cfg.seed);
         let sizes = if cfg.media_sizes {
@@ -319,53 +375,83 @@ impl TraceGenerator {
         // Which server a session lands on.
         let server_zipf = Zipf::new(cfg.n_servers, cfg.server_theta)?;
 
-        let mut rng = seed.child("sessions").rng();
-        let mut churn_rng = seed.child("churn").rng();
-        let mut accesses: Vec<Access> =
-            Vec::with_capacity(cfg.duration_days as usize * cfg.sessions_per_day * 12);
-        let mut session_ctr: u32 = 0;
-
-        for day in 0..cfg.duration_days {
-            let day_start = SimTime::from_days(day);
-            for _ in 0..cfg.sessions_per_day {
-                let start =
-                    day_start + Duration::from_millis(rng.gen_range(0..Duration::DAY.as_millis()));
-                let client_id = clients.sample_client(&mut rng);
-                let client = *clients.get(client_id);
-                let server_idx = server_zipf.sample(&mut rng);
-                let graph = &graphs[server_idx];
-                self.run_session(
-                    &mut rng,
-                    graph,
-                    &catalog,
-                    client_id,
-                    client.locality,
-                    start,
-                    session_ctr,
-                    &mut accesses,
-                );
-                session_ctr += 1;
-            }
-            // Site evolution at day boundaries.
-            if cfg.link_churn_per_day > 0.0 {
+        // Site evolution is a *sequential* fold over day boundaries:
+        // day d's sessions must see the graph after exactly d churn
+        // rounds. Snapshot the pre-churn state per day, then hand the
+        // snapshots to the sharded days; the fold's end state is the
+        // trace's final graph. Without churn every day shares the base
+        // graphs and nothing is cloned.
+        let day_graphs: Option<Vec<Vec<SiteGraph>>> = if cfg.link_churn_per_day > 0.0 {
+            let mut snapshots = Vec::with_capacity(cfg.duration_days as usize);
+            for day in 0..cfg.duration_days {
+                snapshots.push(graphs.clone());
+                let mut churn_rng = seed.child_idx("churn", day).rng();
                 for g in &mut graphs {
                     g.churn_links(&mut churn_rng, cfg.link_churn_per_day, cfg.site.zipf_theta);
                 }
             }
+            Some(snapshots)
+        } else {
+            None
+        };
+
+        let spd = cfg.sessions_per_day as u64;
+        // Per-day preallocation: checked (satellite of the unchecked
+        // `days × sessions × 12` multiply) and capped, so a huge
+        // configuration degrades to amortized growth instead of a
+        // gigabyte up-front reservation.
+        let day_capacity = cfg
+            .sessions_per_day
+            .checked_mul(12)
+            .map_or(1 << 20, |n| n.min(1 << 20));
+        let days: Vec<u64> = (0..cfg.duration_days).collect();
+        let day_shards: Vec<Vec<Access>> =
+            specweb_core::par::par_map_indexed(jobs, &days, |_, &day| {
+                let graphs_today: &[SiteGraph] = day_graphs
+                    .as_ref()
+                    .map_or(&graphs[..], |snaps| &snaps[day as usize][..]);
+                let mut rng = seed.child_idx("day-sessions", day).rng();
+                let mut out: Vec<Access> = Vec::with_capacity(day_capacity);
+                let day_start = SimTime::from_days(day);
+                for i in 0..spd {
+                    let start = day_start
+                        + Duration::from_millis(rng.gen_range(0..Duration::DAY.as_millis()));
+                    let client_id = clients.sample_client(&mut rng);
+                    let client = *clients.get(client_id);
+                    let server_idx = server_zipf.sample(&mut rng);
+                    self.run_session(
+                        &mut rng,
+                        &graphs_today[server_idx],
+                        &catalog,
+                        client_id,
+                        client.locality,
+                        start,
+                        day * spd + i,
+                        &mut out,
+                    );
+                }
+                out
+            });
+
+        // Deterministic per-shard merge, in day order.
+        let n_accesses: u64 = day_shards.iter().map(|s| s.len() as u64).sum();
+        let mut accesses: Vec<Access> = Vec::with_capacity(n_accesses as usize);
+        for shard in day_shards {
+            accesses.extend(shard);
         }
-
         accesses.sort_by_key(|a| (a.time, a.client, a.doc));
+        let n_sessions = cfg.duration_days * spd;
 
-        // Process-wide totals: generation volume is a pure function of
-        // the config seed, so these stay in the deterministic channel
-        // even though the counter is global.
-        let obs = specweb_core::obs::global();
-        obs.metrics
-            .counter("trace.accesses_generated")
-            .add(accesses.len() as u64);
-        obs.metrics
-            .counter("trace.sessions_generated")
-            .add(u64::from(session_ctr));
+        // Per-run totals (deterministic channel): a pure function of the
+        // configuration, merged from the day shards in day order.
+        if let Some(obs) = &self.obs {
+            obs.metrics
+                .counter("trace.accesses_generated")
+                .add(n_accesses);
+            obs.metrics
+                .counter("trace.sessions_generated")
+                .add(n_sessions);
+        }
 
         Ok(Trace {
             accesses,
@@ -373,7 +459,7 @@ impl TraceGenerator {
             graphs,
             clients,
             duration: Duration::from_days(cfg.duration_days),
-            n_sessions: session_ctr,
+            n_sessions,
         })
     }
 
@@ -389,7 +475,7 @@ impl TraceGenerator {
         client: ClientId,
         locality: Locality,
         start: SimTime,
-        session: u32,
+        session: u64,
         out: &mut Vec<Access>,
     ) {
         let timing = &self.cfg.timing;
@@ -597,6 +683,137 @@ mod tests {
             per_server[0] > per_server[3],
             "expected server popularity skew: {per_server:?}"
         );
+    }
+
+    #[test]
+    fn sharded_generation_is_byte_identical_across_jobs() {
+        // The tentpole contract: per-day seed children + the churn fold
+        // make days independent work items, so the merged trace cannot
+        // depend on the worker count — with or without churn.
+        let topo = Topology::balanced(2, 3, 4);
+        for churn in [0.0, 0.3] {
+            let mut cfg = TraceConfig::small(77);
+            cfg.link_churn_per_day = churn;
+            let generator = TraceGenerator::new(cfg).unwrap();
+            let serial = generator.generate_with_jobs(&topo, 1).unwrap();
+            for jobs in [2, 4, 7] {
+                let sharded = generator.generate_with_jobs(&topo, jobs).unwrap();
+                assert_eq!(
+                    serial.accesses, sharded.accesses,
+                    "jobs={jobs} churn={churn}"
+                );
+                assert_eq!(serial.n_sessions, sharded.n_sessions);
+                assert_eq!(serial.graphs.len(), sharded.graphs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn session_ids_are_arithmetic_u64() {
+        // Satellite pin: session ids are `day × sessions_per_day + i` as
+        // u64 — no wrapping counter. Every id below the total must occur,
+        // and the total is the arithmetic product.
+        let t = small_trace(21);
+        let spd = 40u64; // TraceConfig::small
+        assert_eq!(t.n_sessions, 10 * spd);
+        let mut seen = vec![false; t.n_sessions as usize];
+        for a in &t.accesses {
+            assert!(a.session < t.n_sessions);
+            seen[a.session as usize] = true;
+            // A session started on day d: its id encodes that day.
+            assert!(a.time.day() >= a.session / spd);
+        }
+        assert!(seen.iter().all(|&s| s), "every session must leave accesses");
+        // The field is u64: ids beyond u32 range are representable.
+        let big = Access {
+            session: u64::from(u32::MAX) + 1,
+            ..t.accesses[0]
+        };
+        assert!(big.session > u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn day_slice_boundaries() {
+        let t = small_trace(22);
+        // First day: starts at the first access.
+        let first = t.day_slice(0);
+        assert!(!first.is_empty());
+        assert_eq!(first[0], t.accesses[0]);
+        // Last populated day ends at the last access.
+        let last_day = t.accesses.last().unwrap().time.day();
+        let last = t.day_slice(last_day);
+        assert!(!last.is_empty());
+        assert_eq!(*last.last().unwrap(), *t.accesses.last().unwrap());
+        // Empty day: past the end of the trace.
+        assert!(t.day_slice(last_day + 1).is_empty());
+        assert!(t.day_slice(last_day + 1_000).is_empty());
+        // The slices tile the whole trace with no gaps or overlaps.
+        let total: usize = (0..=last_day).map(|d| t.day_slice(d).len()).sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn obs_accounts_generation_per_run() {
+        use specweb_core::obs::{MetricValue, Obs};
+        let topo = Topology::balanced(2, 3, 4);
+        let obs = Obs::new();
+        let generator = TraceGenerator::new(TraceConfig::small(23))
+            .unwrap()
+            .with_obs(&obs);
+        let t = generator.generate(&topo).unwrap();
+        let counter = |snap: &specweb_core::obs::MetricSnapshot, name: &str| match snap
+            .deterministic
+            .get(name)
+        {
+            Some(MetricValue::Counter { value }) => *value,
+            other => panic!("missing counter {name}: {other:?}"),
+        };
+        let snap = obs.snapshot();
+        assert_eq!(counter(&snap, "trace.accesses_generated"), t.len() as u64);
+        assert_eq!(counter(&snap, "trace.sessions_generated"), t.n_sessions);
+        // A second generation against the same bundle adds — the caller
+        // owns the bundle's scope, so multi-trace sweeps that want
+        // per-trace numbers attach a fresh bundle per run.
+        generator.generate(&topo).unwrap();
+        let snap2 = obs.snapshot();
+        assert_eq!(
+            counter(&snap2, "trace.accesses_generated"),
+            2 * t.len() as u64
+        );
+        // Without a bundle nothing global accumulates: two different
+        // traces in one process can no longer double-count.
+        let unobserved = TraceGenerator::new(TraceConfig::small(23)).unwrap();
+        let before = specweb_core::obs::global()
+            .snapshot()
+            .deterministic
+            .get("trace.accesses_generated")
+            .cloned();
+        unobserved.generate(&topo).unwrap();
+        let after = specweb_core::obs::global()
+            .snapshot()
+            .deterministic
+            .get("trace.accesses_generated")
+            .cloned();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rejects_session_volume_overflow() {
+        // The unchecked `days × sessions × 12` preallocation is gone:
+        // absurd volumes are a configuration error, not an allocation.
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = u64::MAX / 2;
+        cfg.sessions_per_day = 3;
+        assert!(TraceGenerator::new(cfg).is_err());
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = 1 << 30;
+        cfg.sessions_per_day = 1 << 20;
+        assert!(TraceGenerator::new(cfg).is_err());
+        // A merely-large configuration still validates.
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = 36_500;
+        cfg.sessions_per_day = 1_000_000;
+        assert!(TraceGenerator::new(cfg).is_ok());
     }
 
     #[test]

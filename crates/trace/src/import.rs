@@ -158,8 +158,8 @@ pub fn trace_from_records(
     let population = ClientPopulation::from_clients(clients)?;
 
     // Accesses, with timing-derived session ids per client.
-    let mut last_seen: HashMap<ClientId, (specweb_core::time::SimTime, u32)> = HashMap::new();
-    let mut next_session: u32 = 0;
+    let mut last_seen: HashMap<ClientId, (specweb_core::time::SimTime, u64)> = HashMap::new();
+    let mut next_session: u64 = 0;
     let mut accesses = Vec::with_capacity(records.len());
     for r in records {
         let doc = doc_ids[r.path.as_str()];
@@ -274,7 +274,7 @@ mod tests {
         ];
         let t = trace_from_records(&records, &topo(), &ImportConfig::default(), |_| false).unwrap();
         assert!(t.n_sessions >= 3);
-        let c1: Vec<u32> = t
+        let c1: Vec<u64> = t
             .accesses
             .iter()
             .filter(|a| a.client == ClientId::new(0))

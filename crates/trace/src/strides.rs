@@ -202,7 +202,7 @@ mod tests {
         assert!(purity > 0.8, "session purity {purity}");
         // Derived session count is in the right ballpark of the ground
         // truth *for sessions that have any accesses*.
-        let n_sessions_truth: std::collections::HashSet<u32> =
+        let n_sessions_truth: std::collections::HashSet<u64> =
             t.accesses.iter().map(|a| a.session).collect();
         let ratio = segs.len() as f64 / n_sessions_truth.len() as f64;
         assert!(

@@ -38,7 +38,7 @@ fn quick_bu(seed: u64) -> Trace {
 #[test]
 fn session_structure_is_paper_like() {
     let t = quick_bu(40);
-    let per_session = t.len() as f64 / f64::from(t.n_sessions);
+    let per_session = t.len() as f64 / t.n_sessions as f64;
     assert!(
         (4.0..30.0).contains(&per_session),
         "accesses/session = {per_session}"
