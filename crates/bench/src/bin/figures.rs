@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use specweb_bench::{ablations, cli, exps, fig1, fig2, fig3, fig4, fig5, Report, Scale};
+use specweb_bench::{ablations, cli, exps, fig1, fig2, fig3, fig4, fig5, perf, Report, Scale};
 use specweb_core::log;
 use specweb_core::obs::{self, Level, MetricSnapshot, RunManifest};
 
@@ -86,6 +86,7 @@ fn main() {
         jobs,
         scale_factor,
         wanted,
+        check_perf,
         ..
     } = args;
 
@@ -131,13 +132,24 @@ fn main() {
 
     // Experiments are independent deterministic replays: fan them out
     // and print in request order. die() inside a worker exits the whole
-    // process, so a failed experiment cannot be silently dropped.
+    // process, so a failed experiment cannot be silently dropped. Each
+    // experiment runs under its own span-tree profiler rooted at its id;
+    // inner pools adopt the context, so simulator phases nest under it.
     let pool = specweb_core::par::Pool::new(jobs.min(wanted.len().max(1)));
-    let results: Vec<(Report, f64)> = pool.map_indexed(&wanted, |_, id| {
+    let results: Vec<(Report, f64, String)> = pool.map_indexed(&wanted, |_, id| {
         let started = Instant::now();
-        let report = run_one(id, scale, seed, &shared_sweep)
-            .unwrap_or_else(|e| die(&format!("{id} failed: {e}")));
-        (report, started.elapsed().as_secs_f64())
+        let profiler = obs::Profiler::new();
+        let report = {
+            let _ctx = profiler.install();
+            let _root = obs::frame(id);
+            run_one(id, scale, seed, &shared_sweep)
+                .unwrap_or_else(|e| die(&format!("{id} failed: {e}")))
+        };
+        (
+            report,
+            started.elapsed().as_secs_f64(),
+            profiler.collapsed(),
+        )
     });
 
     let mut experiments = Vec::with_capacity(results.len() + 1);
@@ -149,11 +161,16 @@ fn main() {
             seconds,
         });
     }
-    for (id, (report, secs)) in wanted.iter().zip(&results) {
+    for (id, (report, secs, collapsed)) in wanted.iter().zip(&results) {
         println!("{}", report.render());
         report
             .write_to(&out_dir)
             .unwrap_or_else(|e| die(&format!("writing {id}: {e}")));
+        // Collapsed-stack profile (wall-clock channel: excluded from the
+        // CI byte-diff, like bench_timings.json).
+        let profile_path = out_dir.join(format!("profile_{id}.txt"));
+        std::fs::write(&profile_path, collapsed)
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", profile_path.display())));
         // Record the process-wide --jobs value, not the fan-out pool's
         // width (which is capped at the experiment count): closure rows
         // and profile mining inside one experiment still parallelize.
@@ -180,6 +197,7 @@ fn main() {
     // plus end-to-end timing.
     let mut run_manifest = RunManifest::new("run", seed, scale_name, obs::global().snapshot())
         .with_run_info(jobs, &git)
+        .with_dropped_events(obs::global().events.dropped())
         .with_timing("total", total_seconds);
     if let Some(seconds) = sweep_seconds {
         run_manifest = run_manifest.with_timing("fig5/fig6-shared-sweep", seconds);
@@ -208,6 +226,41 @@ fn main() {
         serde_json::to_string_pretty(&timings).expect("timings serialize"),
     )
     .unwrap_or_else(|e| die(&format!("writing {}: {e}", timings_path.display())));
+
+    // Perf trajectory: append this run to the committed wall-clock
+    // ledger and (under --check-perf) gate on regressions against the
+    // most recent comparable entry. Wall-clock channel — excluded from
+    // the determinism byte-diffs, like bench_timings.json.
+    let entry = perf::TrajectoryEntry {
+        git: git.clone(),
+        jobs: jobs as u64,
+        scale: scale_name.into(),
+        scale_factor: scale_factor as u64,
+        seed,
+        total_seconds,
+        experiments: timings
+            .experiments
+            .iter()
+            .map(|e| perf::PhaseTiming {
+                id: e.id.clone(),
+                seconds: e.seconds,
+            })
+            .collect(),
+    };
+    let traj_path = out_dir.join("perf_trajectory.json");
+    let mut trajectory = match std::fs::read_to_string(&traj_path) {
+        Ok(text) => perf::Trajectory::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", traj_path.display()))),
+        Err(_) => perf::Trajectory::new(),
+    };
+    let regressions = perf::check_against(&trajectory.entries, &entry, &perf::Tolerance::default());
+    trajectory.entries.push(entry);
+    std::fs::write(&traj_path, trajectory.to_json())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", traj_path.display())));
+    for r in &regressions {
+        log!(Warn, "figures", "perf regression: {r}");
+    }
+
     log!(
         Info,
         "figures",
@@ -215,6 +268,12 @@ fn main() {
         pool.jobs(),
         timings_path.display()
     );
+    if check_perf && !regressions.is_empty() {
+        die(&format!(
+            "--check-perf: {} phase(s) regressed beyond tolerance (see warnings above)",
+            regressions.len()
+        ));
+    }
 }
 
 /// Writes `manifest_<id>.json` under `dir`.

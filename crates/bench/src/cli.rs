@@ -58,6 +58,11 @@ pub struct Args {
     /// summary from the `manifest_*.json` files already in `--out`
     /// instead of running experiments.
     pub report: bool,
+    /// Whether `--check-perf` was requested: after appending this
+    /// run's timings to `perf_trajectory.json`, compare against the
+    /// most recent comparable entry and exit nonzero on a regression
+    /// beyond tolerance.
+    pub check_perf: bool,
 }
 
 impl Default for Args {
@@ -71,6 +76,7 @@ impl Default for Args {
             wanted: Vec::new(),
             help: false,
             report: false,
+            check_perf: false,
         }
     }
 }
@@ -78,8 +84,10 @@ impl Default for Args {
 /// The usage string printed by `--help` and on bad invocations.
 pub fn usage() -> String {
     format!(
-        "usage: figures [--quick] [--seed N] [--jobs N] [--scale {{1|10|100}}] [--out DIR] <ids…|all>\n       \
+        "usage: figures [--quick] [--seed N] [--jobs N] [--scale {{1|10|100}}] [--out DIR] [--check-perf] <ids…|all>\n       \
          figures --report [--out DIR]   (summarize manifest_*.json from a past run)\n\
+         --check-perf: exit nonzero if this run regressed beyond tolerance\n\
+         \x20             against the last comparable perf_trajectory.json entry\n\
          ids: {}",
         ALL.join(" ")
     )
@@ -131,6 +139,7 @@ where
             }
             "--help" | "-h" => out.help = true,
             "--report" => out.report = true,
+            "--check-perf" => out.check_perf = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()));
             }
@@ -225,6 +234,12 @@ mod tests {
     fn help_short_circuits_validation_of_nothing_else() {
         let a = p(&["-h"]).unwrap();
         assert!(a.help);
+    }
+
+    #[test]
+    fn check_perf_flag_parses() {
+        assert!(p(&["--check-perf", "fig3"]).unwrap().check_perf);
+        assert!(!p(&["fig3"]).unwrap().check_perf);
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct Fig3Point {
     pub intercepted: f64,
     /// Total storage across all proxies (bytes).
     pub total_storage: u64,
+    /// Median per-request service time, ms (exact order statistic).
+    pub p50_ms: f64,
+    /// 99th-percentile service time, ms — the tail interception trims.
+    pub p99_ms: f64,
+    /// Baseline (no-dissemination) 99th percentile, ms.
+    pub baseline_p99_ms: f64,
 }
 
 /// Machine-readable result. `top10`/`top4` stay at the top level (the
@@ -92,6 +98,9 @@ fn compute(
                 reduction: out.reduction,
                 intercepted: out.intercepted_fraction,
                 total_storage: out.total_proxy_storage.get(),
+                p50_ms: out.service_times.p50_ms,
+                p99_ms: out.service_times.p99_ms,
+                baseline_p99_ms: out.baseline_service_times.p99_ms,
             })
         })
     };
@@ -139,18 +148,28 @@ pub fn run(scale: Scale, seed: u64) -> Result<Report> {
         "workload: {} accesses; same data disseminated to all proxies\n\n",
         base.trace_len
     ));
-    text.push_str("            ---- top 10% of data ----      ---- top 4% of data ----\n");
-    text.push_str(" proxies    saved   intercept  storage      saved   intercept  storage\n");
+    text.push_str("            -------- top 10% of data --------      ---- top 4% of data ----\n");
+    text.push_str(
+        " proxies    saved   intercept  storage  p99 ms      saved   intercept  storage\n",
+    );
     for (a, b) in result.top10.iter().zip(&result.top4) {
         text.push_str(&format!(
-            "{:>8}   {:>6.1}%   {:>6.1}%  {:>8}   {:>7.1}%   {:>6.1}%  {:>8}\n",
+            "{:>8}   {:>6.1}%   {:>6.1}%  {:>8}  {:>6.0}   {:>7.1}%   {:>6.1}%  {:>8}\n",
             a.n_proxies,
             a.reduction * 100.0,
             a.intercepted * 100.0,
             format!("{}K", a.total_storage / 1024),
+            a.p99_ms,
             b.reduction * 100.0,
             b.intercepted * 100.0,
             format!("{}K", b.total_storage / 1024),
+        ));
+    }
+    if let Some(last) = result.top10.last() {
+        text.push_str(&format!(
+            "\nservice-time tail (top-10% curve, max proxies): p50 {:.0} ms, \
+             p99 {:.0} ms vs baseline p99 {:.0} ms\n",
+            last.p50_ms, last.p99_ms, last.baseline_p99_ms
         ));
     }
     text.push_str("\nbytes×hops saved (%) vs number of proxies:\n");

@@ -32,6 +32,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod perf;
 pub mod plot;
 pub mod workloads;
 

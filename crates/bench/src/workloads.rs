@@ -52,6 +52,7 @@ pub fn bu_trace(scale: Scale, seed: u64) -> Result<Trace> {
 /// generator so `trace.*` volume counters land in the caller's
 /// per-experiment manifest (per-run accounting — nothing global).
 pub fn bu_trace_with(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Trace> {
+    let _f = specweb_core::obs::profile::frame("workload.trace");
     let topo = topology();
     let mut generator = TraceGenerator::new(bu_config(scale, seed))?;
     if let Some(obs) = obs {
@@ -97,6 +98,7 @@ pub fn drift_trace(scale: Scale, seed: u64) -> Result<Trace> {
 /// Like [`drift_trace`], threading an observability bundle into the
 /// generator (see [`bu_trace_with`]).
 pub fn drift_trace_with(scale: Scale, seed: u64, obs: Option<&Obs>) -> Result<Trace> {
+    let _f = specweb_core::obs::profile::frame("workload.trace");
     let topo = topology();
     let mut cfg = bu_config(scale, seed);
     match scale {

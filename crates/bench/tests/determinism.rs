@@ -15,6 +15,7 @@ use std::path::Path;
 use std::process::Command;
 
 const TIMINGS: &str = "bench_timings.json";
+const TRAJECTORY: &str = "perf_trajectory.json";
 
 fn run_figures(out: &Path, jobs: &str) {
     let status = Command::new(env!("CARGO_BIN_EXE_figures"))
@@ -71,6 +72,64 @@ fn serial_and_parallel_runs_are_byte_identical() {
         assert!(parsed["total_seconds"].as_f64().unwrap() >= 0.0);
     }
     assert_eq!(serial.get(TIMINGS), None);
+
+    // The perf-trajectory ledger is wall-clock accounting too: present
+    // in both runs, schema-checked, but never byte-compared.
+    for snap in [&mut serial, &mut parallel] {
+        let raw = snap
+            .remove(TRAJECTORY)
+            .expect("perf_trajectory.json written");
+        let raw = String::from_utf8(raw).expect("trajectory is utf-8");
+        let parsed: serde_json::Value = serde_json::from_str(&raw).expect("trajectory parse");
+        assert_eq!(parsed["schema"].as_str(), Some("specweb-perf/v1"));
+        let entries = parsed["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 1, "fresh out dir gets exactly one entry");
+        assert_eq!(
+            entries[0]["experiments"].as_array().unwrap().len(),
+            2,
+            "one phase timing per experiment"
+        );
+    }
+
+    // Flamegraph profiles are wall-clock accounting too: each frame
+    // line is `path calls N wall_us T`. The frame paths and call
+    // counts are deterministic (frames sit above the shard fan-out),
+    // but the timings are not — compare the lines with `wall_us`
+    // stripped, then drop the files from the byte compare.
+    let profile_names: Vec<String> = serial
+        .keys()
+        .filter(|n| n.starts_with("profile_") && n.ends_with(".txt"))
+        .cloned()
+        .collect();
+    for want in ["profile_fig4.txt", "profile_exp-closure.txt"] {
+        assert!(
+            profile_names.iter().any(|n| n == want),
+            "{want} missing from run output ({profile_names:?})"
+        );
+    }
+    for name in &profile_names {
+        let calls_only = |snap: &mut BTreeMap<String, Vec<u8>>| -> Vec<String> {
+            let raw = snap
+                .remove(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            let raw = String::from_utf8(raw).expect("profile is utf-8");
+            raw.lines()
+                .map(|l| {
+                    l.split(" wall_us ")
+                        .next()
+                        .unwrap_or_else(|| panic!("{name}: malformed line {l:?}"))
+                        .to_string()
+                })
+                .collect()
+        };
+        let s = calls_only(&mut serial);
+        let p = calls_only(&mut parallel);
+        assert!(!s.is_empty(), "{name} is empty");
+        assert_eq!(
+            s, p,
+            "{name}: frame paths/call counts differ between --jobs 1 and --jobs 4"
+        );
+    }
 
     // Manifests carry a two-channel split: the `deterministic` section
     // (seed root, scale, deterministic-channel metrics) must be

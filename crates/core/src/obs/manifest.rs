@@ -15,6 +15,7 @@
 //! `figures --report` renders them back through [`render_report`].
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,13 @@ pub struct NondeterministicSection {
     pub timing: Vec<PhaseTiming>,
     /// Wall-clock-channel metrics.
     pub metrics: BTreeMap<String, MetricValue>,
+    /// Deterministic-ring events the tracer discarded at capacity.
+    /// Non-zero means the event log is *incomplete* — the metrics above
+    /// are unaffected, but `to_jsonl` exports silently miss the oldest
+    /// events (`scripts/check_manifests.py` warns on this).
+    pub dropped_events: u64,
+    /// Wall-clock-ring events the tracer discarded at capacity.
+    pub dropped_wall_events: u64,
 }
 
 /// A complete run manifest for one experiment (see module docs).
@@ -86,6 +94,8 @@ impl RunManifest {
                 git: String::from("unknown"),
                 timing: Vec::new(),
                 metrics: snapshot.wallclock,
+                dropped_events: 0,
+                dropped_wall_events: 0,
             },
         }
     }
@@ -107,6 +117,16 @@ impl RunManifest {
         self
     }
 
+    /// Records how many ring-buffered events the run's tracer dropped
+    /// (builder-style; pass [`super::Tracer::dropped`]'s pair). Dropped
+    /// events mean the exported trace is truncated — surfaced in the
+    /// manifest so instrumentation gaps can't pass silently.
+    pub fn with_dropped_events(mut self, dropped: (u64, u64)) -> RunManifest {
+        self.nondeterministic.dropped_events = dropped.0;
+        self.nondeterministic.dropped_wall_events = dropped.1;
+        self
+    }
+
     /// Appends one phase to the timing breakdown (builder-style).
     pub fn with_timing(mut self, phase: &str, seconds: f64) -> RunManifest {
         self.nondeterministic.timing.push(PhaseTiming {
@@ -123,18 +143,29 @@ impl RunManifest {
 }
 
 /// `git describe --always --dirty` for the working directory, or
-/// `"unknown"` when git is unavailable. Wall-clock-section data only —
-/// never golden-compared (two checkouts of the same tree may differ).
+/// `"unknown"` outside a git checkout (or with git unavailable).
+/// Wall-clock-section data only — never golden-compared (two checkouts
+/// of the same tree may differ).
+///
+/// The subprocess runs **once per process** and is cached: `figures`
+/// writes a manifest per experiment, and shelling out per manifest was
+/// measurable fork/exec overhead for a value that cannot change
+/// mid-run.
 pub fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| String::from("unknown"))
+    static DESCRIBE: OnceLock<String> = OnceLock::new();
+    DESCRIBE
+        .get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["describe", "--always", "--dirty"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| String::from("unknown"))
+        })
+        .clone()
 }
 
 /// The subsystem prefix of a metric name (`spec.pushes` → `spec`).
@@ -293,6 +324,7 @@ mod tests {
             .with_run_info(4, "abc1234")
             .with_timing("total", 1.5)
             .with_artifact("session", "00000000deadbeef")
+            .with_dropped_events((7, 2))
     }
 
     #[test]
@@ -307,6 +339,22 @@ mod tests {
             m.deterministic.artifacts["session"], "00000000deadbeef",
             "artifact digests live in the golden-compared section"
         );
+        assert_eq!(
+            (
+                m.nondeterministic.dropped_events,
+                m.nondeterministic.dropped_wall_events
+            ),
+            (7, 2),
+            "dropped-event tallies live in the wall-clock section"
+        );
+    }
+
+    #[test]
+    fn git_describe_is_cached_and_never_empty() {
+        let a = git_describe();
+        let b = git_describe();
+        assert_eq!(a, b, "per-process cache must be stable");
+        assert!(!a.is_empty(), "outside git the fallback is `unknown`");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   wall-clock spans, and JSONL export;
 //! * [`logging`] — the [`crate::log!`] macro, gated by `SPECWEB_LOG`;
 //! * [`manifest`] — [`RunManifest`] documents written per experiment
-//!   and the `figures --report` renderer.
+//!   and the `figures --report` renderer;
+//! * [`profile`] — hierarchical span-tree profiler whose frame stacks
+//!   follow work across [`crate::par`] workers, exported as
+//!   collapsed-stack (flamegraph) text per experiment.
 //!
 //! Subsystems take an [`Obs`] bundle (registry + tracer). Experiments
 //! create one per run so concurrently running experiments never
@@ -27,6 +30,7 @@
 pub mod events;
 pub mod logging;
 pub mod manifest;
+pub mod profile;
 pub mod registry;
 
 use std::sync::OnceLock;
@@ -37,6 +41,7 @@ pub use manifest::{
     git_describe, render_report, render_report_markdown, DeterministicSection,
     NondeterministicSection, PhaseTiming, RunManifest,
 };
+pub use profile::{frame, FrameStat, Profiler};
 pub use registry::{
     Channel, Counter, Gauge, HistogramHandle, MetricSnapshot, MetricValue, Registry,
 };

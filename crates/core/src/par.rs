@@ -132,12 +132,19 @@ impl Pool {
             "par.worker_tasks_high_water",
             crate::obs::Channel::WallClock,
         );
+        // Profiling frames opened by `f` must nest under the frame that
+        // dispatched this map: snapshot the caller's span-tree context
+        // (sink + open-frame stack) and adopt it on every worker. The
+        // per-thread partials merge order-independently, so profiler
+        // call counts stay jobs-invariant.
+        let prof_ctx = crate::obs::profile::current_context();
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n);
         slots.resize_with(n, || Mutex::new(None));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let _prof = crate::obs::profile::adopt_context(prof_ctx.as_ref());
                     let mut processed: u64 = 0;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -247,6 +254,42 @@ mod tests {
     fn pool_clamps_to_one_worker() {
         assert_eq!(Pool::new(0).jobs(), 1);
         assert_eq!(Pool::new(5).jobs(), 5);
+    }
+
+    #[test]
+    fn profiler_frames_cross_worker_threads_with_invariant_counts() {
+        // Frames opened inside the mapped closure must nest under the
+        // caller's open frame, and the per-path call counts must not
+        // depend on the worker count — the profiler's deterministic-
+        // channel contract.
+        let items: Vec<u64> = (0..40).collect();
+        let count_for = |jobs: usize| {
+            let p = crate::obs::profile::Profiler::new();
+            {
+                let _g = p.install();
+                let _dispatch = crate::obs::profile::frame("dispatch");
+                let _ = par_map_indexed(jobs, &items, |_, &x| {
+                    let _f = crate::obs::profile::frame("item");
+                    x * 2
+                });
+            }
+            p.snapshot()
+        };
+        let serial = count_for(1);
+        assert_eq!(serial["dispatch;item"].calls, 40);
+        assert_eq!(serial["dispatch"].calls, 1);
+        for jobs in [2, 4, 8] {
+            let snap = count_for(jobs);
+            assert_eq!(
+                snap["dispatch;item"].calls, 40,
+                "jobs={jobs} changed the call count"
+            );
+            assert_eq!(
+                snap.keys().collect::<Vec<_>>(),
+                serial.keys().collect::<Vec<_>>(),
+                "jobs={jobs} changed the path set"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::{CoreError, Result};
+
 /// Streaming count/mean/variance/min/max accumulator (Welford's
 /// algorithm — numerically stable for long simulations).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -235,6 +237,37 @@ impl Histogram {
         0.5 * (a + b)
     }
 
+    /// Merges another histogram's counts into this one.
+    ///
+    /// Both histograms must have the same shape (`lo`, `hi`, bin count);
+    /// bin counts and the diagnostic under/overflow tallies are summed,
+    /// so the counting invariant is preserved: the merged `total()` is
+    /// the sum of the inputs' totals. A shape mismatch is a configuration
+    /// error (two metrics registered with different ranges), reported
+    /// rather than silently re-binned.
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(CoreError::invalid_config(
+                "histogram.merge",
+                format!(
+                    "shape mismatch: [{}, {}) x {} bins vs [{}, {}) x {} bins",
+                    self.lo,
+                    self.hi,
+                    self.bins.len(),
+                    other.lo,
+                    other.hi,
+                    other.bins.len()
+                ),
+            ));
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
     /// Renders the histogram as fixed-width rows `lo..hi  count  bar`.
     pub fn render(&self, width: usize) -> String {
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
@@ -245,6 +278,159 @@ impl Histogram {
             out.push_str(&format!("{a:>8.3}..{b:<8.3} {c:>9} {bar}\n"));
         }
         out
+    }
+}
+
+/// Number of log₂-spaced buckets a [`ServiceTimeDist`] exports: bucket
+/// `i` counts latencies with `(ms + 1).ilog2() == i`, so the last bucket
+/// starts at ~24 days — far beyond any simulated service time.
+pub const SERVICE_TIME_LOG2_BINS: usize = 32;
+
+/// Per-access service-time samples with **exact** tail quantiles.
+///
+/// The distribution keeps the full sample **multiset** as a sorted
+/// `ms → count` map, so the reported p50/p90/p99/p999 are true order
+/// statistics (type-7 interpolated via [`quantile`]), not bucket
+/// approximations. Storing a multiset rather than an append-order vector
+/// makes the determinism contract structural (DESIGN §13): two replays
+/// that serve the same accesses compare **equal** no matter what order
+/// the samples arrived in, so a serial replay and a shard-merged replay
+/// produce identical distributions — and identical quantiles — for any
+/// `--jobs` count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceTimeDist {
+    /// Milliseconds → occurrences.
+    counts: std::collections::BTreeMap<u64, u64>,
+    /// Total samples (Σ counts).
+    total: u64,
+}
+
+impl ServiceTimeDist {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access served in `ms` milliseconds (0 for cache hits).
+    #[inline]
+    pub fn record(&mut self, ms: u64) {
+        *self.counts.entry(ms).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Adds another distribution's samples (exact shard merge: multiset
+    /// union by count addition, commutative and associative, so merge
+    /// order never changes the result).
+    pub fn merge(&mut self, other: &ServiceTimeDist) {
+        for (&ms, &n) in &other.counts {
+            *self.counts.entry(ms).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of recorded accesses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Whether any access was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Collapses the samples into [`SERVICE_TIME_LOG2_BINS`] log₂-spaced
+    /// buckets (bucket `i` ⇔ `(ms + 1).ilog2() == i`) for the metrics
+    /// registry: tails stay visible at millisecond resolution near zero
+    /// without retaining samples in the manifest.
+    pub fn log2_bins(&self) -> [u64; SERVICE_TIME_LOG2_BINS] {
+        let mut bins = [0u64; SERVICE_TIME_LOG2_BINS];
+        for (&ms, &n) in &self.counts {
+            let b = ((ms + 1).ilog2() as usize).min(SERVICE_TIME_LOG2_BINS - 1);
+            bins[b] += n;
+        }
+        bins
+    }
+
+    /// The `rank`-th smallest sample (0-based; saturates at the max).
+    fn value_at(&self, rank: u64) -> u64 {
+        let mut seen = 0u64;
+        for (&ms, &n) in &self.counts {
+            seen += n;
+            if seen > rank {
+                return ms;
+            }
+        }
+        self.counts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Type-7 quantile over the multiset: interpolates between the two
+    /// bracketing order statistics with [`quantile`], so the result is
+    /// bit-identical to sorting the expanded samples and indexing.
+    fn q(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let pos = p * (self.total - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let pair = [self.value_at(lo) as f64, self.value_at(hi) as f64];
+        quantile(&pair, pos - lo as f64).unwrap_or(0.0)
+    }
+
+    /// Computes the exact quantile summary (zeros when empty).
+    pub fn quantiles(&self) -> ServiceQuantiles {
+        if self.total == 0 {
+            return ServiceQuantiles::default();
+        }
+        let sum: u64 = self.counts.iter().map(|(&ms, &n)| ms * n).sum();
+        ServiceQuantiles {
+            count: self.total,
+            mean_ms: sum as f64 / self.total as f64,
+            p50_ms: self.q(0.50),
+            p90_ms: self.q(0.90),
+            p99_ms: self.q(0.99),
+            p999_ms: self.q(0.999),
+            max_ms: self.counts.keys().next_back().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Exact service-time summary of one run (or one degraded class of
+/// accesses within a run). All values are pure functions of the sample
+/// multiset, hence deterministic across `--jobs` counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceQuantiles {
+    /// Accesses summarized.
+    pub count: u64,
+    /// Mean service time, milliseconds.
+    pub mean_ms: f64,
+    /// Median (type-7 interpolated), milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Slowest access, milliseconds.
+    pub max_ms: u64,
+}
+
+impl fmt::Display for ServiceQuantiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ms p50={:.0} p90={:.0} p99={:.0} p999={:.0} max={}ms",
+            self.count,
+            self.mean_ms,
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.max_ms
+        )
     }
 }
 
@@ -486,5 +672,155 @@ mod tests {
         let a = gini(&[1.0, 2.0, 3.0]);
         let b = gini(&[10.0, 20.0, 30.0]);
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_sums_bins_and_diagnostics() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.push_n(0.1, 3);
+        a.push(2.0); // overflow
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        b.push_n(0.9, 2);
+        b.push(-1.0); // underflow
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.bins()[0], 4);
+        assert_eq!(a.bins()[3], 3);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        // The counting invariant survives the merge.
+        assert_eq!(a.bins().iter().sum::<u64>(), a.total());
+    }
+
+    #[test]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut base = Histogram::new(0.0, 1.0, 4);
+        for other in [
+            Histogram::new(0.0, 1.0, 5),  // bin count
+            Histogram::new(0.0, 2.0, 4),  // upper edge
+            Histogram::new(-1.0, 1.0, 4), // lower edge
+        ] {
+            let before = base.clone();
+            let err = base.merge(&other).unwrap_err();
+            assert!(err.to_string().contains("shape mismatch"), "{err}");
+            // A rejected merge must leave the target untouched.
+            assert_eq!(base.bins(), before.bins());
+            assert_eq!(base.range(), before.range());
+        }
+    }
+
+    #[test]
+    fn service_time_dist_exact_quantiles() {
+        let mut d = ServiceTimeDist::new();
+        for ms in 1..=100u64 {
+            d.record(ms);
+        }
+        let q = d.quantiles();
+        assert_eq!(q.count, 100);
+        assert!((q.mean_ms - 50.5).abs() < 1e-12);
+        assert!((q.p50_ms - 50.5).abs() < 1e-12);
+        assert!((q.p90_ms - 90.1).abs() < 1e-9);
+        assert_eq!(q.max_ms, 100);
+        // Empty is all zeros, not NaN.
+        let e = ServiceTimeDist::new().quantiles();
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn service_time_log2_bins_cover_every_sample() {
+        let mut d = ServiceTimeDist::new();
+        for ms in [0, 1, 2, 3, 1000, u64::MAX - 1] {
+            d.record(ms);
+        }
+        let bins = d.log2_bins();
+        assert_eq!(bins.iter().sum::<u64>() as usize, d.len());
+        assert_eq!(bins[0], 1); // 0 ms → (0+1).ilog2() == 0
+        assert_eq!(bins[1], 2); // 1, 2 ms
+        assert_eq!(bins[SERVICE_TIME_LOG2_BINS - 1], 1); // clamped tail
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn quantiles_are_monotone(
+                xs in prop::collection::vec(0u64..1_000_000, 1..256),
+            ) {
+                let mut xs = xs;
+                xs.sort_unstable();
+                let f: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+                let p50 = quantile(&f, 0.50).unwrap();
+                let p90 = quantile(&f, 0.90).unwrap();
+                let p99 = quantile(&f, 0.99).unwrap();
+                let p999 = quantile(&f, 0.999).unwrap();
+                prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+                prop_assert!(quantile(&f, 0.0).unwrap() <= p50);
+                prop_assert!(p999 <= quantile(&f, 1.0).unwrap());
+            }
+
+            #[test]
+            fn service_time_merge_is_exact_across_shard_counts(
+                xs in prop::collection::vec(0u64..100_000, 0..256),
+                shards in 1usize..8,
+            ) {
+                // One distribution over everything vs. shard partials
+                // merged in order: the quantile summary must be *bitwise*
+                // equal, not approximately — this is the property the
+                // simulators' --jobs invariance rests on.
+                let mut whole = ServiceTimeDist::new();
+                for &x in &xs {
+                    whole.record(x);
+                }
+                let mut merged = ServiceTimeDist::new();
+                let per = xs.len().div_ceil(shards).max(1);
+                for chunk in xs.chunks(per) {
+                    let mut part = ServiceTimeDist::new();
+                    for &x in chunk {
+                        part.record(x);
+                    }
+                    merged.merge(&part);
+                }
+                prop_assert_eq!(merged.quantiles(), whole.quantiles());
+                prop_assert_eq!(merged.log2_bins(), whole.log2_bins());
+                prop_assert_eq!(&merged, &whole);
+                // Multiset semantics: arrival order is invisible, so a
+                // replay that serves the same accesses in *any* order
+                // (serial trace order vs. cluster-shard order) compares
+                // equal structurally, not just quantile-wise.
+                let mut reversed = ServiceTimeDist::new();
+                for &x in xs.iter().rev() {
+                    reversed.record(x);
+                }
+                prop_assert_eq!(&reversed, &whole);
+            }
+
+            #[test]
+            fn histogram_merge_equals_single_pass(
+                xs in prop::collection::vec(-0.5f64..1.5, 0..128),
+                shards in 1usize..6,
+            ) {
+                let mut whole = Histogram::new(0.0, 1.0, 8);
+                for &x in &xs {
+                    whole.push(x);
+                }
+                let mut merged = Histogram::new(0.0, 1.0, 8);
+                let per = xs.len().div_ceil(shards).max(1);
+                for chunk in xs.chunks(per) {
+                    let mut part = Histogram::new(0.0, 1.0, 8);
+                    for &x in chunk {
+                        part.push(x);
+                    }
+                    merged.merge(&part).unwrap();
+                }
+                prop_assert_eq!(merged.bins(), whole.bins());
+                prop_assert_eq!(merged.underflow(), whole.underflow());
+                prop_assert_eq!(merged.overflow(), whole.overflow());
+            }
+        }
     }
 }

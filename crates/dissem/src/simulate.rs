@@ -24,10 +24,11 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use specweb_core::ids::{NodeId, ServerId};
+use specweb_core::stats::{ServiceQuantiles, ServiceTimeDist};
 use specweb_core::units::{ByteHops, Bytes};
 use specweb_core::{CoreError, Result};
 use specweb_netsim::cluster::{Cluster, ClusterMap};
-use specweb_netsim::cost::TrafficAccount;
+use specweb_netsim::cost::{LatencyModel, TrafficAccount};
 use specweb_netsim::fault::FaultPlan;
 use specweb_netsim::proxystore::ProxyStore;
 use specweb_netsim::routing::Router;
@@ -68,6 +69,10 @@ pub struct DisseminationConfig {
     /// Explicit proxy locations, overriding demand-based placement —
     /// used by the hierarchy experiments to place whole tree levels.
     pub explicit_proxies: Option<Vec<NodeId>>,
+    /// Latency model for the per-request service-time distribution
+    /// (same defaults as the spec simulator's, so the two report
+    /// comparable milliseconds).
+    pub latency: LatencyModel,
 }
 
 impl Default for DisseminationConfig {
@@ -82,6 +87,7 @@ impl Default for DisseminationConfig {
             rank_for_traffic: true,
             remote_only: true,
             explicit_proxies: None,
+            latency: LatencyModel::default(),
         }
     }
 }
@@ -110,10 +116,17 @@ pub struct DisseminationOutcome {
     pub reduction: f64,
     /// Fraction of requests intercepted (the realized α).
     pub intercepted_fraction: f64,
+    /// Exact per-request service-time quantiles with dissemination:
+    /// proxy hits traverse fewer hops, so interception shows up as a
+    /// shorter tail, not just fewer bytes×hops.
+    pub service_times: ServiceQuantiles,
+    /// The same quantiles for the no-dissemination baseline (every
+    /// request pays the full origin path).
+    pub baseline_service_times: ServiceQuantiles,
 }
 
 /// Counters accumulated by a faulted replay.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct FaultTally {
     fault_denied: u64,
     retries: u64,
@@ -121,6 +134,10 @@ struct FaultTally {
     stalled: u64,
     slow_served: u64,
     partial_write_resends: u64,
+    /// Service times of the requests deferred by a client stall.
+    stalled_service: ServiceTimeDist,
+    /// Service times of the requests drained by a slow client.
+    slow_service: ServiceTimeDist,
 }
 
 /// Results of [`DisseminationSim::run_with_faults`]: the faulted
@@ -158,6 +175,10 @@ pub struct DegradedDisseminationOutcome {
     /// re-sent whole; the wasted first copy's `bytes×hops` are charged
     /// to the faulted run's traffic.
     pub partial_write_resends: u64,
+    /// Service-time quantiles of just the stall-deferred requests.
+    pub stalled_service_times: ServiceQuantiles,
+    /// Service-time quantiles of the requests served to slow clients.
+    pub slow_service_times: ServiceQuantiles,
 }
 
 /// The dissemination simulator.
@@ -188,6 +209,12 @@ struct ReplayPart {
     origin_hits: u64,
     shed: u64,
     tally: FaultTally,
+    /// Per-request service times of every served request (multiset, so
+    /// the cluster-shard merge compares equal to a serial pass).
+    service: ServiceTimeDist,
+    /// Service times of the no-dissemination baseline (full origin
+    /// path, fault-free by construction).
+    baseline_service: ServiceTimeDist,
 }
 
 impl FaultTally {
@@ -198,6 +225,8 @@ impl FaultTally {
         self.stalled += other.stalled;
         self.slow_served += other.slow_served;
         self.partial_write_resends += other.partial_write_resends;
+        self.stalled_service.merge(&other.stalled_service);
+        self.slow_service.merge(&other.slow_service);
     }
 }
 
@@ -363,6 +392,8 @@ impl<'a> DisseminationSim<'a> {
             stalled: tally.stalled,
             slow_served: tally.slow_served,
             partial_write_resends: tally.partial_write_resends,
+            stalled_service_times: tally.stalled_service.quantiles(),
+            slow_service_times: tally.slow_service.quantiles(),
         })
     }
 
@@ -385,10 +416,16 @@ impl<'a> DisseminationSim<'a> {
             ));
         }
 
+        // Phase frames: one per run_inner call, independent of --jobs
+        // (the shard gate below changes scheduling, never call counts).
+        let _run_frame = specweb_core::obs::profile::frame("dissem.run");
         let all_servers: Vec<ServerId> = (0..self.profiles.len()).map(ServerId::from).collect();
-        let proxy_nodes = match &cfg.explicit_proxies {
-            Some(nodes) => nodes.clone(),
-            None => self.place_proxies_for(cfg.n_proxies, cfg.remote_only),
+        let proxy_nodes = {
+            let _f = specweb_core::obs::profile::frame("placement");
+            match &cfg.explicit_proxies {
+                Some(nodes) => nodes.clone(),
+                None => self.place_proxies_for(cfg.n_proxies, cfg.remote_only),
+            }
         };
         let mut clusters = ClusterMap::new();
         for &node in &proxy_nodes {
@@ -444,6 +481,7 @@ impl<'a> DisseminationSim<'a> {
         // per-proxy counters (daily shedding, capacity thinning) are
         // shard-local and the merge below reproduces a serial pass
         // bit for bit (DESIGN §12).
+        let _replay_frame = specweb_core::obs::profile::frame("replay");
         let pool = specweb_core::par::Pool::auto();
         let parts: Vec<ReplayPart> = if self.shards.len() > 1 && pool.jobs() > 1 {
             pool.map_indexed(&self.shards, |_, idxs| {
@@ -464,6 +502,8 @@ impl<'a> DisseminationSim<'a> {
         let mut origin_hits = 0u64;
         let mut shed = 0u64;
         let mut tally = FaultTally::default();
+        let mut service = ServiceTimeDist::new();
+        let mut baseline_service = ServiceTimeDist::new();
         for p in &parts {
             baseline.merge(&p.baseline);
             with_d.merge(&p.with_d);
@@ -471,6 +511,8 @@ impl<'a> DisseminationSim<'a> {
             origin_hits += p.origin_hits;
             shed += p.shed;
             tally.merge(&p.tally);
+            service.merge(&p.service);
+            baseline_service.merge(&p.baseline_service);
         }
 
         let total_with = with_d.byte_hops + push_traffic;
@@ -502,6 +544,8 @@ impl<'a> DisseminationSim<'a> {
             obs.metrics
                 .gauge("dissem.proxy_storage_bytes")
                 .record(total_storage.get());
+            publish_service_histogram(obs, "dissem.service_time_ms", &service);
+            publish_service_histogram(obs, "dissem.baseline.service_time_ms", &baseline_service);
         }
 
         Ok((
@@ -515,6 +559,8 @@ impl<'a> DisseminationSim<'a> {
                 total_proxy_storage: total_storage,
                 reduction,
                 intercepted_fraction,
+                service_times: service.quantiles(),
+                baseline_service_times: baseline_service.quantiles(),
             },
             tally,
         ))
@@ -553,19 +599,29 @@ impl<'a> DisseminationSim<'a> {
             let client_node = self.trace.clients.get(a.client).node;
             let route = router.route(client_node, a.server);
             part.baseline.record(size, route.origin_hops);
+            // The baseline pays the full origin path, fault-free by
+            // construction (faults degrade the treatment, not the
+            // reference point).
+            part.baseline_service
+                .record(cfg.latency.fetch(size, route.origin_hops).as_millis());
 
             // A stalled client defers its request to the end of the
             // window; every later fault lookup sees the deferred
             // instant. (Daily shedding counters stay on the access's
             // calendar day — the cap is the proxy's, not the client's.)
             let mut t = a.time;
+            let mut was_stalled = false;
+            let mut slow_factor = 1.0f64;
             if let Some(plan) = faults {
                 if let Some(resume) = plan.stalled_until(client_node, t) {
+                    was_stalled = true;
                     part.tally.stalled += 1;
                     part.tally.retries += 1;
                     t = resume;
                 }
-                if plan.client_slow_factor(client_node, t) > 1.0 {
+                let f = plan.client_slow_factor(client_node, t);
+                if f > 1.0 {
+                    slow_factor = f;
                     part.tally.slow_served += 1;
                 }
             }
@@ -635,14 +691,29 @@ impl<'a> DisseminationSim<'a> {
                 }
             };
             part.with_d.record(size, served_hops);
+            // Service time: the (possibly slow-client-inflated) fetch
+            // over the hops that actually served the request, plus any
+            // stall deferral the client waited through first.
+            let fetch_ms = cfg.latency.fetch(size, served_hops).as_millis();
+            let mut service_ms =
+                (fetch_ms as f64 * slow_factor) as u64 + t.since(a.time).as_millis();
             if let Some(plan) = faults {
                 if plan.partial_write_active(client_node, t) {
                     // The transfer fragments at the client and
                     // truncates; the re-send succeeds, but the wasted
-                    // first copy still crossed every hop.
+                    // first copy still crossed every hop — and the
+                    // client waited through both transfers.
                     part.tally.partial_write_resends += 1;
                     part.with_d.record(size, served_hops);
+                    service_ms += fetch_ms;
                 }
+            }
+            part.service.record(service_ms);
+            if was_stalled {
+                part.tally.stalled_service.record(service_ms);
+            }
+            if slow_factor > 1.0 {
+                part.tally.slow_service.record(service_ms);
             }
         }
         part
@@ -711,6 +782,26 @@ impl<'a> DisseminationSim<'a> {
     }
 }
 
+/// Publishes a replay's service-time distribution as a log₂-bucketed
+/// histogram on the deterministic channel (bucket `i` ⇔ `(ms+1).ilog2()
+/// == i`, observed at the bucket midpoint). Pure function of trace +
+/// config + plan, so the histogram is byte-identical across `--jobs`.
+fn publish_service_histogram(obs: &specweb_core::obs::Obs, name: &str, dist: &ServiceTimeDist) {
+    use specweb_core::stats::SERVICE_TIME_LOG2_BINS;
+    let h = obs.metrics.histogram_on(
+        name,
+        specweb_core::obs::Channel::Deterministic,
+        0.0,
+        SERVICE_TIME_LOG2_BINS as f64,
+        SERVICE_TIME_LOG2_BINS,
+    );
+    for (i, &n) in dist.log2_bins().iter().enumerate() {
+        if n > 0 {
+            h.observe_n(i as f64 + 0.5, n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +841,15 @@ mod tests {
             "every remote access must be served somewhere"
         );
         assert_eq!(out.baseline.transfers, remote);
+        // One service-time sample per served request, and interception
+        // (fewer hops for the popular documents) must not lengthen any
+        // quantile relative to the full-origin-path baseline.
+        assert_eq!(out.service_times.count, remote);
+        assert_eq!(out.baseline_service_times.count, remote);
+        assert!(out.service_times.p50_ms <= out.baseline_service_times.p50_ms);
+        assert!(out.service_times.p99_ms <= out.baseline_service_times.p99_ms);
+        assert!(out.service_times.mean_ms < out.baseline_service_times.mean_ms);
+        assert!(out.service_times.max_ms > 0);
     }
 
     #[test]

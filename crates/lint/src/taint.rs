@@ -43,6 +43,13 @@ const ROOTS: &[(&str, &str)] = &[
     // clock/rng-free so a recorded session replays byte-identically.
     ("serve::conn", "*"),
     ("serve::session", "replay"),
+    // Tail-latency observability (DESIGN §13): the profiler's frame
+    // paths and call counts are jobs-invariant and golden-compared
+    // (its one wall-clock read is lint:allow'd at the source), and a
+    // STATS reply must be built clock-free so a recorded snapshot
+    // replays byte-identically.
+    ("core::obs::profile", "*"),
+    ("serve::server", "stats_entries"),
 ];
 
 /// Hot-loop roots for G3: the per-access simulation loops where a panic
@@ -62,6 +69,11 @@ const HOT_ROOTS: &[(&str, &str)] = &[
     // connection; a panic there drops every live session at once.
     ("serve::conn", "*"),
     ("serve::session", "replay"),
+    // Profiler frames open and close inside the per-access simulation
+    // loops, and STATS replies are built mid-sweep: a panic in either
+    // takes the run (or every live session) down with it.
+    ("core::obs::profile", "*"),
+    ("serve::server", "stats_entries"),
 ];
 
 /// A graph-rule finding, pre-suppression.

@@ -140,7 +140,8 @@ fn cmd_record(opts: &Opts) -> Result<ExitCode> {
 
     // Scripted, sequential workload: pipelined GETs with one line
     // deliberately fragmented across writes, so the trace exercises the
-    // incremental decoder, then a clean QUIT.
+    // incremental decoder, then a STATS probe on the first client (the
+    // reply snapshot is recorded as a replay input), then a clean QUIT.
     for i in 0..clients {
         let mut s = TcpStream::connect(addr)?;
         s.set_read_timeout(Some(Duration::from_secs(5)))?;
@@ -156,6 +157,9 @@ fn cmd_record(opts: &Opts) -> Result<ExitCode> {
             } else {
                 s.write_all(line.as_bytes())?;
             }
+        }
+        if i == 0 {
+            s.write_all(b"STATS\n")?;
         }
         s.write_all(b"QUIT\n")?;
         drain(&mut s);
@@ -217,6 +221,7 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode> {
             obs::global().snapshot(),
         )
         .with_run_info(jobs, &obs::git_describe())
+        .with_dropped_events(obs::global().events.dropped())
         .with_artifact("session", &outcome.summary.digest);
         let path = std::path::Path::new(dir).join(manifest.file_name());
         std::fs::write(

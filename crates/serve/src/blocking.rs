@@ -32,7 +32,7 @@ use specweb_spec::policy::decide;
 
 use crate::overload::{OverloadController, ServiceLevel};
 use crate::protocol::{read_bounded_line, Request, ServerMsg};
-use crate::server::{ServerConfig, ServerKnowledge, ServerStats, StatsSnapshot};
+use crate::server::{stats_entries, ServerConfig, ServerKnowledge, ServerStats, StatsSnapshot};
 use crate::shutdown::ShutdownToken;
 
 /// The baseline server. Construct with [`BlockingServer::spawn`].
@@ -262,6 +262,14 @@ impl Connection {
             };
             match req {
                 Request::Quit => return Ok(()),
+                Request::Stats => {
+                    ServerStats::bump(&self.stats.stats_requests, "serve.stats_requests");
+                    let live = self.ctl.active() as u64;
+                    for e in stats_entries(&self.stats, &self.ctl, live) {
+                        writeln!(out, "{}", ServerMsg::Stat(e)).map_err(CoreError::from)?;
+                    }
+                    writeln!(out, "{}", ServerMsg::End).map_err(CoreError::from)?;
+                }
                 Request::Get { doc, have } => {
                     ServerStats::bump(&self.stats.requests, "serve.requests");
                     let k = &self.knowledge;

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use specweb_core::{CoreError, DocId, Result};
 
-use crate::protocol::{read_bounded_line, ProtocolLimits, Request, ServerMsg};
+use crate::protocol::{read_bounded_line, ProtocolLimits, Request, ServerMsg, StatEntry};
 
 /// Backoff schedule for transient failures.
 #[derive(Debug, Clone, Copy)]
@@ -200,6 +200,57 @@ impl SpecClient {
         Err(last.unwrap_or_else(|| CoreError::Io("retries exhausted".into())))
     }
 
+    /// Asks the server for a live metrics snapshot (`STATS` →
+    /// `STAT`… `END`), retrying transient failures on the same backoff
+    /// schedule as [`SpecClient::fetch`]. The session stays open — a
+    /// probe can interleave with fetches on one connection, or run on
+    /// its own connection while the server is under load.
+    pub fn stats(&mut self) -> Result<Vec<StatEntry>> {
+        let mut last: Option<CoreError> = None;
+        for attempt in 0..=self.config.retry.max_attempts {
+            if attempt > 0 {
+                let pause = self.backoff(attempt - 1);
+                thread::sleep(pause);
+            }
+            match self.try_stats() {
+                Ok(entries) => return Ok(entries),
+                Err(e) if e.is_transient() => {
+                    self.conn = None;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| CoreError::Io("retries exhausted".into())))
+    }
+
+    fn try_stats(&mut self) -> Result<Vec<StatEntry>> {
+        let max_line = self.config.limits.max_line_bytes;
+        let conn = self.ensure_conn()?;
+        writeln!(conn.out, "{}", Request::Stats).map_err(CoreError::from)?;
+        let mut entries = Vec::new();
+        loop {
+            let line = read_bounded_line(&mut conn.reader, max_line)?
+                .ok_or_else(|| CoreError::Io("server closed the connection".into()))?;
+            match ServerMsg::parse(&line)? {
+                ServerMsg::End => break,
+                ServerMsg::Stat(e) => entries.push(e),
+                ServerMsg::Busy { detail } => {
+                    return Err(CoreError::overload("connection", detail));
+                }
+                ServerMsg::Err { reason } => {
+                    return Err(CoreError::protocol(reason));
+                }
+                other => {
+                    return Err(CoreError::protocol(format!(
+                        "unexpected {other} in a STATS reply"
+                    )));
+                }
+            }
+        }
+        Ok(entries)
+    }
+
     /// Ends the session politely and drops the connection.
     pub fn quit(mut self) -> Result<()> {
         if let Some(conn) = self.conn.as_mut() {
@@ -266,6 +317,9 @@ impl SpecClient {
                 }
                 ServerMsg::Err { reason } => {
                     return Err(CoreError::protocol(reason));
+                }
+                ServerMsg::Stat(_) => {
+                    return Err(CoreError::protocol("unexpected STAT in a GET reply"));
                 }
             }
         }

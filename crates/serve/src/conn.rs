@@ -23,7 +23,7 @@
 use specweb_spec::policy::decide;
 
 use crate::overload::ServiceLevel;
-use crate::protocol::{ProtocolLimits, Request, ServerMsg};
+use crate::protocol::{ProtocolLimits, Request, ServerMsg, StatEntry};
 use crate::server::ServerKnowledge;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -168,6 +168,11 @@ pub struct ConnCore {
     phase: Phase,
     counters: ConnCounters,
     digest: OutputDigest,
+    /// `STATS` requests parsed but not yet answered. The reply needs
+    /// server-wide state the pure core cannot see, so the impure caller
+    /// (reactor, or the replay driver re-driving a recorded snapshot)
+    /// takes these and answers via [`ConnCore::push_stats_reply`].
+    pending_stats: u64,
 }
 
 impl ConnCore {
@@ -181,6 +186,7 @@ impl ConnCore {
             phase: Phase::Streaming,
             counters: ConnCounters::default(),
             digest: OutputDigest::new(),
+            pending_stats: 0,
         }
     }
 
@@ -229,6 +235,7 @@ impl ConnCore {
         };
         match req {
             Request::Quit => self.phase = Phase::Draining,
+            Request::Stats => self.pending_stats += 1,
             Request::Get { doc, have } => {
                 self.counters.requests += 1;
                 if doc.index() >= k.catalog.len() {
@@ -286,6 +293,24 @@ impl ConnCore {
         self.digest.update(line.as_bytes());
         self.counters.bytes_out += line.len() as u64;
         self.out.extend_from_slice(line.as_bytes());
+    }
+
+    /// Takes (and clears) the count of `STATS` requests awaiting a
+    /// reply. The caller answers each with one
+    /// [`ConnCore::push_stats_reply`].
+    pub fn take_stats_requests(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_stats)
+    }
+
+    /// Writes one stats reply — `STAT` lines then `END` — into the
+    /// output buffer (and the digest). Pure: the snapshot values come
+    /// from the caller, so a replay pushing the recorded entries
+    /// regenerates identical bytes.
+    pub fn push_stats_reply(&mut self, entries: &[StatEntry]) {
+        for e in entries {
+            self.emit(&ServerMsg::Stat(e.clone()));
+        }
+        self.emit(&ServerMsg::End);
     }
 
     /// Response bytes generated but not yet taken by the transport.

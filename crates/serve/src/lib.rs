@@ -48,7 +48,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{ClientConfig, FetchResult, RetryConfig, SpecClient};
 pub use conn::{ConnCore, FrameDecoder, OutputDigest};
 pub use overload::{OverloadController, OverloadPolicy, ServiceLevel};
-pub use protocol::{ProtocolLimits, Request, ServerMsg};
+pub use protocol::{ProtocolLimits, Request, ServerMsg, StatEntry};
 pub use server::{ServerConfig, ServerHandle, ServerKnowledge, SpecServer, StatsSnapshot};
 pub use session::{replay, KnowledgeSpec, ReplayOutcome, SessionTrace, SESSION_SCHEMA};
 pub use shutdown::ShutdownToken;

@@ -3,13 +3,20 @@
 //! The same line-oriented exchange the §4 prototype sketched:
 //!
 //! ```text
-//! client → server:  GET <doc-id> [HAVE <id>,<id>,…]\n   |  QUIT\n
+//! client → server:  GET <doc-id> [HAVE <id>,<id>,…]\n   |  QUIT\n  |  STATS\n
 //! server → client:  DOC <doc-id> <size>\n
 //!                   PUSH <doc-id> <size>\n               (zero or more)
+//!                   END\n
+//! stats reply:      STAT <key> <value>\n                 (one per metric)
 //!                   END\n
 //! errors:           ERR <reason>\n                       (protocol violation)
 //! overload:         BUSY <detail>\n                      (connection refused)
 //! ```
+//!
+//! `STATS` is live introspection: the server answers with a snapshot of
+//! its counters and gauges as `STAT` lines, then `END`, without ending
+//! the session — so an operator (or the chaos harness) can watch a
+//! server that is busy serving degraded peers.
 //!
 //! Unlike the prototype, every input is **bounded before it is parsed**:
 //! a request line is read through [`read_bounded_line`], which refuses to
@@ -21,7 +28,30 @@
 use std::fmt;
 use std::io::BufRead;
 
+use serde::{Deserialize, Serialize};
 use specweb_core::{CoreError, DocId, Result};
+
+/// One `STAT <key> <value>` metric in a stats reply. Serializable so a
+/// recorded session trace can replay the exact snapshot the live
+/// reactor answered with (the values are wall-clock state, so they are
+/// an *input* to the deterministic replay, like the service level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatEntry {
+    /// Metric name (one token, no whitespace).
+    pub key: String,
+    /// Metric value at snapshot time.
+    pub value: u64,
+}
+
+impl StatEntry {
+    /// A named metric sample.
+    pub fn new(key: impl Into<String>, value: u64) -> StatEntry {
+        StatEntry {
+            key: key.into(),
+            value,
+        }
+    }
+}
 
 /// Caps on what the parser will accept from the wire.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +103,9 @@ pub enum Request {
     },
     /// Orderly end of the session.
     Quit,
+    /// Live metrics introspection: answered with `STAT` lines then
+    /// `END`, keeping the session open.
+    Stats,
 }
 
 impl Request {
@@ -83,9 +116,12 @@ impl Request {
         if msg == "QUIT" {
             return Ok(Request::Quit);
         }
+        if msg == "STATS" {
+            return Ok(Request::Stats);
+        }
         let Some(rest) = msg.strip_prefix("GET ") else {
             return Err(CoreError::protocol(format!(
-                "expected GET or QUIT, got {:?}",
+                "expected GET, STATS or QUIT, got {:?}",
                 truncate(msg, 32)
             )));
         };
@@ -125,6 +161,7 @@ impl fmt::Display for Request {
                 Ok(())
             }
             Request::Quit => write!(f, "QUIT"),
+            Request::Stats => write!(f, "STATS"),
         }
     }
 }
@@ -146,6 +183,8 @@ pub enum ServerMsg {
         /// Its size in bytes.
         size: u64,
     },
+    /// One metric sample in a `STATS` reply.
+    Stat(StatEntry),
     /// End of this response.
     End,
     /// The server refused the connection or request under overload;
@@ -176,6 +215,21 @@ impl ServerMsg {
             let (doc, size) = parse_id_size(rest)?;
             return Ok(ServerMsg::Push { doc, size });
         }
+        if let Some(rest) = msg.strip_prefix("STAT ") {
+            let mut parts = rest.split_whitespace();
+            let key = parts
+                .next()
+                .filter(|k| !k.is_empty())
+                .ok_or_else(|| CoreError::protocol("STAT missing key"))?;
+            let value = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| CoreError::protocol("STAT missing or bad value"))?;
+            if parts.next().is_some() {
+                return Err(CoreError::protocol("STAT has trailing tokens"));
+            }
+            return Ok(ServerMsg::Stat(StatEntry::new(key, value)));
+        }
         if let Some(rest) = msg.strip_prefix("BUSY") {
             return Ok(ServerMsg::Busy {
                 detail: rest.trim().to_string(),
@@ -198,6 +252,7 @@ impl fmt::Display for ServerMsg {
         match self {
             ServerMsg::Doc { doc, size } => write!(f, "DOC {} {size}", doc.raw()),
             ServerMsg::Push { doc, size } => write!(f, "PUSH {} {size}", doc.raw()),
+            ServerMsg::Stat(e) => write!(f, "STAT {} {}", e.key, e.value),
             ServerMsg::End => write!(f, "END"),
             ServerMsg::Busy { detail } => write!(f, "BUSY {detail}"),
             ServerMsg::Err { reason } => write!(f, "ERR {reason}"),
@@ -285,6 +340,7 @@ mod tests {
     fn request_round_trips() {
         for req in [
             Request::Quit,
+            Request::Stats,
             Request::Get {
                 doc: DocId::new(7),
                 have: vec![],
@@ -310,6 +366,7 @@ mod tests {
                 doc: DocId::new(4),
                 size: 2,
             },
+            ServerMsg::Stat(StatEntry::new("requests", 42)),
             ServerMsg::End,
             ServerMsg::Busy {
                 detail: "64/64 connections".into(),
@@ -320,6 +377,17 @@ mod tests {
         ] {
             let line = msg.to_string();
             assert_eq!(ServerMsg::parse(&line).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn hostile_stat_lines_yield_typed_errors() {
+        for bad in ["STAT ", "STAT requests", "STAT requests abc", "STAT k 1 2"] {
+            let e = ServerMsg::parse(bad).unwrap_err();
+            assert!(
+                matches!(e, CoreError::Protocol { .. }),
+                "{bad:?} gave {e:?}"
+            );
         }
     }
 

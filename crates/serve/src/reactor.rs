@@ -33,7 +33,7 @@ use specweb_core::obs;
 
 use crate::conn::{ConnCore, ConnCounters};
 use crate::overload::{ConnectionGuard, OverloadController};
-use crate::server::{ServerConfig, ServerKnowledge, ServerStats, TraceSlot};
+use crate::server::{stats_entries, ServerConfig, ServerKnowledge, ServerStats, TraceSlot};
 use crate::session::SessionRecorder;
 use crate::shutdown::ShutdownToken;
 
@@ -59,6 +59,8 @@ struct Live {
     stream: TcpStream,
     core: ConnCore,
     _guard: ConnectionGuard,
+    /// When the connection was admitted — start of its lifetime.
+    admitted_at: Instant,
     /// Last instant a byte moved in either direction.
     last_progress: Instant,
     /// Counters already mirrored into [`ServerStats`].
@@ -135,6 +137,7 @@ impl Reactor {
                             stream: p.stream,
                             core: ConnCore::new(id, config.limits),
                             _guard: guard,
+                            admitted_at: Instant::now(),
                             last_progress: Instant::now(),
                             mirrored: ConnCounters::default(),
                             eof: false,
@@ -176,6 +179,7 @@ impl Reactor {
             // Phase 3: sweep every live connection — flush output,
             // then read input unless backpressured.
             let now = Instant::now();
+            let live_count = conns.len() as u64;
             let mut closed: Vec<u64> = Vec::new();
             for (&id, live) in conns.iter_mut() {
                 let mut dead = false;
@@ -229,6 +233,25 @@ impl Reactor {
                                 rec.on_data(id, &buf[..n]);
                             }
                             live.core.on_bytes(&buf[..n], level, &knowledge);
+                            // Answer any STATS requests in this
+                            // fragment with a fresh snapshot. The
+                            // entries are wall-clock state, so a
+                            // recording captures them as replay inputs
+                            // alongside the service level.
+                            let pending = live.core.take_stats_requests();
+                            if pending > 0 {
+                                let entries = stats_entries(&stats, &ctl, live_count);
+                                for _ in 0..pending {
+                                    ServerStats::bump(
+                                        &stats.stats_requests,
+                                        "serve.stats_requests",
+                                    );
+                                    if let Some(rec) = recorder.as_mut() {
+                                        rec.on_stats(id, &entries);
+                                    }
+                                    live.core.push_stats_reply(&entries);
+                                }
+                            }
                             mirror(&stats, live);
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {}
@@ -323,6 +346,7 @@ fn mirror(stats: &ServerStats, live: &mut Live) {
 
 fn close_conn(stats: &ServerStats, recorder: &mut Option<SessionRecorder>, mut live: Live) {
     mirror(stats, &mut live);
+    stats.record_lifetime(live.admitted_at.elapsed().as_millis() as u64);
     if let Some(rec) = recorder.as_mut() {
         rec.on_close(&live.core);
     }

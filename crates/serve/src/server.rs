@@ -37,6 +37,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use specweb_core::obs::{self, Channel};
+use specweb_core::stats::ServiceTimeDist;
 use specweb_core::{Bytes, CoreError, Result};
 use specweb_spec::deps::DepMatrix;
 use specweb_spec::policy::Policy;
@@ -128,6 +129,10 @@ pub struct ServerStats {
     pub(crate) shed_speculation: AtomicU64,
     pub(crate) refused_connections: AtomicU64,
     pub(crate) protocol_errors: AtomicU64,
+    pub(crate) stats_requests: AtomicU64,
+    /// Admit→last-byte lifetime of every closed connection, in ms —
+    /// wall-clock tail-latency the `STATS` verb reports live.
+    pub(crate) conn_lifetime: Mutex<ServiceTimeDist>,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -145,6 +150,8 @@ pub struct StatsSnapshot {
     pub refused_connections: u64,
     /// Connections dropped for violating the protocol.
     pub protocol_errors: u64,
+    /// `STATS` introspection requests answered.
+    pub stats_requests: u64,
 }
 
 impl ServerStats {
@@ -177,8 +184,54 @@ impl ServerStats {
             shed_speculation: self.shed_speculation.load(Ordering::Relaxed),
             refused_connections: self.refused_connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
         }
     }
+
+    /// Records the admit→last-byte lifetime of a closed connection.
+    pub(crate) fn record_lifetime(&self, ms: u64) {
+        if let Ok(mut dist) = self.conn_lifetime.lock() {
+            dist.record(ms);
+        }
+    }
+}
+
+/// The metric snapshot a `STATS` request is answered with: every
+/// [`ServerStats`] counter, the live-connection and service-level
+/// gauges, and the admit→last-byte lifetime distribution of closed
+/// connections (count + p50/p99/max ms). Key order is fixed so replies
+/// are stable for a given state.
+pub(crate) fn stats_entries(
+    stats: &ServerStats,
+    ctl: &OverloadController,
+    live_connections: u64,
+) -> Vec<crate::protocol::StatEntry> {
+    use crate::protocol::StatEntry;
+    let snap = stats.snapshot();
+    let mut entries = vec![
+        StatEntry::new("connections", snap.connections),
+        StatEntry::new("requests", snap.requests),
+        StatEntry::new("pushes", snap.pushes),
+        StatEntry::new("shed_speculation", snap.shed_speculation),
+        StatEntry::new("refused_connections", snap.refused_connections),
+        StatEntry::new("protocol_errors", snap.protocol_errors),
+        StatEntry::new("stats_requests", snap.stats_requests),
+        StatEntry::new("live_connections", live_connections),
+        StatEntry::new(
+            "service_level",
+            u64::from(crate::session::level_code(ctl.level())),
+        ),
+    ];
+    if let Ok(dist) = stats.conn_lifetime.lock() {
+        if !dist.is_empty() {
+            let q = dist.quantiles();
+            entries.push(StatEntry::new("closed_connections", q.count));
+            entries.push(StatEntry::new("conn_lifetime_p50_ms", q.p50_ms as u64));
+            entries.push(StatEntry::new("conn_lifetime_p99_ms", q.p99_ms as u64));
+            entries.push(StatEntry::new("conn_lifetime_max_ms", q.max_ms));
+        }
+    }
+    entries
 }
 
 pub(crate) type TraceSlot = Arc<Mutex<Option<SessionTrace>>>;

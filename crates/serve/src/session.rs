@@ -30,7 +30,7 @@ use specweb_trace::generator::{TraceConfig, TraceGenerator};
 
 use crate::conn::{ConnCore, OutputDigest};
 use crate::overload::ServiceLevel;
-use crate::protocol::ProtocolLimits;
+use crate::protocol::{ProtocolLimits, StatEntry};
 use crate::server::ServerKnowledge;
 
 /// The trace schema identifier this module reads and writes.
@@ -130,6 +130,16 @@ pub enum SessionEvent {
     Eof {
         /// The connection that reached end of input.
         conn: u64,
+    },
+    /// The server answered a `STATS` request with this snapshot. The
+    /// entries are wall-clock server state — an *input* to the replay
+    /// (like the service level), pushed verbatim so the regenerated
+    /// bytes match the recording.
+    Stats {
+        /// The connection the reply went to.
+        conn: u64,
+        /// The exact `STAT` lines answered, in reply order.
+        entries: Vec<StatEntry>,
     },
     /// The connection was closed (peer quit, violation, drain, or
     /// shutdown); its summary was finalized at this point.
@@ -368,6 +378,14 @@ impl SessionRecorder {
         self.events.push(SessionEvent::Eof { conn });
     }
 
+    /// Records a `STATS` reply and the exact snapshot it carried.
+    pub fn on_stats(&mut self, conn: u64, entries: &[StatEntry]) {
+        self.events.push(SessionEvent::Stats {
+            conn,
+            entries: entries.to_vec(),
+        });
+    }
+
     /// Records a `BUSY` refusal.
     pub fn on_refused(&mut self) {
         self.refused += 1;
@@ -467,6 +485,15 @@ pub fn replay(trace: &SessionTrace, jobs: usize) -> Result<ReplayOutcome> {
                     CoreError::protocol(format!("trace eof for unknown conn {conn}"))
                 })?;
                 core.on_eof();
+            }
+            SessionEvent::Stats { conn, entries } => {
+                let core = live.get_mut(conn).ok_or_else(|| {
+                    CoreError::protocol(format!("trace stats for unknown conn {conn}"))
+                })?;
+                // Consume the parsed request (keeps the pending count
+                // balanced) and push the recorded snapshot verbatim.
+                core.take_stats_requests();
+                core.push_stats_reply(entries);
             }
             SessionEvent::Close { conn } => {
                 let core = live.remove(conn).ok_or_else(|| {
@@ -597,8 +624,8 @@ mod tests {
 
     fn demo_trace() -> SessionTrace {
         // A hand-built session: one connection GETs doc 0 under full
-        // service (fragmented mid-line), a second is refused, a third
-        // sends garbage.
+        // service (fragmented mid-line) and probes STATS mid-session,
+        // a second is refused, a third sends garbage.
         let spec = KnowledgeSpec::demo(77);
         let limits = ProtocolLimits::default();
         let k = spec.build(1).unwrap();
@@ -607,10 +634,21 @@ mod tests {
         rec.on_level(ServiceLevel::Full);
         rec.on_accept(0);
         let mut c0 = ConnCore::new(0, limits);
-        for frag in [&b"GE"[..], &b"T 0\n"[..], &b"QUIT\n"[..]] {
+        for frag in [&b"GE"[..], &b"T 0\n"[..], &b"STATS\n"[..]] {
             rec.on_data(0, frag);
             c0.on_bytes(frag, ServiceLevel::Full, &k);
         }
+        // The reactor answers STATS with a wall-clock snapshot; the
+        // recording captures the exact entries as a replay input.
+        assert_eq!(c0.take_stats_requests(), 1);
+        let entries = vec![
+            StatEntry::new("requests", 1),
+            StatEntry::new("live_connections", 1),
+        ];
+        rec.on_stats(0, &entries);
+        c0.push_stats_reply(&entries);
+        rec.on_data(0, b"QUIT\n");
+        c0.on_bytes(b"QUIT\n", ServiceLevel::Full, &k);
         rec.on_refused();
         rec.on_accept(2);
         let mut c2 = ConnCore::new(2, limits);
@@ -640,6 +678,25 @@ mod tests {
         let text = trace.to_json();
         let back = SessionTrace::from_json(&text).unwrap();
         assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn tampered_stats_snapshot_diverges() {
+        // The STAT bytes feed the digest, so replaying a trace whose
+        // recorded snapshot was altered must be caught.
+        let mut trace = demo_trace();
+        let tampered = trace.events.iter_mut().any(|e| {
+            if let SessionEvent::Stats { entries, .. } = e {
+                entries[0].value += 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(tampered, "demo trace carries a stats event");
+        let out = replay(&trace, 1).unwrap();
+        assert!(!out.matches());
+        assert!(out.divergences.iter().any(|d| d.contains("conn 0")));
     }
 
     #[test]

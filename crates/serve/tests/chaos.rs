@@ -9,12 +9,17 @@
 //! least **10×** the baseline's connection count with full correctness
 //! (every response well-formed, nothing refused, nothing timed out).
 
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 use specweb_core::time::Duration as SimDuration;
 use specweb_serve::session::KnowledgeSpec;
 use specweb_serve::{
-    run_chaos, BlockingServer, ChaosConfig, OverloadPolicy, ServerConfig, SpecServer,
+    run_chaos, BlockingServer, ChaosConfig, ClientConfig, OverloadPolicy, ServerConfig, SpecClient,
+    SpecServer, StatEntry,
 };
 
 /// The baseline's whole connection budget.
@@ -62,6 +67,29 @@ fn blocking_baseline_survives_chaos_at_its_thread_budget() {
     assert_eq!(stats.refused_connections, 0);
 }
 
+/// Probes `STATS` on its own connection every few milliseconds until
+/// told to stop, returning the successful round-trips and the last
+/// snapshot. Runs alongside the chaos load: live introspection must
+/// stay answerable while the reactor is saturated with degraded peers.
+fn spawn_stats_prober(
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+) -> thread::JoinHandle<(u64, Vec<StatEntry>)> {
+    thread::spawn(move || {
+        let mut client = SpecClient::new(addr, ClientConfig::default()).expect("prober client");
+        let mut round_trips = 0u64;
+        let mut last = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            if let Ok(entries) = client.stats() {
+                round_trips += 1;
+                last = entries;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        (round_trips, last)
+    })
+}
+
 #[test]
 fn event_loop_sustains_ten_times_the_baseline_under_chaos() {
     const { assert!(EVENT_LOOP_CLIENTS >= 10 * BASELINE_CLIENTS) };
@@ -70,14 +98,36 @@ fn event_loop_sustains_ten_times_the_baseline_under_chaos() {
     // resource leak (stuck connections), not a configured cap.
     let server = SpecServer::spawn(knowledge, server_config(EVENT_LOOP_CLIENTS + 16))
         .expect("event loop spawns");
+
+    // Live introspection under load: a prober asks STATS throughout
+    // the chaos run on a connection of its own.
+    let stop = Arc::new(AtomicBool::new(false));
+    let prober = spawn_stats_prober(server.addr(), Arc::clone(&stop));
+
     let report = run_chaos(server.addr(), &chaos_config(EVENT_LOOP_CLIENTS)).expect("chaos runs");
+    stop.store(true, Ordering::Relaxed);
+    let (stats_round_trips, last_snapshot) = prober.join().expect("prober joins");
+
     assert!(
         report.clean(),
         "event loop shed correctness at 10× the baseline: {report:?}"
     );
     let stats = server.stats();
     server.shutdown().expect("event loop shuts down");
-    assert_eq!(stats.connections, EVENT_LOOP_CLIENTS as u64);
+    assert!(
+        stats_round_trips >= 1,
+        "STATS must stay answerable under slow-client load"
+    );
+    let value =
+        |key: &str| -> Option<u64> { last_snapshot.iter().find(|e| e.key == key).map(|e| e.value) };
+    assert!(
+        value("live_connections").is_some() && value("requests").is_some(),
+        "snapshot must carry gauges and counters: {last_snapshot:?}"
+    );
+    // ≥: a probe the client gave up on may still have been answered.
+    assert!(stats.stats_requests >= stats_round_trips);
+    // The chaos clients plus (at least) the prober's connection.
+    assert!(stats.connections > EVENT_LOOP_CLIENTS as u64);
     assert_eq!(stats.refused_connections, 0);
     assert_eq!(
         stats.requests, report.requests_sent,

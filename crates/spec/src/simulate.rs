@@ -22,6 +22,7 @@
 
 use serde::{Deserialize, Serialize};
 use specweb_core::metrics::{CostWeights, Ratios, RunTotals};
+use specweb_core::stats::{ServiceQuantiles, ServiceTimeDist};
 use specweb_core::units::Bytes;
 use specweb_core::Result;
 use specweb_netsim::cost::LatencyModel;
@@ -104,6 +105,25 @@ pub struct SpecOutcome {
     pub cost_speculative: f64,
     /// Combined §3.2 cost of the baseline run.
     pub cost_baseline: f64,
+    /// Exact per-access service-time quantiles of the speculative run
+    /// (cache hits count as 0 ms — the paper's service-time numerator is
+    /// the *client-observed* wait, and a hit waits for nothing).
+    pub service_times: ServiceQuantiles,
+    /// The same quantiles for the baseline run, so reports can show how
+    /// speculation moves the tail, not just the mean ratio.
+    pub baseline_service_times: ServiceQuantiles,
+}
+
+/// A precomputed baseline replay: the totals plus its service-time
+/// summary. Parameter sweeps compute this **once** via
+/// [`SpecSim::baseline_totals`] and hand it to every
+/// [`SpecSim::run_with_store_and_baseline`] point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BaselineRun {
+    /// Totals of the non-speculative replay (measured window).
+    pub totals: RunTotals,
+    /// Exact service-time quantiles of that replay.
+    pub service_times: ServiceQuantiles,
 }
 
 /// The simulator.
@@ -147,6 +167,15 @@ struct ReplayCounters {
     stall_wait_ms: u64,
     slow_served: u64,
     partial_write_pushes: u64,
+    /// Per-access service times of every *served* access (cache hits
+    /// record 0 ms; unavailable requests record nothing — they were
+    /// never served). A multiset, so shard merges compare equal to a
+    /// serial replay structurally.
+    service: ServiceTimeDist,
+    /// Service times of the accesses deferred by a client stall.
+    stalled_service: ServiceTimeDist,
+    /// Service times of the accesses drained by a slow client.
+    slow_service: ServiceTimeDist,
 }
 
 impl ReplayCounters {
@@ -166,6 +195,9 @@ impl ReplayCounters {
         self.stall_wait_ms += other.stall_wait_ms;
         self.slow_served += other.slow_served;
         self.partial_write_pushes += other.partial_write_pushes;
+        self.service.merge(&other.service);
+        self.stalled_service.merge(&other.stalled_service);
+        self.slow_service.merge(&other.slow_service);
     }
 }
 
@@ -213,6 +245,13 @@ pub struct DegradedSpecOutcome {
     /// window: the first copy arrived truncated, and the re-send's
     /// bytes are charged to the speculative run's traffic.
     pub partial_write_pushes: u64,
+    /// Service-time quantiles of just the stall-deferred accesses (the
+    /// degraded class the paper's mean hides: a handful of multi-second
+    /// waits vanish inside millions of fast ones).
+    pub stalled_service_times: ServiceQuantiles,
+    /// Service-time quantiles of the accesses served to slow-draining
+    /// clients (latency inflated by the plan's slow factor).
+    pub slow_service_times: ServiceQuantiles,
 }
 
 /// Where a replay gets its `P`/`P*` matrices from.
@@ -318,8 +357,12 @@ impl<'a> SpecSim<'a> {
     /// parameter sweeps over those knobs can compute it **once** and
     /// hand it to [`SpecSim::run_with_store_and_baseline`] instead of
     /// re-replaying an identical baseline at every sweep point.
-    pub fn baseline_totals(&self, cfg: &SpecConfig) -> Result<RunTotals> {
-        Ok(self.replay(cfg, false, None, None)?.0)
+    pub fn baseline_totals(&self, cfg: &SpecConfig) -> Result<BaselineRun> {
+        let (totals, counters) = self.replay(cfg, false, None, None)?;
+        Ok(BaselineRun {
+            totals,
+            service_times: counters.service.quantiles(),
+        })
     }
 
     /// Like [`SpecSim::run_with_store`], but reuses a baseline computed
@@ -331,7 +374,7 @@ impl<'a> SpecSim<'a> {
         &self,
         cfg: &SpecConfig,
         store: Option<&MatrixStore>,
-        baseline: Option<&RunTotals>,
+        baseline: Option<&BaselineRun>,
     ) -> Result<SpecOutcome> {
         cfg.policy.validate()?;
         cfg.estimator.validate()?;
@@ -344,16 +387,24 @@ impl<'a> SpecSim<'a> {
             }
         }
         let (speculative, counters) = self.replay(cfg, true, store, None)?;
-        let baseline = match baseline {
+        let base = match baseline {
             Some(b) => *b,
-            None => self.replay(cfg, false, store, None)?.0,
+            None => {
+                let (totals, base_counters) = self.replay(cfg, false, store, None)?;
+                BaselineRun {
+                    totals,
+                    service_times: base_counters.service.quantiles(),
+                }
+            }
         };
-        let ratios = Ratios::between(&speculative, &baseline);
+        let ratios = Ratios::between(&speculative, &base.totals);
         Ok(SpecOutcome {
             cost_speculative: cfg.cost.total_cost(&speculative),
-            cost_baseline: cfg.cost.total_cost(&baseline),
+            cost_baseline: cfg.cost.total_cost(&base.totals),
+            service_times: counters.service.quantiles(),
+            baseline_service_times: base.service_times,
             speculative,
-            baseline,
+            baseline: base.totals,
             ratios,
             pushes: counters.pushes,
             wasted_pushes: counters.wasted_pushes,
@@ -391,6 +442,8 @@ impl<'a> SpecSim<'a> {
         let outcome = SpecOutcome {
             cost_speculative: cfg.cost.total_cost(&speculative),
             cost_baseline: cfg.cost.total_cost(&baseline),
+            service_times: counters.service.quantiles(),
+            baseline_service_times: base_counters.service.quantiles(),
             speculative,
             baseline,
             ratios,
@@ -411,6 +464,8 @@ impl<'a> SpecSim<'a> {
             stall_wait_ms: counters.stall_wait_ms,
             slow_served: counters.slow_served,
             partial_write_pushes: counters.partial_write_pushes,
+            stalled_service_times: counters.stalled_service.quantiles(),
+            slow_service_times: counters.slow_service.quantiles(),
             outcome,
         })
     }
@@ -429,6 +484,14 @@ impl<'a> SpecSim<'a> {
         store: Option<&MatrixStore>,
         faults: Option<&FaultCtx<'_>>,
     ) -> Result<(RunTotals, ReplayCounters)> {
+        // One frame per replay pass — placed here (not per shard, whose
+        // call count varies with the worker gate below) so profiler call
+        // counts stay jobs-invariant.
+        let _f = specweb_core::obs::profile::frame(if speculate {
+            "spec.replay"
+        } else {
+            "spec.replay.baseline"
+        });
         let shardable = !(speculate && store.is_none());
         // Sharding is byte-exact (golden-tested), but the index gather
         // costs locality — with one worker the serial path is faster.
@@ -510,6 +573,10 @@ impl<'a> SpecSim<'a> {
             if hit {
                 if measured {
                     counters.cache_hits += 1;
+                    // A hit is served instantly: it still contributes a
+                    // sample (0 ms) so the quantiles describe what the
+                    // *client* experienced, not just the misses.
+                    counters.service.record(0);
                 }
                 // Cache hits are free and invisible to the server; only
                 // client-side machinery observes them.
@@ -538,11 +605,14 @@ impl<'a> SpecSim<'a> {
             // an exhausted schedule leaves the request unserved.
             let mut fetch_time = a.time;
             let mut delay_factor = 1.0;
+            let mut was_stalled = false;
+            let mut was_slow = false;
             if let Some(f) = faults {
                 // A stalled client cannot even send its request: the
                 // miss is deferred to the end of the stall window, and
                 // every later fault lookup sees the deferred instant.
                 if let Some(resume) = f.plan.stalled_until(self.nodes[ci], fetch_time) {
+                    was_stalled = true;
                     if measured {
                         counters.stalled += 1;
                         counters.stall_wait_ms += resume.since(fetch_time).as_millis();
@@ -581,6 +651,7 @@ impl<'a> SpecSim<'a> {
                 // its factor stacks on top of any slow links en route.
                 let client_factor = f.plan.client_slow_factor(self.nodes[ci], fetch_time);
                 if client_factor > 1.0 {
+                    was_slow = true;
                     delay_factor *= client_factor;
                     if measured {
                         counters.slow_served += 1;
@@ -592,8 +663,16 @@ impl<'a> SpecSim<'a> {
                 totals.server_requests += 1;
                 totals.bytes_sent += size;
                 let fetch_ms = cfg.latency.fetch(size, hops).as_millis();
-                totals.latency_ms +=
+                let served_ms =
                     (fetch_ms as f64 * delay_factor) as u64 + fetch_time.since(a.time).as_millis();
+                totals.latency_ms += served_ms;
+                counters.service.record(served_ms);
+                if was_stalled {
+                    counters.stalled_service.record(served_ms);
+                }
+                if was_slow {
+                    counters.slow_service.record(served_ms);
+                }
             }
             caches[ci].insert(a.doc, size);
 
@@ -712,9 +791,16 @@ impl<'a> SpecSim<'a> {
             obs.metrics
                 .counter("spec.baseline_requests")
                 .add(totals.server_requests);
+            publish_service_histogram(obs, "spec.baseline.service_time_ms", &counters.service);
             return;
         }
         let label = cfg.policy.kind_label();
+        publish_service_histogram(obs, "spec.service_time_ms", &counters.service);
+        publish_service_histogram(
+            obs,
+            &format!("spec.policy.{label}.service_time_ms"),
+            &counters.service,
+        );
         let pairs = [
             ("accesses", totals.accesses),
             ("server_requests", totals.server_requests),
@@ -766,6 +852,27 @@ impl<'a> SpecSim<'a> {
                 totals.bytes_sent += jsize;
             }
             cache.insert(j, jsize);
+        }
+    }
+}
+
+/// Publishes a replay's service-time distribution as a log₂-bucketed
+/// histogram on the deterministic channel (bucket `i` ⇔ `(ms+1).ilog2()
+/// == i`, observed at the bucket midpoint `i + 0.5`). The bins are a
+/// pure function of trace + config, so the histogram is byte-identical
+/// across `--jobs` settings and lands in the golden-diffed manifests.
+fn publish_service_histogram(obs: &specweb_core::obs::Obs, name: &str, dist: &ServiceTimeDist) {
+    use specweb_core::stats::SERVICE_TIME_LOG2_BINS;
+    let h = obs.metrics.histogram_on(
+        name,
+        specweb_core::obs::Channel::Deterministic,
+        0.0,
+        SERVICE_TIME_LOG2_BINS as f64,
+        SERVICE_TIME_LOG2_BINS,
+    );
+    for (i, &n) in dist.log2_bins().iter().enumerate() {
+        if n > 0 {
+            h.observe_n(i as f64 + 0.5, n);
         }
     }
 }
@@ -1058,6 +1165,20 @@ mod tests {
             "wasted bytes are a subset of pushed bytes"
         );
         assert!(counter("spec.cache_hits") > 0, "warm caches must hit");
+        // The service-time distribution lands on the deterministic
+        // channel as a log₂-bucketed histogram, total mass = accesses.
+        for name in [
+            "spec.service_time_ms",
+            "spec.policy.threshold.service_time_ms",
+            "spec.baseline.service_time_ms",
+        ] {
+            match snap.deterministic.get(name) {
+                Some(MetricValue::Histogram { bins, .. }) => {
+                    assert!(bins.iter().sum::<u64>() > 0, "{name} histogram is empty");
+                }
+                other => panic!("missing histogram {name}: {other:?}"),
+            }
+        }
 
         // The same runs against a fresh registry must reproduce the
         // snapshot byte-for-byte: the channel is deterministic.
@@ -1201,6 +1322,38 @@ mod tests {
     }
 
     #[test]
+    fn service_time_quantiles_are_jobs_invariant() {
+        // The ISSUE's golden property: the exact quantile summary — an
+        // order statistic over every served access — must serialize
+        // byte-identically whether the replay ran serially or sharded
+        // over four workers. Pinning the process default is
+        // side-effect-free for the same reason as above.
+        let (trace, topo) = setup(242);
+        let sim = SpecSim::new(&trace, &topo);
+        assert!(sim.shards.len() > 1, "topology must yield several shards");
+        let c = cfg(0.3);
+        let store = MatrixStore::precompute(&c.estimator, &trace, 14).unwrap();
+        specweb_core::par::set_default_jobs(1);
+        let serial = sim.run_with_store(&c, Some(&store)).unwrap();
+        specweb_core::par::set_default_jobs(4);
+        let parallel = sim.run_with_store(&c, Some(&store)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "service-time quantiles diverged across --jobs"
+        );
+        // Every measured access was served (no faults), so the summary
+        // covers all of them; hits at 0 ms drag the median below the
+        // miss-dominated mean.
+        assert_eq!(serial.service_times.count, serial.speculative.accesses);
+        assert!(serial.service_times.p50_ms <= serial.service_times.p99_ms);
+        assert!(serial.service_times.max_ms > 0);
+        // Speculation turns misses into hits, so the speculative tail
+        // sits at or below the baseline tail.
+        assert!(serial.service_times.p90_ms <= serial.baseline_service_times.p90_ms);
+    }
+
+    #[test]
     fn rejects_invalid_policy() {
         let (trace, topo) = setup(213);
         let sim = SpecSim::new(&trace, &topo);
@@ -1296,6 +1449,14 @@ mod tests {
         assert!(degraded.stalled > 0, "no stalls surfaced");
         assert!(degraded.stall_wait_ms > 0, "stalls cost no time");
         assert!(degraded.slow_served > 0, "no slow-client serves surfaced");
+        // The degraded classes expose their own service-time tails:
+        // every *served* stalled/slow access contributes one sample, and
+        // a deferred or slowed fetch can never be instant.
+        assert!(degraded.stalled_service_times.count <= degraded.stalled);
+        assert!(degraded.stalled_service_times.count > 0);
+        assert!(degraded.stalled_service_times.p50_ms > 0.0);
+        assert_eq!(degraded.slow_service_times.count, degraded.slow_served);
+        assert!(degraded.slow_service_times.p50_ms > 0.0);
         assert!(
             degraded.partial_write_pushes > 0,
             "no partial-write pushes surfaced"

@@ -104,6 +104,17 @@ def cmd_gate(d):
     failures = []
     for name, manifest in load_manifests(d).items():
         exp = manifest.get("id", name)
+        # Non-fatal: dropped tracer events mean the exported event log
+        # is truncated (the metrics are unaffected), so warn loudly but
+        # do not fail the gate on it.
+        nondet = manifest["nondeterministic"]
+        for field in ("dropped_events", "dropped_wall_events"):
+            n = nondet.get(field, 0)
+            if n > 0:
+                print(
+                    f"WARN: {name}: {field} = {n} (tracer ring overflowed; "
+                    f"the exported event log is incomplete)"
+                )
         # Both channels: a truncation or shed count is a finding no
         # matter which channel a subsystem happens to report it on.
         metrics = dict(manifest["deterministic"]["metrics"])

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression check over `perf_trajectory.json`.
+
+Stdlib mirror of `specweb-bench`'s `perf::check_against` (the rule
+behind `figures --check-perf`), so CI can re-gate a committed ledger
+without building the workspace:
+
+  check_perf.py LEDGER.json [--ratio 0.25] [--floor 0.5]
+
+Rule (kept in lockstep with crates/bench/src/perf.rs):
+
+  * the last ledger entry is "current"; the most recent *earlier* entry
+    with the same jobs, scale and scale_factor is the baseline — with
+    no comparable baseline there is nothing to regress from (exit 0);
+  * a phase regresses when `cur > prev * (1 + ratio) + floor` seconds;
+    phases are matched by id, ids present in only one run are skipped;
+  * `total_seconds` is compared only when both runs covered the same
+    phase set (otherwise the totals measure different work).
+
+Exit status 1 with one line per regression; 0 when within tolerance.
+"""
+
+import json
+import sys
+
+SCHEMA = "specweb-perf/v1"
+DEFAULT_RATIO = 0.25
+DEFAULT_FLOOR = 0.5
+
+
+def comparable(a, b):
+    return (
+        a["jobs"] == b["jobs"]
+        and a["scale"] == b["scale"]
+        and a["scale_factor"] == b["scale_factor"]
+    )
+
+
+def check(prev, current, ratio, floor):
+    limit = lambda s: s * (1.0 + ratio) + floor  # noqa: E731
+    regressions = []
+    old_phases = {p["id"]: p["seconds"] for p in prev["experiments"]}
+    for cur in current["experiments"]:
+        old = old_phases.get(cur["id"])
+        if old is None:
+            continue
+        if cur["seconds"] > limit(old):
+            regressions.append(
+                f"{cur['id']}: {cur['seconds']:.2f}s, was {old:.2f}s at "
+                f"{prev['git']} (limit {limit(old):.2f}s = prev x "
+                f"{1.0 + ratio:.2f} + {floor:.2f}s)"
+            )
+    same_phases = set(old_phases) == {p["id"] for p in current["experiments"]}
+    if same_phases and current["total_seconds"] > limit(prev["total_seconds"]):
+        regressions.append(
+            f"total: {current['total_seconds']:.2f}s, was "
+            f"{prev['total_seconds']:.2f}s at {prev['git']} "
+            f"(limit {limit(prev['total_seconds']):.2f}s)"
+        )
+    return regressions
+
+
+def main():
+    args = sys.argv[1:]
+    ratio, floor = DEFAULT_RATIO, DEFAULT_FLOOR
+    paths = []
+    while args:
+        a = args.pop(0)
+        if a == "--ratio":
+            ratio = float(args.pop(0))
+        elif a == "--floor":
+            floor = float(args.pop(0))
+        else:
+            paths.append(a)
+    if len(paths) != 1:
+        sys.exit(__doc__.strip())
+
+    with open(paths[0]) as f:
+        ledger = json.load(f)
+    if ledger.get("schema") != SCHEMA:
+        sys.exit(f"error: expected schema {SCHEMA}, got {ledger.get('schema')!r}")
+    entries = ledger.get("entries", [])
+    if not entries:
+        print("perf ok (empty ledger)")
+        return
+    current = entries[-1]
+    prev = next(
+        (e for e in reversed(entries[:-1]) if comparable(e, current)), None
+    )
+    if prev is None:
+        print(
+            f"perf ok (no prior entry comparable to jobs={current['jobs']} "
+            f"scale={current['scale']} x{current['scale_factor']})"
+        )
+        return
+    regressions = check(prev, current, ratio, floor)
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    if regressions:
+        sys.exit(1)
+    print(
+        f"perf ok ({current['git']} vs {prev['git']}: "
+        f"{current['total_seconds']:.2f}s total, within tolerance)"
+    )
+
+
+if __name__ == "__main__":
+    main()

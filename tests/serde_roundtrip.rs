@@ -80,6 +80,7 @@ fn dissemination_config_roundtrips() {
         rank_for_traffic: false,
         remote_only: true,
         explicit_proxies: Some(vec![NodeId::new(3), NodeId::new(4)]),
+        latency: LatencyModel::default(),
     };
     let json = serde_json::to_string(&cfg).unwrap();
     let back: DisseminationConfig = serde_json::from_str(&json).unwrap();
