@@ -131,26 +131,32 @@ fn main() {
     };
 
     // Experiments are independent deterministic replays: fan them out
-    // and print in request order. die() inside a worker exits the whole
-    // process, so a failed experiment cannot be silently dropped. Each
-    // experiment runs under its own span-tree profiler rooted at its id;
-    // inner pools adopt the context, so simulator phases nest under it.
+    // and print in request order. Workers return Result and the exit
+    // happens after the pool joins (G5: process::exit inside a worker
+    // would race the other workers' output, and which error won would
+    // depend on completion order); try_map_indexed surfaces the first
+    // failure in *request* order, so a failed experiment can neither be
+    // silently dropped nor report nondeterministically. Each experiment
+    // runs under its own span-tree profiler rooted at its id; inner
+    // pools adopt the context, so simulator phases nest under it.
     let pool = specweb_core::par::Pool::new(jobs.min(wanted.len().max(1)));
-    let results: Vec<(Report, f64, String)> = pool.map_indexed(&wanted, |_, id| {
-        let started = Instant::now();
-        let profiler = obs::Profiler::new();
-        let report = {
-            let _ctx = profiler.install();
-            let _root = obs::frame(id);
-            run_one(id, scale, seed, &shared_sweep)
-                .unwrap_or_else(|e| die(&format!("{id} failed: {e}")))
-        };
-        (
-            report,
-            started.elapsed().as_secs_f64(),
-            profiler.collapsed(),
-        )
-    });
+    let results: Vec<(Report, f64, String)> = pool
+        .try_map_indexed(&wanted, |_, id| {
+            let started = Instant::now();
+            let profiler = obs::Profiler::new();
+            let report = {
+                let _ctx = profiler.install();
+                let _root = obs::frame(id);
+                run_one(id, scale, seed, &shared_sweep)
+                    .map_err(|e| format!("{id} failed: {e}"))?
+            };
+            Ok((
+                report,
+                started.elapsed().as_secs_f64(),
+                profiler.collapsed(),
+            ))
+        })
+        .unwrap_or_else(|e: String| die(&e));
 
     let mut experiments = Vec::with_capacity(results.len() + 1);
     if let Some(seconds) = sweep_seconds {
@@ -370,8 +376,12 @@ fn run_one(
         "exp-digest" => ablations::exp_digest(scale, seed),
         "exp-queue" => ablations::exp_queue(scale, seed),
         // cli::parse validates ids against the same list, so this is
-        // unreachable from the command line.
-        other => die(&format!("unknown experiment `{other}`")),
+        // unreachable from the command line; an Err (not die()) keeps
+        // this fn effect-free for the worker-closure fan-out (G5).
+        other => Err(specweb_core::CoreError::invalid_config(
+            "experiment",
+            format!("unknown experiment `{other}`"),
+        )),
     }
 }
 

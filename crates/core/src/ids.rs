@@ -55,9 +55,9 @@ macro_rules! define_id {
             /// workspace are always far below that bound.
             #[inline]
             fn from(raw: usize) -> Self {
-                // lint:allow(G3): `From` cannot return a Result; the
-                // documented panic fires only past 4 billion entities,
-                // orders of magnitude above any catalog in this repo.
+                // `From` cannot return a Result; the documented panic
+                // fires only past 4 billion entities, orders of
+                // magnitude above any catalog in this repo.
                 Self(u32::try_from(raw).expect("id overflows u32"))
             }
         }

@@ -92,6 +92,67 @@ pub struct SourceSite {
     pub what: String,
 }
 
+/// Side-effect classes the purity engine tracks, beyond the
+/// nondeterminism sources above. A function carrying (or reaching) one
+/// of these is *effectful*: its work is observable outside its
+/// arguments, so it can never be a shard-merge or replay function (G4)
+/// and may not run inside a `core::par` worker closure (G5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EffectKind {
+    /// File, socket, or std-stream IO (`fs::write`, `.write_all(..)`,
+    /// `println!`, …).
+    Io,
+    /// Process-global state: environment, process control
+    /// (`env::var`, `process::exit`, …).
+    Global,
+}
+
+impl EffectKind {
+    /// Stable identifier used in JSON and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            EffectKind::Io => "io",
+            EffectKind::Global => "global",
+        }
+    }
+}
+
+/// One detected effect site inside a function.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EffectSite {
+    /// 1-based line number.
+    pub line: usize,
+    /// Effect class.
+    pub kind: EffectKind,
+    /// What tripped it (`fs::write`, `println!`, `write_all`, …).
+    pub what: String,
+    /// True when the site sits inside a `core::par` worker closure
+    /// (see [`Call::in_par`]) — a direct G5 hit.
+    pub in_par: bool,
+}
+
+/// One `use` declaration binding, flattened from the use tree:
+/// `use a::b::{c, d as e, f::*};` yields three imports. Globs carry an
+/// empty `alias`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Module path whose scope the `use` appears in (inline `mod`
+    /// scopes included; fn-scoped `use`s attribute to the module,
+    /// which over-approximates their scope — the sound direction).
+    pub module: String,
+    /// Path segments as written (`["std", "collections", "HashMap"]`).
+    /// `crate`/`self`/`super` prefixes are kept verbatim; the resolver
+    /// normalizes them against `module`.
+    pub path: Vec<String>,
+    /// The name this import binds in the module's scope: the last path
+    /// segment, or the `as` rename. Empty for glob imports.
+    pub alias: String,
+    /// True for `use a::b::*;`.
+    pub glob: bool,
+    /// 1-based line of the binding.
+    pub line: usize,
+}
+
 /// An unresolved call site.
 #[derive(Debug, Clone)]
 pub struct Call {
@@ -103,6 +164,11 @@ pub struct Call {
     pub is_method: bool,
     /// True specifically for `self.name(..)`.
     pub on_self: bool,
+    /// True when the call site sits inside the argument list of a
+    /// `core::par` dispatch (`map_indexed`/`try_map_indexed`/
+    /// `par_map_indexed`) — i.e. inside a worker closure. G5 checks
+    /// these calls against the purity classification.
+    pub in_par: bool,
     /// 1-based line number.
     pub line: usize,
 }
@@ -135,10 +201,22 @@ pub struct FnItem {
     pub self_type: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
+    /// True when the signature takes `&mut` (receiver or parameter):
+    /// the function mutates caller-visible state through its arguments.
+    /// Distinguishes *locally-mutating* from *pure* in the purity
+    /// classification; neither is effectful.
+    pub sig_mut: bool,
+    /// True when the signature takes a `self` receiver. Associated fns
+    /// without one (`Opts::parse()`-style constructors) can never be
+    /// the target of a `recv.name(..)` method call, so the resolver's
+    /// opaque-method fallback excludes them.
+    pub has_self: bool,
     /// Unresolved call sites, in source order.
     pub calls: Vec<Call>,
     /// Detected sources, in source order.
     pub sources: Vec<SourceSite>,
+    /// Detected effect sites (IO / globals), in source order.
+    pub effects: Vec<EffectSite>,
     /// Count of raw index expressions (`x[i]`): recorded as a
     /// panic-capability signal in the graph JSON but not enforced by
     /// G3 (slice indexing is ubiquitous and mostly bounds-proven).
@@ -158,6 +236,13 @@ pub struct FileExtract {
     pub fns: Vec<FnItem>,
     /// Types this file `impl`s or declares as traits.
     pub impl_types: BTreeSet<String>,
+    /// `struct` / `enum` declarations. Together with [`Self::impl_types`]
+    /// these are the type names *visible* to the engine; a type-shaped
+    /// qualifier matching neither (a macro-generated id type, an
+    /// unlisted foreign type) provably has no visible associated fns.
+    pub decl_types: BTreeSet<String>,
+    /// Flattened `use` declarations, in source order.
+    pub imports: Vec<UseImport>,
 }
 
 /// Maps a workspace-relative path to a module path: `crates/spec/src/
@@ -196,6 +281,34 @@ pub fn module_path(rel: &str) -> String {
     }
     out.join("::")
 }
+
+/// Method names that perform IO on their receiver (std `Read`/`Write`
+/// and socket configuration). Matched on opaque receivers, so a
+/// workspace method sharing one of these names is flagged too — a
+/// sound over-approximation for the purity engine (extra effects can
+/// only demote a classification toward effectful, never hide one).
+const IO_METHODS: &[&str] = &[
+    "accept",
+    "flush",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "set_nonblocking",
+    "sync_all",
+    "write_all",
+    "write_fmt",
+];
+
+/// Std-stream printing macros (each is an IO effect).
+const IO_MACROS: &[&str] = &["dbg", "eprint", "eprintln", "print", "println"];
+
+/// Type qualifiers whose associated fns open files or sockets.
+const IO_TYPES: &[&str] = &["File", "OpenOptions", "TcpListener", "TcpStream", "UdpSocket"];
+
+/// `core::par` dispatch points: a call inside their argument list runs
+/// inside a worker closure (G5's scope).
+const PAR_ENTRIES: &[&str] = &["map_indexed", "par_map_indexed", "try_map_indexed"];
 
 /// Method names that iterate their receiver.
 const ITER_METHODS: &[&str] = &[
@@ -303,7 +416,25 @@ fn tokenize(lines: &[Line], skip: &[bool]) -> Vec<(Tok, usize)> {
                 while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                toks.push((Tok::I(chars[start..i].iter().collect()), idx + 1));
+                let mut word: String = chars[start..i].iter().collect();
+                // Raw identifier (`r#type`, `r#fn`): keep the whole
+                // `r#ident` as one token so it is never mistaken for
+                // the keyword it escapes, and definition/call sites
+                // agree on the name.
+                if word == "r"
+                    && i + 1 < n
+                    && chars[i] == '#'
+                    && (chars[i + 1].is_ascii_alphabetic() || chars[i + 1] == '_')
+                {
+                    i += 1; // consume `#`
+                    let rstart = i;
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    word.push('#');
+                    word.extend(&chars[rstart..i]);
+                }
+                toks.push((Tok::I(word), idx + 1));
             } else {
                 toks.push((Tok::P(c), idx + 1));
                 i += 1;
@@ -442,6 +573,11 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
     let mut impl_hdr: Option<ImplHdr> = None;
     // For-loop header capture: Some(seen_in) while inside one.
     let mut for_hdr: Option<bool> = None;
+    // Paren nesting, and the depths at which a `core::par` dispatch's
+    // argument list opened: while the innermost entry is active, call
+    // sites run inside a worker closure (G5's scope).
+    let mut paren_depth: usize = 0;
+    let mut par_regions: Vec<usize> = Vec::new();
 
     #[derive(Debug, Default)]
     struct ImplHdr {
@@ -530,6 +666,42 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                 }
                 i += 1;
             }
+            Tok::P('(') => {
+                // Turbofish call (`helper::<u64>(..)` / `x.collect::<V>(..)`):
+                // the name token is not adjacent to the `(`, so the
+                // identifier arm below misses it.
+                if let Some(ni) = turbofish_call_before(&toks, i) {
+                    if let Tok::I(name) = toks[ni].0.clone() {
+                        let cline = toks[ni].1;
+                        let prev_dot = ni > 0 && toks[ni - 1].0 == Tok::P('.');
+                        let (is_method, on_self, qualifier) = if prev_dot {
+                            let recv = receiver_before(&toks, ni - 1);
+                            (true, recv.as_deref() == Some("self"), String::new())
+                        } else {
+                            (false, false, path_qualifier_before(&toks, ni))
+                        };
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.calls.push(Call {
+                                name,
+                                qualifier,
+                                is_method,
+                                on_self,
+                                in_par: !par_regions.is_empty(),
+                                line: cline,
+                            });
+                        }
+                    }
+                }
+                paren_depth += 1;
+                i += 1;
+            }
+            Tok::P(')') => {
+                paren_depth = paren_depth.saturating_sub(1);
+                while par_regions.last().is_some_and(|d| *d > paren_depth) {
+                    par_regions.pop();
+                }
+                i += 1;
+            }
             Tok::P(_) => {
                 i += 1;
             }
@@ -585,8 +757,11 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                     module: module_of(&module, &stack),
                                     self_type,
                                     line,
+                                    sig_mut: false,
+                                    has_self: false,
                                     calls: Vec::new(),
                                     sources: Vec::new(),
+                                    effects: Vec::new(),
                                     index_sites: 0,
                                     locks: Vec::new(),
                                 });
@@ -617,8 +792,76 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                         i += 1;
                         continue;
                     }
+                    "struct" | "enum" if pend_fn.is_none() => {
+                        if let Some((Tok::I(name), _)) = toks.get(i + 1) {
+                            out.decl_types.insert(name.clone());
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        continue;
+                    }
                     "impl" if pend_fn.is_none() => {
                         impl_hdr = Some(ImplHdr::default());
+                        i += 1;
+                        continue;
+                    }
+                    "use" => {
+                        // Parse the whole use tree here so its `{`/`}`
+                        // never reach the scope tracker.
+                        i = parse_use(&toks, i + 1, &module_of(&module, &stack), &mut out.imports);
+                        continue;
+                    }
+                    "macro_rules" if next_is('!') => {
+                        // A macro_rules! body is a template, not items:
+                        // extracting its fns would mint phantom nodes
+                        // with metavariable-mangled qnames (`$name` →
+                        // `name`) that the fallback rung then wires into
+                        // real call chains. Skip the balanced body; the
+                        // expanded code is analyzed where it is visible.
+                        let mut j = i + 2;
+                        while j < n && toks[j].0 != Tok::P('{') {
+                            j += 1;
+                        }
+                        let mut bal = 0usize;
+                        while j < n {
+                            match toks[j].0 {
+                                Tok::P('{') => bal += 1,
+                                Tok::P('}') => {
+                                    bal -= 1;
+                                    if bal == 0 {
+                                        j += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                    "mut" if in_fn_sig && i > 0 && toks[i - 1].0 == Tok::P('&') => {
+                        if let Some(fi) = pend_fn {
+                            out.fns[fi].sig_mut = true;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // A `self` receiver: `self` followed by `,` / `)`, or
+                    // a typed receiver `self: Box<Self>` (single colon).
+                    // `self::Path` in a parameter type has `::` and is
+                    // not a receiver.
+                    "self" if in_fn_sig => {
+                        let next_single_colon = toks.get(i + 1).map(|(t, _)| t)
+                            == Some(&Tok::P(':'))
+                            && toks.get(i + 2).map(|(t, _)| t) != Some(&Tok::P(':'));
+                        if (next_is(',') || next_is(')') || next_single_colon) && pend_fn.is_some()
+                        {
+                            if let Some(fi) = pend_fn {
+                                out.fns[fi].has_self = true;
+                            }
+                        }
                         i += 1;
                         continue;
                     }
@@ -639,6 +882,21 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                 if let Some((kind, what)) = kind_hit {
                     if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
                         f.sources.push(SourceSite { line, kind, what });
+                    }
+                }
+
+                // Std-stream printing macros are IO effects. (`log!` is
+                // deliberately absent: leveled obs logging is the
+                // sanctioned observability channel, DESIGN §6.)
+                if IO_MACROS.contains(&w.as_str()) && next_is('!') {
+                    let in_par = !par_regions.is_empty();
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.effects.push(EffectSite {
+                            line,
+                            kind: EffectKind::Io,
+                            what: format!("{w}!"),
+                            in_par,
+                        });
                     }
                 }
 
@@ -679,12 +937,24 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 f.locks.push(LockSite { name, line, held });
                             }
                         }
+                        if IO_METHODS.contains(&w.as_str()) {
+                            let in_par = !par_regions.is_empty();
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.effects.push(EffectSite {
+                                    line,
+                                    kind: EffectKind::Io,
+                                    what: w.clone(),
+                                    in_par,
+                                });
+                            }
+                        }
                         if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
                             f.calls.push(Call {
                                 name: w.clone(),
                                 qualifier: String::new(),
                                 is_method: true,
                                 on_self,
+                                in_par: !par_regions.is_empty(),
                                 line,
                             });
                         }
@@ -714,15 +984,58 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 });
                             }
                         }
+                        // Effectful std paths: file/socket IO and
+                        // process-global reads, by qualifier tail.
+                        let qlast = qualifier.rsplit("::").next().unwrap_or("");
+                        let effect = if qlast == "fs" {
+                            Some((EffectKind::Io, format!("fs::{w}")))
+                        } else if IO_TYPES.contains(&qlast) {
+                            Some((EffectKind::Io, format!("{qlast}::{w}")))
+                        } else if qlast == "io"
+                            && matches!(w.as_str(), "stdin" | "stdout" | "stderr" | "copy")
+                        {
+                            Some((EffectKind::Io, format!("io::{w}")))
+                        } else if qlast == "env"
+                            && matches!(w.as_str(), "set_var" | "remove_var")
+                        {
+                            // Env *reads* (`env::var`) are deliberately not
+                            // effects: the environment is constant for the
+                            // life of the process, so a read returns the
+                            // same value in every shard and every worker —
+                            // it is configuration, like a CLI flag. Only
+                            // mutation is a process-global effect.
+                            Some((EffectKind::Global, format!("env::{w}")))
+                        } else if qlast == "process" {
+                            Some((EffectKind::Global, format!("process::{w}")))
+                        } else {
+                            None
+                        };
+                        if let Some((kind, what)) = effect {
+                            let in_par = !par_regions.is_empty();
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.effects.push(EffectSite {
+                                    line,
+                                    kind,
+                                    what,
+                                    in_par,
+                                });
+                            }
+                        }
                         if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
                             f.calls.push(Call {
                                 name: w.clone(),
                                 qualifier,
                                 is_method: false,
                                 on_self: false,
+                                in_par: !par_regions.is_empty(),
                                 line,
                             });
                         }
+                    }
+                    // A `core::par` dispatch opens a worker-closure
+                    // region covering its argument list.
+                    if PAR_ENTRIES.contains(&w.as_str()) {
+                        par_regions.push(paren_depth + 1);
                     }
                 }
                 // `thread::Builder` (no call parens on the path tail).
@@ -813,22 +1126,183 @@ fn receiver_before(toks: &[(Tok, usize)], dot: usize) -> Option<String> {
     }
 }
 
-/// The `a::b` qualifier preceding the call-name token at `at`.
+/// The `a::b` qualifier preceding the call-name token at `at`. Walks
+/// back over turbofish generic-argument groups, so `Vec::<u64>::new`
+/// yields qualifier `Vec` rather than losing the path (which used to
+/// degrade the call to an any-name `new`).
 fn path_qualifier_before(toks: &[(Tok, usize)], at: usize) -> String {
     let mut segs: Vec<String> = Vec::new();
     let mut j = at;
     while j >= 2 && toks[j - 1].0 == Tok::P(':') && toks[j - 2].0 == Tok::P(':') {
-        if j >= 3 {
-            if let Tok::I(w) = &toks[j - 3].0 {
-                segs.push(w.clone());
-                j -= 3;
-                continue;
+        // `j - 2` is one past the previous path element; balance back
+        // over a `::<..>` turbofish group when one precedes the `::`.
+        let mut k = j - 2;
+        if k >= 1 && toks[k - 1].0 == Tok::P('>') {
+            let mut depth = 1usize;
+            let mut m = k - 1;
+            loop {
+                let Some(prev) = m.checked_sub(1) else { break };
+                m = prev;
+                match &toks[m].0 {
+                    Tok::P('>') => depth += 1,
+                    Tok::P('<') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
             }
+            if depth != 0 || m < 2 || toks[m - 1].0 != Tok::P(':') || toks[m - 2].0 != Tok::P(':')
+            {
+                // Not a turbofish (e.g. a `<T as Trait>::f` qualified
+                // path, or expression `>`): stop, as before.
+                break;
+            }
+            k = m - 2;
         }
-        break;
+        match k.checked_sub(1).map(|p| &toks[p].0) {
+            Some(Tok::I(w)) => {
+                segs.push(w.clone());
+                j = k - 1;
+            }
+            _ => break,
+        }
     }
     segs.reverse();
     segs.join("::")
+}
+
+/// Detects a turbofish call whose `(` is at `open` — `name::<T>(..)` —
+/// and returns the index of the `name` token. The identifier arm of the
+/// extractor only sees `name(`-adjacent calls, so without this the call
+/// would be dropped entirely (a missed edge).
+fn turbofish_call_before(toks: &[(Tok, usize)], open: usize) -> Option<usize> {
+    let mut k = open.checked_sub(1)?;
+    if toks[k].0 != Tok::P('>') {
+        return None;
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        k = k.checked_sub(1)?;
+        match &toks[k].0 {
+            Tok::P('>') => depth += 1,
+            Tok::P('<') => depth -= 1,
+            _ => {}
+        }
+    }
+    // Require the `::` introducing the generic args, then the name.
+    if k < 3 || toks[k - 1].0 != Tok::P(':') || toks[k - 2].0 != Tok::P(':') {
+        return None;
+    }
+    match &toks[k - 3].0 {
+        Tok::I(w) if !is_keyword(w) => Some(k - 3),
+        _ => None,
+    }
+}
+
+/// Parses the use tree following a `use` keyword (`i` points just past
+/// it), flattening groups, renames, and globs into [`UseImport`]s for
+/// `module`'s scope. Returns the token index just past the terminating
+/// `;` (error recovery: end of stream).
+fn parse_use(
+    toks: &[(Tok, usize)],
+    mut i: usize,
+    module: &str,
+    out: &mut Vec<UseImport>,
+) -> usize {
+    let n = toks.len();
+    i = parse_use_tree(toks, i, &[], module, out);
+    while i < n {
+        if toks[i].0 == Tok::P(';') {
+            return i + 1;
+        }
+        i += 1;
+    }
+    n
+}
+
+/// One branch of a use tree, rooted at path prefix `base`. Returns the
+/// index just past the branch (before any `,` / `}` / `;`).
+fn parse_use_tree(
+    toks: &[(Tok, usize)],
+    mut i: usize,
+    base: &[String],
+    module: &str,
+    out: &mut Vec<UseImport>,
+) -> usize {
+    let n = toks.len();
+    let mut path: Vec<String> = base.to_vec();
+    loop {
+        let Some((Tok::I(seg), line)) = toks.get(i) else {
+            return i; // `}` / `,` / `;` / end: nothing (more) to bind
+        };
+        let line = *line;
+        if seg == "as" {
+            return i;
+        }
+        // `use a::b::{self, c}`: `self` names the base path itself (its
+        // binding falls out of `path.last()` below). A leading `self::`
+        // prefix is kept verbatim for the resolver to normalize.
+        if !(seg == "self" && !path.is_empty()) {
+            path.push(seg.clone());
+        }
+        // `::` continuation: another segment, a glob, or a group.
+        if i + 2 < n && toks[i + 1].0 == Tok::P(':') && toks[i + 2].0 == Tok::P(':') {
+            i += 3;
+            match toks.get(i) {
+                Some((Tok::P('*'), _)) => {
+                    out.push(UseImport {
+                        module: module.to_string(),
+                        path,
+                        alias: String::new(),
+                        glob: true,
+                        line,
+                    });
+                    return i + 1;
+                }
+                Some((Tok::P('{'), _)) => {
+                    i += 1;
+                    loop {
+                        match toks.get(i) {
+                            Some((Tok::P('}'), _)) => return i + 1,
+                            Some((Tok::P(','), _)) => i += 1,
+                            Some(_) => {
+                                let next = parse_use_tree(toks, i, &path, module, out);
+                                // Always advance, even on malformed
+                                // input, so the group scan terminates.
+                                i = next.max(i + 1);
+                            }
+                            None => return n,
+                        }
+                    }
+                }
+                _ => continue,
+            }
+        }
+        // Leaf segment: optional `as` rename, then emit the binding.
+        let mut alias = path.last().cloned().unwrap_or_default();
+        let mut next = i + 1;
+        if let Some((Tok::I(a), _)) = toks.get(next) {
+            if a == "as" {
+                if let Some((Tok::I(renamed), _)) = toks.get(next + 1) {
+                    alias = renamed.clone();
+                    next += 2;
+                }
+            }
+        }
+        if !path.is_empty() {
+            out.push(UseImport {
+                module: module.to_string(),
+                path,
+                alias,
+                glob: false,
+                line,
+            });
+        }
+        return next;
+    }
 }
 
 /// Whether the statement containing token `at` starts with `let`
@@ -1063,5 +1537,193 @@ fn g() {}
         let fx = ex("crates/x/src/lib.rs", src);
         assert_eq!(fx.fns[0].index_sites, 2);
         assert!(fx.fns[0].sources.is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_stay_whole() {
+        let src = "
+fn r#type() -> u32 { 1 }
+fn f() { r#type(); }
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = fx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["r#type", "f"], "{fx:#?}");
+        let f = &fx.fns[1];
+        assert_eq!(f.calls.len(), 1, "{f:#?}");
+        assert_eq!(f.calls[0].name, "r#type");
+        // Crucially: no spurious call named `r` and no phantom `type`
+        // keyword confusing the scope machine.
+        assert!(f.calls.iter().all(|c| c.name != "r"));
+    }
+
+    #[test]
+    fn turbofish_paths_keep_their_qualifier() {
+        let src = "fn f() { let v = Vec::<u64>::new(); q::helper::<u64>(1); }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let calls = &fx.fns[0].calls;
+        assert!(
+            calls.iter().any(|c| c.name == "new" && c.qualifier == "Vec"),
+            "{calls:#?}"
+        );
+        assert!(
+            calls
+                .iter()
+                .any(|c| c.name == "helper" && c.qualifier == "q" && !c.is_method),
+            "{calls:#?}"
+        );
+        // No degraded any-name `new` call without its qualifier.
+        assert!(calls.iter().all(|c| c.name != "new" || c.qualifier == "Vec"));
+    }
+
+    #[test]
+    fn turbofish_method_calls_are_methods() {
+        let src = "fn f(xs: &[u32]) -> Vec<u32> { xs.iter().map(double).collect::<Vec<u32>>() }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let calls = &fx.fns[0].calls;
+        assert!(
+            calls.iter().any(|c| c.name == "collect" && c.is_method),
+            "{calls:#?}"
+        );
+    }
+
+    #[test]
+    fn use_trees_flatten_to_imports() {
+        let src = "
+use std::collections::{HashMap, BTreeMap as Sorted};
+use specweb_core::par::*;
+use crate::deps::DepMatrix;
+use a::b::{self, c};
+mod inner {
+    use super::helper;
+}
+fn f() {}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let got: Vec<(String, String, String, bool)> = fx
+            .imports
+            .iter()
+            .map(|u| {
+                (
+                    u.module.clone(),
+                    u.path.join("::"),
+                    u.alias.clone(),
+                    u.glob,
+                )
+            })
+            .collect();
+        let x = |p: &str, a: &str, g: bool| {
+            ("x".to_string(), p.to_string(), a.to_string(), g)
+        };
+        assert_eq!(
+            got,
+            [
+                x("std::collections::HashMap", "HashMap", false),
+                x("std::collections::BTreeMap", "Sorted", false),
+                x("specweb_core::par", "", true),
+                x("crate::deps::DepMatrix", "DepMatrix", false),
+                x("a::b", "b", false),
+                x("a::b::c", "c", false),
+                (
+                    "x::inner".to_string(),
+                    "super::helper".to_string(),
+                    "helper".to_string(),
+                    false
+                ),
+            ],
+            "{fx:#?}"
+        );
+        // The group braces never perturb scope tracking: `f` is still
+        // module-level.
+        assert_eq!(fx.fns[0].qname, "x::f");
+    }
+
+    #[test]
+    fn sig_mut_flags_mut_borrows_only() {
+        let src = "
+fn a(&mut self) {}
+fn b(x: &mut u32) {}
+fn c(mut x: u32) {}
+fn d(x: &u32) { let mut y = 0; let r = &mut y; }
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let by: Vec<(String, bool)> = fx.fns.iter().map(|f| (f.name.clone(), f.sig_mut)).collect();
+        assert_eq!(
+            by,
+            [
+                ("a".to_string(), true),
+                ("b".to_string(), true),
+                ("c".to_string(), false),
+                ("d".to_string(), false),
+            ],
+            "{fx:#?}"
+        );
+    }
+
+    #[test]
+    fn effect_sites_io_and_global() {
+        let src = "
+fn f() {
+    println!( );
+    fs::write(p, b);
+    std::env::var( );
+    env::set_var(k, v);
+    out.write_all(buf);
+    File::open(p);
+    process::exit(1);
+}
+fn quiet(x: u32) -> u32 { x + 1 }
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let whats: Vec<(&str, &str)> = fx.fns[0]
+            .effects
+            .iter()
+            .map(|e| (e.kind.id(), e.what.as_str()))
+            .collect();
+        assert_eq!(
+            whats,
+            [
+                ("io", "println!"),
+                ("io", "fs::write"),
+                // env::var is absent: env reads are configuration, not
+                // effects (constant per process).
+                ("global", "env::set_var"),
+                ("io", "write_all"),
+                ("io", "File::open"),
+                ("global", "process::exit"),
+            ],
+            "{fx:#?}"
+        );
+        assert!(fx.fns[1].effects.is_empty());
+    }
+
+    #[test]
+    fn log_macro_is_not_an_effect() {
+        let src = "fn f() { log!(Level::Info, \"x\"); }";
+        let fx = ex("crates/x/src/lib.rs", src);
+        assert!(fx.fns[0].effects.is_empty(), "{fx:#?}");
+    }
+
+    #[test]
+    fn par_regions_mark_worker_closure_calls() {
+        let src = "
+fn f(pool: &Pool) {
+    before();
+    pool.map_indexed(&xs, |_, x| helper(deep(x)));
+    after();
+}
+";
+        let fx = ex("crates/x/src/lib.rs", src);
+        let flag = |n: &str| {
+            fx.fns[0]
+                .calls
+                .iter()
+                .find(|c| c.name == n)
+                .map(|c| c.in_par)
+        };
+        assert_eq!(flag("before"), Some(false));
+        assert_eq!(flag("map_indexed"), Some(false), "{fx:#?}");
+        assert_eq!(flag("helper"), Some(true));
+        assert_eq!(flag("deep"), Some(true));
+        assert_eq!(flag("after"), Some(false));
     }
 }

@@ -2,28 +2,57 @@
 //! into edges, plus a deterministic JSON serialization.
 //!
 //! Name resolution is deliberately **over-approximate** (DESIGN §9): an
-//! edge we cannot rule out is an edge we keep. The ladder, most to
-//! least precise:
+//! edge we cannot rule out is an edge we keep. The import-aware ladder,
+//! most to least precise (per-rung counts are reported by `--stats` and
+//! serialized in the graph's `resolution` section):
 //!
-//! 1. `self.m(..)` where the enclosing `impl`/`trait` type defines `m`
-//!    → exactly those candidates;
-//! 2. `Type::f(..)` where `Type` is a known impl/trait type → that
+//! 1. `self.m(..)` / `Self::f(..)` where the enclosing `impl`/`trait`
+//!    type defines the name → exactly those candidates;
+//! 2. the first path segment (or the bare name, for unqualified calls)
+//!    is bound by a **named `use` import** in the calling module → the
+//!    import's target scope, with `as`-renames followed to the original
+//!    name. Imports of `std`/foreign paths resolve to *zero* workspace
+//!    candidates — the import tells us exactly where the name comes
+//!    from, and it is not workspace code;
+//! 3. `Type::f(..)` where `Type` is a known impl/trait type → that
 //!    type's `f`;
-//! 3. `module::f(..)` where the qualifier suffix-matches a known module
-//!    path → that module's `f`;
-//! 4. unqualified `f(..)` → same-module `f` when one exists;
-//! 5. everything else (method calls on unknown receivers, foreign-path
-//!    calls, unresolved free calls) → **every** workspace fn named `f`.
+//! 4. `module::f(..)` where the qualifier suffix-matches a known module
+//!    path (`crate::`/`specweb_*::` prefixes normalized) → that
+//!    module's `f`; unqualified `f(..)` → same-module `f` when one
+//!    exists (checked before rung 2 — module items shadow imports in
+//!    practice and the union would be unsound in neither direction);
+//! 5. a **glob import** (`use m::*;`) in the calling module whose
+//!    target scope defines the name → those candidates;
+//! 6. a std/foreign qualifier from the denylist → zero candidates
+//!    (`Vec::new(..)` never reenters workspace code directly; closures
+//!    it is handed are already attributed to the defining fn);
+//! 7. a type-shaped qualifier (`T::f` with an UpperCamelCase `T`) that
+//!    survived the rungs above:
+//!    a. `T` is a declared workspace type or a std trait in UFCS
+//!       position (`Default::default()`) → the **assoc fallback**:
+//!       every workspace fn declared inside some `impl`/`trait` block
+//!       and named `f`. `T::f` can only name an associated item, so
+//!       free fns are provably not candidates;
+//!    b. `T` is declared nowhere visible (macro-generated id types,
+//!       unlisted foreign types) → zero candidates — no visible fn can
+//!       be its associated item;
+//! 8. everything else → the **any-name fallback**: every workspace fn
+//!    named `f` for free/path calls; for method calls on opaque
+//!    receivers, every workspace method named `m` that takes `self` (a
+//!    `recv.m(..)` call cannot dispatch to a self-less constructor).
 //!
-//! Rung 5 is the conservative fallback the ISSUE calls for: `x.get(..)`
-//! on an opaque receiver edges to every `get` in the workspace. That
-//! can only create false reachability (handled by `lint:allow` at the
-//! source site), never hide a real path — the soundness direction the
-//! whole pass is built around.
+//! Rung 8 is the conservative floor: it can only create false
+//! reachability (handled by `lint:allow` at the source site), never
+//! hide a real path — the soundness direction the whole pass is built
+//! around. The precision rungs exist to shrink it: `--stats` reports
+//! `fallback_edges` (free/path any-name edges) and
+//! `method_fallback_edges` (opaque-method edges) separately, and the
+//! golden test asserts the former shrinks ≥ 50% versus the v1
+//! name-matching resolver on the same workspace.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::extract::{FileExtract, LockSite, SourceKind, SourceSite};
+use crate::extract::{EffectSite, FileExtract, LockSite, SourceKind, SourceSite};
 
 /// The workspace crate-dependency DAG, used to prune infeasible edges:
 /// a fn in crate A cannot call a fn in crate B unless A (transitively)
@@ -161,6 +190,143 @@ fn is_std_qualifier(q: &str) -> bool {
     matches!(first, "std" | "alloc") || STD_QUALIFIERS.contains(&last)
 }
 
+/// Std traits whose UFCS form (`Default::default()`, `From::from(..)`)
+/// can dispatch into a manual workspace impl. Qualified calls through
+/// these keep the assoc-restricted fallback instead of resolving to
+/// zero, even though the trait itself is declared nowhere visible.
+const STD_TRAITS: &[&str] = &[
+    "AsMut", "AsRef", "Borrow", "BorrowMut", "Clone", "Debug", "Default", "Deref", "DerefMut",
+    "Display", "Eq", "Extend", "From", "FromIterator", "FromStr", "Hash", "Into", "IntoIterator",
+    "Iterator", "Ord", "PartialEq", "PartialOrd", "Read", "ToOwned", "ToString", "TryFrom",
+    "TryInto", "Write",
+];
+
+/// Whether a path segment is type-shaped by Rust naming convention
+/// (UpperCamelCase initial). Like the rest of the std-only engine this
+/// leans on convention; a lowercase-named type would fall through to
+/// the conservative any-name fallback, which is the sound direction.
+fn type_shaped(seg: &str) -> bool {
+    seg.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// The resolution rungs, in ladder order. Every call site is attributed
+/// to exactly one (the rung that decided its candidate set).
+pub const RUNGS: &[&str] = &[
+    "self_method",
+    "self_type",
+    "module_local",
+    "import",
+    "import_foreign",
+    "type_qualified",
+    "module_qualified",
+    "glob",
+    "std_foreign",
+    "assoc_fallback",
+    "type_unknown",
+    "fallback",
+    "method_fallback",
+];
+
+/// Per-build resolution telemetry: how precise the ladder was on this
+/// workspace. Serialized into the graph JSON (`resolution` section) and
+/// summarized by `--stats`; the precision acceptance test asserts
+/// `fallback_edges` shrinks when the import rungs are enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Total call sites resolved.
+    pub calls: usize,
+    /// Call sites decided per rung (all [`RUNGS`] keys present).
+    pub per_rung: BTreeMap<&'static str, usize>,
+    /// Distinct edges inserted by the free/path any-name fallback.
+    pub fallback_edges: usize,
+    /// Distinct edges inserted by the opaque-method fallback.
+    pub method_fallback_edges: usize,
+}
+
+impl ResolutionStats {
+    fn new() -> ResolutionStats {
+        let mut s = ResolutionStats::default();
+        for r in RUNGS {
+            s.per_rung.insert(r, 0);
+        }
+        s
+    }
+
+    fn bump(&mut self, rung: &'static str) {
+        self.calls += 1;
+        *self.per_rung.entry(rung).or_insert(0) += 1;
+    }
+
+    /// Renders the stats as a single-line JSON object, shared between
+    /// the graph JSON's `resolution` section and the lint report (so CI
+    /// can diff the two for free).
+    pub fn to_json_obj(&self) -> String {
+        let rungs = RUNGS
+            .iter()
+            .map(|r| format!("\"{r}\": {}", self.per_rung.get(r).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"calls\": {}, \"fallback_edges\": {}, \
+             \"method_fallback_edges\": {}, \"rungs\": {{{rungs}}}}}",
+            self.calls, self.fallback_edges, self.method_fallback_edges
+        )
+    }
+}
+
+/// A normalized `use` target: either a path into the workspace
+/// (segments rebased onto qname space: `crate::deps` in crate `spec`
+/// becomes `["spec", "deps"]`) or a foreign (std / external) path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ImportTarget {
+    Workspace(Vec<String>),
+    Foreign,
+}
+
+/// Rebases an import path onto qname space. `crate::` roots at the
+/// caller's crate, `self::`/`super::` walk the module path, and
+/// `specweb_x::` maps to workspace crate `x` (the package-name idiom
+/// for cross-crate deps). Anything else is foreign.
+fn normalize_import(
+    path: &[String],
+    module: &str,
+    workspace_crates: &BTreeSet<&str>,
+) -> ImportTarget {
+    let Some(first) = path.first() else {
+        return ImportTarget::Foreign;
+    };
+    let mut segs: Vec<String> = match first.as_str() {
+        "crate" => vec![crate_of(module).to_string()],
+        "self" => module.split("::").map(str::to_string).collect(),
+        "super" => {
+            let mut parts: Vec<String> = module.split("::").map(str::to_string).collect();
+            parts.pop();
+            parts
+        }
+        w => {
+            if let Some(stripped) = w.strip_prefix("specweb_") {
+                if workspace_crates.contains(stripped) {
+                    vec![stripped.to_string()]
+                } else {
+                    return ImportTarget::Foreign;
+                }
+            } else if w == "specweb" && workspace_crates.contains("specweb") {
+                vec![w.to_string()]
+            } else {
+                return ImportTarget::Foreign;
+            }
+        }
+    };
+    for s in &path[1..] {
+        if s == "super" {
+            segs.pop();
+        } else {
+            segs.push(s.clone());
+        }
+    }
+    ImportTarget::Workspace(segs)
+}
+
 /// One resolved function node.
 #[derive(Debug, Clone)]
 pub struct Node {
@@ -174,14 +340,71 @@ pub struct Node {
     pub name: String,
     /// Enclosing impl/trait type, when any.
     pub self_type: Option<String>,
+    /// True when the signature takes `&mut` (locally-mutating).
+    pub sig_mut: bool,
     /// Resolved callees (qnames).
     pub calls: BTreeSet<String>,
+    /// Callees resolved from call sites inside a `core::par` worker
+    /// closure (always a subset of `calls`), with the first such call
+    /// line — G5's edge set.
+    pub par_calls: BTreeMap<String, usize>,
     /// Nondeterminism / hazard sources, deduped by (line, kind).
     pub sources: Vec<SourceSite>,
+    /// Direct effect sites (IO / globals), deduped by (line, kind).
+    pub effects: Vec<EffectSite>,
     /// Raw index expressions (recorded, not enforced).
     pub index_sites: usize,
     /// Lock acquisitions, in source order.
     pub locks: Vec<LockSite>,
+}
+
+/// Per-module import scope, indexed for the resolver.
+struct ImportScopes {
+    /// (module, alias) → normalized targets (unioned over cfg twins /
+    /// duplicate imports — the sound direction).
+    named: BTreeMap<(String, String), BTreeSet<ImportTarget>>,
+    /// module → workspace glob-target scopes.
+    globs: BTreeMap<String, BTreeSet<Vec<String>>>,
+}
+
+impl ImportScopes {
+    fn build(files: &[FileExtract], workspace_crates: &BTreeSet<&str>) -> ImportScopes {
+        let mut named: BTreeMap<(String, String), BTreeSet<ImportTarget>> = BTreeMap::new();
+        let mut globs: BTreeMap<String, BTreeSet<Vec<String>>> = BTreeMap::new();
+        for fx in files {
+            for u in &fx.imports {
+                let target = normalize_import(&u.path, &u.module, workspace_crates);
+                if u.glob {
+                    // Foreign globs add no workspace candidates and
+                    // must not short-circuit anything: drop them.
+                    if let ImportTarget::Workspace(segs) = target {
+                        globs.entry(u.module.clone()).or_default().insert(segs);
+                    }
+                } else {
+                    named
+                        .entry((u.module.clone(), u.alias.clone()))
+                        .or_default()
+                        .insert(target);
+                }
+            }
+        }
+        ImportScopes { named, globs }
+    }
+}
+
+/// What an import-scope lookup decided.
+enum ImportHit<'a> {
+    /// The alias is imported and yields these candidates (possibly
+    /// empty-but-confident: the target scope is fully visible).
+    Resolved(Vec<&'a str>),
+    /// The alias is imported, every target is foreign: zero candidates.
+    Foreign,
+    /// The alias is imported but the target scope is not one the
+    /// extractor can enumerate (e.g. a type with out-of-module impls):
+    /// keep climbing the ladder.
+    Inconclusive,
+    /// No such import in this module's scope.
+    None,
 }
 
 /// The resolved workspace call graph.
@@ -202,11 +425,26 @@ impl CallGraph {
     /// Builds the graph, pruning candidate edges that contradict the
     /// crate-dependency DAG (see [`CrateDeps`]).
     pub fn build_with_deps(files: &[FileExtract], deps: &CrateDeps) -> CallGraph {
-        // Index pass: name → qnames, (type, name) → qnames,
-        // module → set of fn names, known module paths.
+        CallGraph::build_with_opts(files, deps, true).0
+    }
+
+    /// Full build: `use_imports` toggles every precision rung this
+    /// engine added over the v1 name-matching resolver — the import,
+    /// glob, assoc-restriction and type-unknown rungs — so the
+    /// precision test can measure the fallback shrink they buy on the
+    /// same workspace.
+    pub fn build_with_opts(
+        files: &[FileExtract],
+        deps: &CrateDeps,
+        use_imports: bool,
+    ) -> (CallGraph, ResolutionStats) {
+        // Index pass.
         let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
         let mut by_type_name: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
         let mut by_module_name: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
+        // Full scope prefix (module + type/fn segments) → fns directly
+        // inside it; the lookup space for import targets.
+        let mut by_scope_name: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
         let mut modules: BTreeSet<&str> = BTreeSet::new();
         for fx in files {
             for f in &fx.fns {
@@ -221,6 +459,9 @@ impl CallGraph {
                     .entry((f.module.as_str(), f.name.as_str()))
                     .or_default()
                     .push(&f.qname);
+                if let Some((prefix, name)) = f.qname.rsplit_once("::") {
+                    by_scope_name.entry((prefix, name)).or_default().push(&f.qname);
+                }
                 modules.insert(&f.module);
             }
         }
@@ -228,82 +469,317 @@ impl CallGraph {
             .iter()
             .flat_map(|fx| fx.impl_types.iter().map(String::as_str))
             .collect();
+        // Every type name *visible* to the engine: impl'd, trait-decl'd,
+        // or struct/enum-decl'd. A type-shaped qualifier matching none
+        // of these (macro-generated id types, unlisted foreign types)
+        // provably has no associated fns in visible source, so `T::f`
+        // through it resolves to zero workspace candidates.
+        let declared_types: BTreeSet<&str> = known_types
+            .iter()
+            .copied()
+            .chain(
+                files
+                    .iter()
+                    .flat_map(|fx| fx.decl_types.iter().map(String::as_str)),
+            )
+            .collect();
+        // `T::f` can only resolve to an associated item of *some* type,
+        // so the tight fallback for type-shaped qualifiers is the assoc
+        // fns named `f` — never free fns.
+        let mut assoc_by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for fx in files {
+            for f in &fx.fns {
+                if f.self_type.is_some() {
+                    assoc_by_name.entry(&f.name).or_default().push(&f.qname);
+                }
+            }
+        }
+        // A `recv.m(..)` call can only dispatch to a fn with a `self`
+        // receiver; self-less associated fns (`Opts::parse()`-style
+        // constructors) are excluded so e.g. a std `.parse()` cannot
+        // fallback-edge into them.
         let method_qnames: BTreeSet<&str> = files
             .iter()
             .flat_map(|fx| fx.fns.iter())
-            .filter(|f| f.self_type.is_some())
+            .filter(|f| f.self_type.is_some() && f.has_self)
             .map(|f| f.qname.as_str())
             .collect();
+        let workspace_crates: BTreeSet<&str> = modules.iter().map(|m| crate_of(m)).collect();
+        let scopes = ImportScopes::build(files, &workspace_crates);
 
+        // Looks up `prefix::name` fns through a named-import binding.
+        let import_lookup = |module: &str, alias: &str, rest: &[&str], call_name: Option<&str>| {
+            if !use_imports {
+                return ImportHit::None;
+            }
+            let Some(targets) = scopes.named.get(&(module.to_string(), alias.to_string()))
+            else {
+                return ImportHit::None;
+            };
+            let mut cands: Vec<&str> = Vec::new();
+            let mut all_foreign = true;
+            let mut confident = true;
+            for t in targets {
+                let ImportTarget::Workspace(segs) = t else {
+                    continue;
+                };
+                all_foreign = false;
+                // Qualified call: the target extends with the rest of
+                // the written path and the call name. Unqualified call:
+                // the target itself names the fn (its last segment is
+                // the original name behind any `as`-rename).
+                let (prefix, name) = match call_name {
+                    Some(n) => {
+                        let mut p = segs.clone();
+                        p.extend(rest.iter().map(|s| s.to_string()));
+                        (p.join("::"), n.to_string())
+                    }
+                    None => {
+                        let Some((last, init)) = segs.split_last() else {
+                            continue;
+                        };
+                        (init.join("::"), last.clone())
+                    }
+                };
+                if let Some(v) = by_scope_name.get(&(prefix.as_str(), name.as_str())) {
+                    cands.extend(v.iter().copied());
+                } else if !modules.contains(prefix.as_str()) {
+                    // The prefix is a type (or unknown scope): impls
+                    // may live in sibling modules, so an empty lookup
+                    // here is not proof of absence.
+                    confident = false;
+                }
+            }
+            if !cands.is_empty() {
+                ImportHit::Resolved(cands)
+            } else if all_foreign {
+                ImportHit::Foreign
+            } else if confident {
+                ImportHit::Resolved(Vec::new())
+            } else {
+                ImportHit::Inconclusive
+            }
+        };
+
+        // Glob-rung lookup: candidates for `q_segs::name` through any
+        // glob-imported scope of `module`.
+        let glob_lookup = |module: &str, q_segs: &[&str], name: &str| -> Vec<&str> {
+            if !use_imports {
+                return Vec::new();
+            }
+            let Some(targets) = scopes.globs.get(module) else {
+                return Vec::new();
+            };
+            let mut cands: Vec<&str> = Vec::new();
+            for segs in targets {
+                let mut p = segs.clone();
+                p.extend(q_segs.iter().map(|s| s.to_string()));
+                if let Some(v) = by_scope_name.get(&(p.join("::").as_str(), name)) {
+                    cands.extend(v.iter().copied());
+                }
+            }
+            cands
+        };
+
+        let mut stats = ResolutionStats::new();
         let mut nodes: BTreeMap<String, Node> = BTreeMap::new();
         for fx in files {
             for f in &fx.fns {
                 let mut calls: BTreeSet<String> = BTreeSet::new();
+                let mut par_calls: BTreeMap<String, usize> = BTreeMap::new();
                 for c in &f.calls {
-                    let cands: Vec<&str> = if c.is_method {
-                        if c.on_self {
-                            if let Some(t) = &f.self_type {
-                                match by_type_name.get(&(t.as_str(), c.name.as_str())) {
-                                    Some(v) => v.clone(),
-                                    // Unknown on this type (trait method
-                                    // via blanket impl, deref…): fall
-                                    // back to any same-named fn.
-                                    None => {
-                                        by_name.get(c.name.as_str()).cloned().unwrap_or_default()
-                                    }
-                                }
-                            } else {
-                                by_name.get(c.name.as_str()).cloned().unwrap_or_default()
-                            }
+                    let (cands, rung): (Vec<&str>, &'static str) = if c.is_method {
+                        let self_hit = if c.on_self {
+                            f.self_type
+                                .as_ref()
+                                .and_then(|t| by_type_name.get(&(t.as_str(), c.name.as_str())))
                         } else {
-                            // Opaque receiver: every method named `m`
-                            // (free fns can't be method targets).
-                            by_name
-                                .get(c.name.as_str())
-                                .map(|v| {
-                                    v.iter()
-                                        .filter(|q| method_qnames.contains(*q))
-                                        .copied()
-                                        .collect::<Vec<_>>()
-                                })
-                                .unwrap_or_default()
+                            None
+                        };
+                        match self_hit {
+                            Some(v) => (v.clone(), "self_method"),
+                            // Opaque receiver — or a self-method the
+                            // enclosing type does not define (blanket
+                            // trait impl, deref): every *method* named
+                            // `m` (free fns can't be method targets).
+                            None => (
+                                by_name
+                                    .get(c.name.as_str())
+                                    .map(|v| {
+                                        v.iter()
+                                            .filter(|q| method_qnames.contains(*q))
+                                            .copied()
+                                            .collect::<Vec<_>>()
+                                    })
+                                    .unwrap_or_default(),
+                                "method_fallback",
+                            ),
                         }
                     } else if !c.qualifier.is_empty() {
-                        let last = c.qualifier.rsplit("::").next().unwrap_or(&c.qualifier);
-                        if known_types.contains(last) {
-                            by_type_name
-                                .get(&(last, c.name.as_str()))
-                                .cloned()
-                                .unwrap_or_else(|| {
-                                    by_name.get(c.name.as_str()).cloned().unwrap_or_default()
-                                })
-                        } else if let Some(m) = match_module(&modules, &c.qualifier, &f.module) {
-                            by_module_name
-                                .get(&(m, c.name.as_str()))
-                                .cloned()
-                                .unwrap_or_default()
-                        } else if is_std_qualifier(&c.qualifier) {
-                            // Std/foreign type: never reenters
-                            // workspace code directly (closures it is
-                            // handed are attributed to the defining fn
-                            // already).
-                            Vec::new()
+                        let q_segs: Vec<&str> = c.qualifier.split("::").collect();
+                        let last = *q_segs.last().unwrap_or(&"");
+                        // Rung 1b: `Self::f` → the enclosing type.
+                        let self_hit = if c.qualifier == "Self" {
+                            f.self_type
+                                .as_ref()
+                                .and_then(|t| by_type_name.get(&(t.as_str(), c.name.as_str())))
                         } else {
-                            // Unknown foreign path: conservative
-                            // any-name fallback.
-                            by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                            None
+                        };
+                        if let Some(v) = self_hit {
+                            (v.clone(), "self_type")
+                        } else if c.qualifier == "Self" {
+                            // `Self::f` the enclosing type does not
+                            // visibly define: a derive-generated assoc
+                            // fn. It can only dispatch onward to assoc
+                            // fns (a derived `default` calls the field
+                            // types' `default`s), never to free fns.
+                            (
+                                assoc_by_name
+                                    .get(c.name.as_str())
+                                    .cloned()
+                                    .unwrap_or_default(),
+                                "assoc_fallback",
+                            )
+                        } else {
+                            // Rung 2: named import on the first path
+                            // segment.
+                            match import_lookup(
+                                &f.module,
+                                q_segs[0],
+                                &q_segs[1..],
+                                Some(&c.name),
+                            ) {
+                                ImportHit::Resolved(v) => (v, "import"),
+                                ImportHit::Foreign => (Vec::new(), "import_foreign"),
+                                ImportHit::Inconclusive | ImportHit::None => {
+                                    if known_types.contains(last) {
+                                        // Rung 3: known impl/trait type.
+                                        match by_type_name.get(&(last, c.name.as_str())) {
+                                            Some(v) => (v.clone(), "type_qualified"),
+                                            // The type is visible but
+                                            // `f` is not: a derived
+                                            // assoc fn. Assoc-restrict.
+                                            None => (
+                                                assoc_by_name
+                                                    .get(c.name.as_str())
+                                                    .cloned()
+                                                    .unwrap_or_default(),
+                                                "assoc_fallback",
+                                            ),
+                                        }
+                                    } else if let Some(m) =
+                                        match_module(&modules, &c.qualifier, &f.module)
+                                    {
+                                        // Rung 4: known module path.
+                                        (
+                                            by_module_name
+                                                .get(&(m, c.name.as_str()))
+                                                .cloned()
+                                                .unwrap_or_default(),
+                                            "module_qualified",
+                                        )
+                                    } else {
+                                        // Rung 5: glob scopes.
+                                        let g = glob_lookup(&f.module, &q_segs, &c.name);
+                                        if !g.is_empty() {
+                                            (g, "glob")
+                                        } else if is_std_qualifier(&c.qualifier) {
+                                            // Rung 6: std/foreign.
+                                            (Vec::new(), "std_foreign")
+                                        } else if type_shaped(last) {
+                                            if declared_types.contains(last)
+                                                || STD_TRAITS.contains(&last)
+                                            {
+                                                // Rung 7a: `T::f` on a
+                                                // declared type or a std
+                                                // trait (UFCS) — only
+                                                // assoc fns can match.
+                                                (
+                                                    assoc_by_name
+                                                        .get(c.name.as_str())
+                                                        .cloned()
+                                                        .unwrap_or_default(),
+                                                    "assoc_fallback",
+                                                )
+                                            } else {
+                                                // Rung 7b: a type with
+                                                // no visible decl at all
+                                                // (macro-generated ids,
+                                                // unlisted foreign
+                                                // types): no visible fn
+                                                // can be its assoc item.
+                                                (Vec::new(), "type_unknown")
+                                            }
+                                        } else {
+                                            // Rung 8: any-name fallback.
+                                            (
+                                                by_name
+                                                    .get(c.name.as_str())
+                                                    .cloned()
+                                                    .unwrap_or_default(),
+                                                "fallback",
+                                            )
+                                        }
+                                    }
+                                }
+                            }
                         }
                     } else {
-                        // Unqualified free call: same module wins.
+                        // Unqualified free call: same module first.
                         match by_module_name.get(&(f.module.as_str(), c.name.as_str())) {
-                            Some(v) => v.clone(),
-                            None => by_name.get(c.name.as_str()).cloned().unwrap_or_default(),
+                            Some(v) => (v.clone(), "module_local"),
+                            None => match import_lookup(&f.module, &c.name, &[], None) {
+                                ImportHit::Resolved(v) => (v, "import"),
+                                ImportHit::Foreign => (Vec::new(), "import_foreign"),
+                                ImportHit::Inconclusive | ImportHit::None => {
+                                    let g = glob_lookup(&f.module, &[], &c.name);
+                                    if !g.is_empty() {
+                                        (g, "glob")
+                                    } else {
+                                        (
+                                            by_name
+                                                .get(c.name.as_str())
+                                                .cloned()
+                                                .unwrap_or_default(),
+                                            "fallback",
+                                        )
+                                    }
+                                }
+                            },
                         }
                     };
+                    // The `use_imports == false` baseline models the v1
+                    // name-matching resolver this engine replaced; the
+                    // assoc-restriction rungs are part of the same
+                    // upgrade, so they degrade to the any-name fallback
+                    // there too — that is what the shrink criterion
+                    // measures against.
+                    let (cands, rung) = if !use_imports
+                        && matches!(rung, "assoc_fallback" | "type_unknown")
+                    {
+                        (
+                            by_name.get(c.name.as_str()).cloned().unwrap_or_default(),
+                            "fallback",
+                        )
+                    } else {
+                        (cands, rung)
+                    };
+                    stats.bump(rung);
                     let from_crate = crate_of(&f.qname);
                     for q in cands {
                         if q != f.qname && deps.edge_ok(from_crate, crate_of(q)) {
-                            calls.insert(q.to_string());
+                            let inserted = calls.insert(q.to_string());
+                            if inserted {
+                                match rung {
+                                    "fallback" => stats.fallback_edges += 1,
+                                    "method_fallback" => stats.method_fallback_edges += 1,
+                                    _ => {}
+                                }
+                            }
+                            if c.in_par {
+                                par_calls.entry(q.to_string()).or_insert(c.line);
+                            }
                         }
                     }
                 }
@@ -317,6 +793,13 @@ impl CallGraph {
                     .filter(|s| seen.insert((s.line, s.kind)))
                     .cloned()
                     .collect();
+                let mut eff_seen: BTreeSet<(usize, crate::extract::EffectKind)> = BTreeSet::new();
+                let effects: Vec<EffectSite> = f
+                    .effects
+                    .iter()
+                    .filter(|e| eff_seen.insert((e.line, e.kind)))
+                    .cloned()
+                    .collect();
 
                 let node = Node {
                     file: fx.rel.clone(),
@@ -324,8 +807,11 @@ impl CallGraph {
                     module: f.module.clone(),
                     name: f.name.clone(),
                     self_type: f.self_type.clone(),
+                    sig_mut: f.sig_mut,
                     calls,
+                    par_calls,
                     sources,
+                    effects,
                     index_sites: f.index_sites,
                     locks: f.locks.clone(),
                 };
@@ -338,25 +824,36 @@ impl CallGraph {
                         // merge conservatively.
                         let n = e.get_mut();
                         n.calls.extend(node.calls);
+                        for (q, l) in node.par_calls {
+                            n.par_calls.entry(q).or_insert(l);
+                        }
                         n.sources.extend(node.sources);
+                        n.effects.extend(node.effects);
+                        n.sig_mut |= node.sig_mut;
                         n.index_sites += node.index_sites;
                         n.locks.extend(node.locks);
                     }
                 }
             }
         }
-        CallGraph { nodes }
+        (CallGraph { nodes }, stats)
     }
 
     /// Serializes the graph as stable, key-sorted JSON (schema
-    /// `specweb-callgraph/v1`). Byte-identical for identical inputs —
+    /// `specweb-callgraph/v2`). Byte-identical for identical inputs —
     /// the golden test diffs this across `--jobs` counts.
-    pub fn to_json(&self, roots: &[String], hot_roots: &[String]) -> String {
+    pub fn to_json(
+        &self,
+        roots: &[String],
+        hot_roots: &[String],
+        stats: &ResolutionStats,
+    ) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"specweb-callgraph/v1\",\n");
+        s.push_str("{\n  \"schema\": \"specweb-callgraph/v2\",\n");
         s.push_str(&format!("  \"fn_count\": {},\n", self.nodes.len()));
         let edge_count: usize = self.nodes.values().map(|n| n.calls.len()).sum();
         s.push_str(&format!("  \"edge_count\": {edge_count},\n"));
+        s.push_str(&format!("  \"resolution\": {},\n", stats.to_json_obj()));
         s.push_str("  \"roots\": [");
         s.push_str(
             &roots
@@ -383,6 +880,7 @@ impl CallGraph {
             s.push_str(&format!("    \"{}\": {{", esc(q)));
             s.push_str(&format!("\"file\": \"{}\", ", esc(&n.file)));
             s.push_str(&format!("\"line\": {}, ", n.line));
+            s.push_str(&format!("\"sig_mut\": {}, ", n.sig_mut));
             s.push_str("\"calls\": [");
             s.push_str(
                 &n.calls
@@ -391,7 +889,15 @@ impl CallGraph {
                     .collect::<Vec<_>>()
                     .join(", "),
             );
-            s.push_str("], \"sources\": [");
+            s.push_str("], \"par_calls\": {");
+            s.push_str(
+                &n.par_calls
+                    .iter()
+                    .map(|(c, l)| format!("\"{}\": {l}", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push_str("}, \"sources\": [");
             s.push_str(
                 &n.sources
                     .iter()
@@ -401,6 +907,22 @@ impl CallGraph {
                             src.kind.id(),
                             src.line,
                             esc(&src.what)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push_str("], \"effects\": [");
+            s.push_str(
+                &n.effects
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"kind\": \"{}\", \"line\": {}, \"what\": \"{}\", \"in_par\": {}}}",
+                            e.kind.id(),
+                            e.line,
+                            esc(&e.what),
+                            e.in_par
                         )
                     })
                     .collect::<Vec<_>>()
@@ -430,20 +952,26 @@ impl CallGraph {
 
 /// Matches a call-site qualifier against the known module set:
 /// an exact module path, a suffix of one (`deps::helper(..)` inside
-/// `spec` matches `spec::deps`), or a `crate::`-prefixed path rooted at
-/// the caller's crate.
+/// `spec` matches `spec::deps`), or a `crate::`- / `specweb_*::`-
+/// prefixed path rebased onto qname space.
 fn match_module<'m>(
     modules: &BTreeSet<&'m str>,
     qualifier: &str,
     caller_module: &str,
 ) -> Option<&'m str> {
-    let q = qualifier.strip_prefix("crate::").map(|rest| {
-        let krate = caller_module.split("::").next().unwrap_or(caller_module);
-        format!("{krate}::{rest}")
-    });
+    let krate = caller_module.split("::").next().unwrap_or(caller_module);
+    let q = if let Some(rest) = qualifier.strip_prefix("crate::") {
+        Some(format!("{krate}::{rest}"))
+    } else {
+        // `specweb_core::par::…` → `core::par::…` (package-name idiom).
+        qualifier.split_once("::").and_then(|(first, rest)| {
+            first
+                .strip_prefix("specweb_")
+                .map(|c| format!("{c}::{rest}"))
+        })
+    };
     let q = q.as_deref().unwrap_or(qualifier);
     if qualifier == "crate" {
-        let krate = caller_module.split("::").next().unwrap_or(caller_module);
         return modules.get(krate).copied();
     }
     if let Some(m) = modules.get(q) {
@@ -456,7 +984,6 @@ fn match_module<'m>(
         .copied()
         .collect();
     if hits.len() > 1 {
-        let krate = caller_module.split("::").next().unwrap_or(caller_module);
         if let Some(own) = hits
             .iter()
             .find(|m| m.split("::").next() == Some(krate))
@@ -469,7 +996,7 @@ fn match_module<'m>(
 }
 
 /// Minimal JSON string escape.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -489,16 +1016,23 @@ mod tests {
     use crate::extract::extract;
     use crate::lexer::sanitize;
 
-    fn graph(files: &[(&str, &str)]) -> CallGraph {
-        let fx: Vec<FileExtract> = files
+    fn extracts(files: &[(&str, &str)]) -> Vec<FileExtract> {
+        files
             .iter()
             .map(|(rel, src)| {
                 let lines = sanitize(src);
                 let skip = vec![false; lines.len()];
                 extract(rel, &lines, &skip)
             })
-            .collect();
-        CallGraph::build(&fx)
+            .collect()
+    }
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        CallGraph::build(&extracts(files))
+    }
+
+    fn graph_stats(files: &[(&str, &str)]) -> (CallGraph, ResolutionStats) {
+        CallGraph::build_with_opts(&extracts(files), &CrateDeps::permissive(), true)
     }
 
     #[test]
@@ -532,6 +1066,52 @@ impl U {
             outer.calls.iter().collect::<Vec<_>>(),
             ["a::T::inner"],
             "self.inner() must not edge to U::inner"
+        );
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_enclosing_type() {
+        let (g, stats) = graph_stats(&[(
+            "crates/a/src/lib.rs",
+            "
+struct T;
+impl T {
+    fn outer() { Self::helper(); }
+    fn helper() {}
+}
+struct U;
+impl U {
+    fn helper() {}
+}
+",
+        )]);
+        let outer = &g.nodes["a::T::outer"];
+        assert_eq!(
+            outer.calls.iter().collect::<Vec<_>>(),
+            ["a::T::helper"],
+            "Self::helper() must not leak into the any-name set"
+        );
+        assert_eq!(stats.per_rung["self_type"], 1);
+        assert_eq!(stats.per_rung["fallback"], 0);
+    }
+
+    #[test]
+    fn self_method_misses_stay_methods_only() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+struct T;
+impl T { fn run(&self) { self.visit(); } }
+struct U;
+impl U { fn visit(&self) {} }
+fn visit() {}
+",
+        )]);
+        let run = &g.nodes["a::T::run"];
+        assert!(run.calls.contains("a::U::visit"), "{run:#?}");
+        assert!(
+            !run.calls.contains("a::visit"),
+            "a free fn can never be a method target: {run:#?}"
         );
     }
 
@@ -570,6 +1150,183 @@ fn make() -> T { T::new() }
     }
 
     #[test]
+    fn named_imports_resolve_unqualified_calls() {
+        let (g, stats) = graph_stats(&[
+            (
+                "crates/a/src/lib.rs",
+                "
+use crate::util::helper;
+pub fn entry() { helper(); }
+pub mod util { pub fn helper() {} }
+",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert_eq!(
+            entry.calls.iter().collect::<Vec<_>>(),
+            ["a::util::helper"],
+            "the import pins the origin; b::helper is not a candidate"
+        );
+        assert_eq!(stats.per_rung["import"], 1);
+        assert_eq!(stats.fallback_edges, 0);
+    }
+
+    #[test]
+    fn as_renamed_imports_follow_the_original_name() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+use crate::util::helper as h;
+pub fn entry() { h(); }
+pub mod util { pub fn helper() {} }
+",
+        )]);
+        let entry = &g.nodes["a::entry"];
+        // v1 resolved `h()` to *nothing* (a missed edge — the unsound
+        // direction); the import rung recovers the real target.
+        assert_eq!(entry.calls.iter().collect::<Vec<_>>(), ["a::util::helper"]);
+    }
+
+    #[test]
+    fn foreign_imports_shortcircuit_to_zero() {
+        let (g, stats) = graph_stats(&[(
+            "crates/a/src/lib.rs",
+            "
+use std::mem::replace;
+pub fn entry() { replace(a, b); }
+pub fn replace() {}
+pub mod inner { pub fn replace() {} }
+",
+        )]);
+        // `replace` IS module-local here, so module_local wins; move
+        // the import into a submodule scope to test the foreign rung.
+        assert!(g.nodes["a::entry"].calls.contains("a::replace"));
+        assert_eq!(stats.per_rung["module_local"], 1);
+
+        let (g2, stats2) = graph_stats(&[(
+            "crates/a/src/lib.rs",
+            "
+pub mod worker {
+    use std::mem::replace;
+    pub fn entry() { replace(a, b); }
+}
+pub fn replace() {}
+",
+        )]);
+        assert!(
+            g2.nodes["a::worker::entry"].calls.is_empty(),
+            "std::mem::replace never reenters the workspace: {:#?}",
+            g2.nodes["a::worker::entry"]
+        );
+        assert_eq!(stats2.per_rung["import_foreign"], 1);
+        assert_eq!(stats2.fallback_edges, 0);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_through_module_imports() {
+        let (g, stats) = graph_stats(&[
+            (
+                "crates/a/src/lib.rs",
+                "
+use specweb_b::util;
+pub fn entry() { util::go(); }
+",
+            ),
+            ("crates/b/src/util.rs", "pub fn go() {}"),
+            ("crates/c/src/util.rs", "pub fn go() {}"),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert_eq!(
+            entry.calls.iter().collect::<Vec<_>>(),
+            ["b::util::go"],
+            "the import disambiguates which util module is meant"
+        );
+        assert_eq!(stats.per_rung["import"], 1);
+    }
+
+    #[test]
+    fn type_imports_resolve_assoc_calls_to_the_right_module() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "
+use specweb_b::ids::ClientId;
+pub fn entry() { ClientId::from(3); }
+",
+            ),
+            (
+                "crates/b/src/ids.rs",
+                "pub struct ClientId; impl ClientId { pub fn from(x: usize) -> ClientId { ClientId } }",
+            ),
+            (
+                "crates/c/src/lib.rs",
+                "pub struct Wrap; impl Wrap { pub fn from(x: usize) -> Wrap { Wrap } }",
+            ),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert_eq!(
+            entry.calls.iter().collect::<Vec<_>>(),
+            ["b::ids::ClientId::from"],
+            "no conservative chain through every `from` in the workspace"
+        );
+    }
+
+    #[test]
+    fn glob_imports_resolve_when_the_scope_defines_the_name() {
+        let (g, stats) = graph_stats(&[
+            (
+                "crates/a/src/lib.rs",
+                "
+use specweb_b::util::*;
+pub fn entry() { go(); }
+",
+            ),
+            ("crates/b/src/util.rs", "pub fn go() {}"),
+            ("crates/c/src/lib.rs", "pub fn go() {}"),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert_eq!(
+            entry.calls.iter().collect::<Vec<_>>(),
+            ["b::util::go"],
+            "the glob scope defines `go`, so c::go is not a candidate"
+        );
+        assert_eq!(stats.per_rung["glob"], 1);
+    }
+
+    #[test]
+    fn unknown_names_still_fall_back_conservatively() {
+        let (g, stats) = graph_stats(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { mystery(); }"),
+            ("crates/b/src/lib.rs", "pub fn mystery() {}"),
+        ]);
+        let entry = &g.nodes["a::entry"];
+        assert!(entry.calls.contains("b::mystery"));
+        assert_eq!(stats.per_rung["fallback"], 1);
+        assert_eq!(stats.fallback_edges, 1);
+    }
+
+    #[test]
+    fn imports_off_reinflates_the_fallback() {
+        let files = extracts(&[
+            (
+                "crates/a/src/lib.rs",
+                "
+use crate::util::helper;
+pub fn entry() { helper(); }
+pub mod util { pub fn helper() {} }
+",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let (_, on) = CallGraph::build_with_opts(&files, &CrateDeps::permissive(), true);
+        let (g_off, off) = CallGraph::build_with_opts(&files, &CrateDeps::permissive(), false);
+        assert_eq!(on.fallback_edges, 0);
+        assert_eq!(off.fallback_edges, 2);
+        assert!(g_off.nodes["a::entry"].calls.contains("b::helper"));
+    }
+
+    #[test]
     fn json_is_stable_under_input_permutation() {
         let files = [
             ("crates/a/src/lib.rs", "pub fn f() { g(); }\npub fn g() {}"),
@@ -577,15 +1334,38 @@ fn make() -> T { T::new() }
         ];
         let mut rev = files;
         rev.reverse();
-        let a = graph(&files).to_json(&[], &[]);
-        let b = graph(&rev).to_json(&[], &[]);
+        let (ga, sa) = graph_stats(&files);
+        let (gb, sb) = graph_stats(&rev);
+        let a = ga.to_json(&[], &[], &sa);
+        let b = gb.to_json(&[], &[], &sb);
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"specweb-callgraph/v1\""));
+        assert!(a.contains("\"schema\": \"specweb-callgraph/v2\""));
+        assert!(a.contains("\"resolution\""));
     }
 
     #[test]
     fn self_edges_are_dropped() {
         let g = graph(&[("crates/a/src/lib.rs", "pub fn rec(n: u32) { rec(n); }")]);
         assert!(g.nodes["a::rec"].calls.is_empty());
+    }
+
+    #[test]
+    fn par_closure_calls_are_tracked() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+pub fn drive(pool: &Pool) { pool.map_indexed(&xs, |_, x| work(x)); finish(); }
+pub fn work(x: u32) -> u32 { x }
+pub fn finish() {}
+",
+        )]);
+        let drive = &g.nodes["a::drive"];
+        assert!(drive.calls.contains("a::work"));
+        assert!(drive.calls.contains("a::finish"));
+        assert_eq!(
+            drive.par_calls.keys().collect::<Vec<_>>(),
+            ["a::work"],
+            "{drive:#?}"
+        );
     }
 }

@@ -44,6 +44,7 @@
 pub mod extract;
 pub mod graph;
 pub mod lexer;
+pub mod purity;
 pub mod rules;
 pub mod taint;
 
@@ -106,6 +107,11 @@ pub struct Report {
     /// Whether the call-graph engine ran (workspace mode) or only the
     /// line engine (standalone / fixture mode).
     pub graph_engine: bool,
+    /// Resolution-ladder telemetry from the graph build (workspace /
+    /// hybrid mode only) — the precision counters CI gates on.
+    pub resolution: Option<graph::ResolutionStats>,
+    /// Purity classification counts (workspace / hybrid mode only).
+    pub purity_counts: Option<BTreeMap<&'static str, usize>>,
 }
 
 impl Report {
@@ -162,6 +168,20 @@ impl Report {
             ));
         }
         out.push_str("  },\n");
+        if let Some(stats) = &self.resolution {
+            out.push_str(&format!("  \"resolution\": {},\n", stats.to_json_obj()));
+        }
+        if let Some(counts) = &self.purity_counts {
+            out.push_str("  \"purity\": {");
+            out.push_str(
+                &counts
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push_str("},\n");
+        }
         let remaining = self.allowed.len();
         let baseline_total: usize = rules::ALLOW_BASELINE.iter().map(|&(_, n)| n).sum();
         out.push_str(&format!("  \"allows_remaining\": {remaining},\n"));
@@ -195,6 +215,10 @@ pub struct Analysis {
     pub roots: Vec<String>,
     /// Simulator hot-loop roots (G3), subset of `roots`.
     pub hot_roots: Vec<String>,
+    /// Resolution-ladder telemetry from the graph build.
+    pub stats: graph::ResolutionStats,
+    /// The interprocedural purity classification (for `--purity`).
+    pub purity: purity::PurityMap,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -576,15 +600,39 @@ pub fn load_crate_deps(root: &Path) -> graph::CrateDeps {
     graph::CrateDeps::from_pairs(&pairs)
 }
 
+/// Extract every workspace file (same pipeline as
+/// [`analyze_workspace`], minus the rules) so precision tests can
+/// rebuild the graph with the import rungs toggled and measure the
+/// fallback shrink they buy.
+pub fn workspace_extracts(root: &Path) -> Result<Vec<extract::FileExtract>, String> {
+    let mut out = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let pass = file_pass(&rel, classify(&rel), &src, Engine::Hybrid);
+        if let Some(fx) = pass.extract {
+            out.push(fx);
+        }
+    }
+    Ok(out)
+}
+
 /// Shared tail of the workspace / in-memory analyses: build the graph,
 /// run the taint checks, apply suppression per file.
 fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
     let extracts: Vec<extract::FileExtract> =
         passes.iter().filter_map(|p| p.extract.clone()).collect();
-    let g = graph::CallGraph::build_with_deps(&extracts, deps);
+    let (g, stats) = graph::CallGraph::build_with_opts(&extracts, deps, true);
     let (roots, hot_roots) = taint::resolve_roots(&g);
+    let pm = purity::PurityMap::compute(&g);
     let mut ghits = taint::check_reachability(&g, &roots, &hot_roots);
     ghits.extend(taint::check_lock_order(&g));
+    ghits.extend(purity::check_effect_free(&g, &pm));
+    ghits.extend(purity::check_par_purity(&g, &pm));
 
     let mut by_file: BTreeMap<&str, Vec<&taint::GraphHit>> = BTreeMap::new();
     for h in &ghits {
@@ -599,11 +647,15 @@ fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
             .unwrap_or_default();
         report.merge(finish_file(pass, &hits, true));
     }
+    report.resolution = Some(stats.clone());
+    report.purity_counts = Some(pm.counts());
     Analysis {
         report,
         graph: g,
         roots,
         hot_roots,
+        stats,
+        purity: pm,
     }
 }
 

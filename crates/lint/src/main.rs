@@ -5,6 +5,7 @@
 //! cargo run -p specweb-lint -- --deny-all    # also fail on unused allows (CI mode)
 //! cargo run -p specweb-lint -- --graph       # write results/callgraph.json
 //! cargo run -p specweb-lint -- --stats       # write results/lint_report.json
+//! cargo run -p specweb-lint -- --purity      # write results/purity.json
 //! cargo run -p specweb-lint -- --jobs 4      # parallel per-file pass
 //! cargo run -p specweb-lint -- --list-rules  # print the rule table
 //! ```
@@ -22,19 +23,21 @@ struct Options {
     deny_all: bool,
     stats: bool,
     graph: bool,
+    purity: bool,
     jobs: usize,
     list_rules: bool,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--graph] [--jobs N] \
-     [--list-rules] [--quiet]\n\
+    "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--graph] [--purity] \
+     [--jobs N] [--list-rules] [--quiet]\n\
      \n\
      --root PATH    workspace root to lint (default: this workspace)\n\
      --deny-all     treat unused lint:allow suppressions as errors (CI mode)\n\
      --stats        write <root>/results/lint_report.json and print a summary\n\
      --graph        write <root>/results/callgraph.json (the resolved call graph)\n\
+     --purity       write <root>/results/purity.json (per-fn purity classes)\n\
      --jobs N       fan the per-file pass over N workers (output is byte-identical\n\
                     for any N; default 1)\n\
      --list-rules   print the rule table and exit\n\
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         deny_all: false,
         stats: false,
         graph: false,
+        purity: false,
         jobs: 1,
         list_rules: false,
         quiet: false,
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
             "--deny-all" => opts.deny_all = true,
             "--stats" => opts.stats = true,
             "--graph" => opts.graph = true,
+            "--purity" => opts.purity = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a count")?;
                 opts.jobs = v
@@ -125,7 +130,7 @@ fn main() -> ExitCode {
     }
 
     let results = opts.root.join("results");
-    if (opts.stats || opts.graph) && !results.exists() {
+    if (opts.stats || opts.graph || opts.purity) && !results.exists() {
         if let Err(e) = std::fs::create_dir_all(&results) {
             eprintln!("specweb-lint: create {}: {e}", results.display());
             return ExitCode::from(2);
@@ -134,8 +139,19 @@ fn main() -> ExitCode {
 
     if opts.graph {
         let out = results.join("callgraph.json");
-        let json = analysis.graph.to_json(&analysis.roots, &analysis.hot_roots);
+        let json = analysis
+            .graph
+            .to_json(&analysis.roots, &analysis.hot_roots, &analysis.stats);
         if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("specweb-lint: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    if opts.purity {
+        let out = results.join("purity.json");
+        if let Err(e) = std::fs::write(&out, analysis.purity.to_json(&analysis.graph)) {
             eprintln!("specweb-lint: write {}: {e}", out.display());
             return ExitCode::from(2);
         }
@@ -149,6 +165,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote {}", out.display());
+        let stats = &analysis.stats;
+        println!(
+            "resolution ladder ({} call sites; {} fallback edge(s) + {} opaque-method \
+             fallback edge(s)):",
+            stats.calls, stats.fallback_edges, stats.method_fallback_edges
+        );
+        for rung in specweb_lint::graph::RUNGS {
+            let n = stats.per_rung.get(rung).copied().unwrap_or(0);
+            println!("  {rung:<17} {n:>5}");
+        }
+        if let Some(counts) = &report.purity_counts {
+            println!(
+                "purity: {}",
+                counts
+                    .iter()
+                    .map(|(k, v)| format!("{k} {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
         let per_rule = report.per_rule();
         println!("allows retired vs remaining (line-engine baseline -> now):");
         for (rule, (_, allowed)) in &per_rule {

@@ -75,6 +75,19 @@ pub const RULES: &[Rule] = &[
         summary: "graph: a panic-capable op (unwrap/expect) is \
                   call-reachable from a simulator hot loop",
     },
+    Rule {
+        id: "G4",
+        summary: "purity: shard-merge and replay fns (merge methods, \
+                  ServiceTimeDist, ConnCore steps, session::replay) must \
+                  be effect-free — effects there run once per shard, not \
+                  once per run",
+    },
+    Rule {
+        id: "G5",
+        summary: "purity: no effectful call inside a core::par worker \
+                  closure outside the Obs channel — pool interleaving \
+                  makes the effect order vary with --jobs",
+    },
 ];
 
 /// Per-rule `lint:allow` counts as of the line-engine sweep (PR 4),

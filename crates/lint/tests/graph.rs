@@ -1,7 +1,10 @@
 //! Graph-engine tests: fixture-driven G-rule checks and the golden
 //! determinism test for the serialized call graph.
 
-use specweb_lint::{analyze_sources, analyze_workspace, lint_source, taint, FileKind};
+use specweb_lint::{
+    analyze_sources, analyze_workspace, graph, lint_source, load_crate_deps, purity, taint,
+    workspace_extracts, FileKind,
+};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -159,11 +162,17 @@ fn callgraph_json_is_byte_identical_across_jobs() {
     let root = workspace_root();
     let a1 = analyze_workspace(&root, 1).expect("serial analysis");
     let a4 = analyze_workspace(&root, 4).expect("parallel analysis");
-    let json1 = a1.graph.to_json(&a1.roots, &a1.hot_roots);
-    let json4 = a4.graph.to_json(&a4.roots, &a4.hot_roots);
+    let json1 = a1.graph.to_json(&a1.roots, &a1.hot_roots, &a1.stats);
+    let json4 = a4.graph.to_json(&a4.roots, &a4.hot_roots, &a4.stats);
     assert_eq!(json1, json4, "callgraph.json must not depend on --jobs");
     assert_eq!(a1.report.violations.len(), a4.report.violations.len());
     assert_eq!(a1.report.allowed.len(), a4.report.allowed.len());
+    assert_eq!(a1.report.to_json(), a4.report.to_json());
+    assert_eq!(
+        a1.purity.to_json(&a1.graph),
+        a4.purity.to_json(&a4.graph),
+        "purity.json must not depend on --jobs"
+    );
 }
 
 /// The committed artifact must match what the engine produces at HEAD —
@@ -178,12 +187,75 @@ fn committed_callgraph_matches_head() {
         Err(_) => return,
     };
     let a = analyze_workspace(&root, 1).expect("analysis");
-    let fresh = a.graph.to_json(&a.roots, &a.hot_roots);
+    let fresh = a.graph.to_json(&a.roots, &a.hot_roots, &a.stats);
     assert_eq!(
         committed, fresh,
         "results/callgraph.json is stale — regenerate with \
          `cargo run -p specweb-lint -- --graph`"
     );
+}
+
+/// The precision acceptance criterion: on the real workspace, the
+/// import/glob rungs must shrink the any-name fallback edge set by at
+/// least half versus the same graph built name-matching-only (the v1
+/// resolver the committed artifact used to record). The opaque-method
+/// fallback is counted separately — imports cannot type a method
+/// receiver, so it is not part of this criterion.
+#[test]
+fn import_rungs_shrink_the_fallback_by_at_least_half() {
+    let root = workspace_root();
+    let extracts = workspace_extracts(&root).expect("extracts");
+    let deps = load_crate_deps(&root);
+    let (_, with) = graph::CallGraph::build_with_opts(&extracts, &deps, true);
+    let (_, without) = graph::CallGraph::build_with_opts(&extracts, &deps, false);
+    assert!(
+        with.fallback_edges * 2 <= without.fallback_edges,
+        "import rungs must halve the fallback: {} with imports vs {} without",
+        with.fallback_edges,
+        without.fallback_edges
+    );
+    // The named-import rungs decide real work: both fire. (The glob
+    // rung is pinned by unit fixtures — the workspace itself has no
+    // glob imports.)
+    for rung in ["import", "import_foreign"] {
+        assert!(
+            with.per_rung[rung] > 0,
+            "rung {rung} never fired: {:#?}",
+            with.per_rung
+        );
+    }
+    assert_eq!(with.calls, without.calls, "same call sites either way");
+}
+
+/// Workspace purity spot-checks: the G4 contract fns really are
+/// effect-free at HEAD, and a known process-exiting fn classifies as
+/// effectful — so a regression in either direction fails loudly.
+#[test]
+fn workspace_purity_classification_holds() {
+    let root = workspace_root();
+    let a = analyze_workspace(&root, 1).expect("analysis");
+    let class = &a.purity.class;
+    for q in [
+        "core::stats::StreamingStats::merge",
+        "core::stats::Histogram::merge",
+        "core::stats::ServiceTimeDist::merge",
+        "serve::session::replay",
+    ] {
+        let p = class
+            .get(q)
+            .unwrap_or_else(|| panic!("{q} missing from purity map"));
+        assert!(
+            matches!(p, purity::Purity::Pure | purity::Purity::LocalMut),
+            "{q} must be effect-free, got {p:?}"
+        );
+    }
+    assert_eq!(
+        class.get("bench::bin::figures::die"),
+        Some(&purity::Purity::Effectful),
+        "process::exit must classify as effectful"
+    );
+    let counts = a.purity.counts();
+    assert!(counts["pure"] > 0 && counts["effectful"] > 0, "{counts:#?}");
 }
 
 /// Root resolution on the real workspace: the deterministic entry
