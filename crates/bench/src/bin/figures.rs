@@ -147,8 +147,7 @@ fn main() {
             let report = {
                 let _ctx = profiler.install();
                 let _root = obs::frame(id);
-                run_one(id, scale, seed, &shared_sweep)
-                    .map_err(|e| format!("{id} failed: {e}"))?
+                run_one(id, scale, seed, &shared_sweep).map_err(|e| format!("{id} failed: {e}"))?
             };
             Ok((
                 report,
@@ -158,6 +157,7 @@ fn main() {
         })
         .unwrap_or_else(|e: String| die(&e));
 
+    // lint:allow(W3): one slot per already-collected experiment result
     let mut experiments = Vec::with_capacity(results.len() + 1);
     if let Some(seconds) = sweep_seconds {
         // The shared sweep ran once up front, outside any single
@@ -327,6 +327,7 @@ fn load_manifests(dir: &std::path::Path) -> Result<Vec<RunManifest>, String> {
             dir.display()
         ));
     }
+    // lint:allow(W3): one slot per manifest path already listed from disk
     let mut manifests = Vec::with_capacity(paths.len());
     for path in &paths {
         let text = std::fs::read_to_string(path)

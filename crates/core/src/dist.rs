@@ -67,7 +67,9 @@ impl Zipf {
         for w in &mut weights {
             *w /= total;
         }
-        let mut cdf = Vec::with_capacity(n);
+        // Capacity hint only — `n` arrives scale-tainted from callers
+        // (client/page counts); cap the reservation, the vec still grows.
+        let mut cdf = Vec::with_capacity(n.min(1 << 24));
         let mut acc = 0.0;
         for &w in &weights {
             acc += w;
@@ -356,13 +358,15 @@ impl HitCurve {
             let db = b.1 as f64 / b.0 as f64;
             db.total_cmp(&da).then(a.0.cmp(&b.0))
         });
+        // lint:allow(W3): capacity equals ranked.len(), a vec already materialized above
         let mut bytes = Vec::with_capacity(ranked.len());
+        // lint:allow(W3): capacity equals ranked.len(), a vec already materialized above
         let mut hits = Vec::with_capacity(ranked.len());
         let mut cum_b = 0u64;
         let mut cum_r = 0u64;
         for (s, r) in ranked {
-            cum_b += s;
-            cum_r += r;
+            cum_b = cum_b.saturating_add(s);
+            cum_r = cum_r.saturating_add(r);
             bytes.push(cum_b);
             hits.push(cum_r as f64 / total_requests as f64);
         }

@@ -47,13 +47,15 @@ impl RunTotals {
     }
 
     /// Merges another run's totals (e.g. per-client partials).
+    /// Saturating throughout: at `--scale 100` the byte totals are a
+    /// few orders below u64::MAX, but a shard-merge must never wrap.
     pub fn merge(&mut self, other: &RunTotals) {
-        self.bytes_sent += other.bytes_sent;
-        self.server_requests += other.server_requests;
-        self.latency_ms += other.latency_ms;
-        self.accesses += other.accesses;
-        self.miss_bytes += other.miss_bytes;
-        self.accessed_bytes += other.accessed_bytes;
+        self.bytes_sent += other.bytes_sent; // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
+        self.server_requests = self.server_requests.saturating_add(other.server_requests);
+        self.latency_ms = self.latency_ms.saturating_add(other.latency_ms);
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.miss_bytes += other.miss_bytes; // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
+        self.accessed_bytes += other.accessed_bytes; // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
     }
 
     /// Mean client-perceived latency, in milliseconds.
@@ -252,6 +254,20 @@ mod tests {
         let mut a = run(10, 1, 5, 1, 2, 20);
         a.merge(&run(30, 2, 15, 3, 4, 40));
         assert_eq!(a, run(40, 3, 20, 4, 6, 60));
+    }
+
+    /// Regression for the W1 fix in `merge`: shard-merging totals that
+    /// sit near the integer edge saturates instead of wrapping, so a
+    /// corrupt or adversarial shard cannot flip a huge total into a
+    /// tiny one.
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = run(u64::MAX - 1, u64::MAX - 1, u64::MAX - 1, 1, 0, 0);
+        a.merge(&run(10, 10, 10, 1, 0, 0));
+        assert_eq!(a.bytes_sent.get(), u64::MAX);
+        assert_eq!(a.server_requests, u64::MAX);
+        assert_eq!(a.latency_ms, u64::MAX);
+        assert_eq!(a.accesses, 2);
     }
 
     #[test]

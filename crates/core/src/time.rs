@@ -40,10 +40,11 @@ impl SimTime {
         SimTime(ms)
     }
 
-    /// Constructs an instant from whole days.
+    /// Constructs an instant from whole days. Saturates rather than
+    /// wraps on absurd day counts (the scale knob multiplies into this).
     #[inline]
     pub const fn from_days(days: u64) -> Self {
-        SimTime(days * Duration::DAY.0)
+        SimTime(days.saturating_mul(Duration::DAY.0))
     }
 
     /// Milliseconds since the origin.
@@ -108,10 +109,11 @@ impl Duration {
         Duration(ms)
     }
 
-    /// Constructs a span from whole days.
+    /// Constructs a span from whole days. Saturates rather than wraps
+    /// on absurd day counts (the scale knob multiplies into this).
     #[inline]
     pub const fn from_days(days: u64) -> Self {
-        Duration(days * Duration::DAY.0)
+        Duration(days.saturating_mul(Duration::DAY.0))
     }
 
     /// Constructs a span from fractional seconds, rounding to the nearest
@@ -153,14 +155,14 @@ impl Add<Duration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<Duration> for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -291,6 +293,21 @@ mod tests {
 
     fn ts(secs: &[u64]) -> Vec<SimTime> {
         secs.iter().map(|&s| SimTime::from_secs(s)).collect()
+    }
+
+    /// Regression for the W1 fixes: the time newtypes saturate instead
+    /// of wrapping, so a scale-100 trace whose session ids sit near the
+    /// end of simulated time cannot wrap a timestamp back to zero.
+    #[test]
+    fn time_arithmetic_saturates_at_scale() {
+        let end = SimTime(u64::MAX - 5);
+        assert_eq!(end + Duration::from_secs(10), SimTime(u64::MAX));
+        let mut t = end;
+        t += Duration::from_secs(10);
+        assert_eq!(t, SimTime(u64::MAX));
+        // A century of million-session days lands far from the edge.
+        assert_eq!(SimTime::from_days(36_500).day(), 36_500);
+        assert_eq!(Duration::from_days(u64::MAX), Duration(u64::MAX));
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub fn optimize(servers: &[ServerModel], b0: Bytes) -> Result<Allocation> {
 
     // Active set: servers that may receive a positive quota.
     let mut active: Vec<bool> = servers.iter().map(|s| s.demand > 0.0).collect();
+    // lint:allow(W3): one slot per already-materialized server model
     let mut raw = vec![0.0f64; n];
 
     // Water-filling re-solves are bounded by the server count but vary
@@ -342,12 +343,14 @@ pub fn optimize_empirical(
     });
 
     let mut remaining = b0.get();
+    // lint:allow(W3): one slot per already-materialized server profile
     let mut quotas = vec![0u64; profiles.len()];
+    // lint:allow(W3): one slot per already-materialized server profile
     let mut picked: Vec<Vec<specweb_core::ids::DocId>> = vec![Vec::new(); profiles.len()];
     for c in cands {
         if c.size <= remaining {
             remaining -= c.size;
-            quotas[c.server] += c.size;
+            quotas[c.server] = quotas[c.server].saturating_add(c.size);
             picked[c.server].push(c.doc);
         }
     }
@@ -356,11 +359,11 @@ pub fn optimize_empirical(
     let mut total = 0u64;
     let mut hit = 0u64;
     for (si, p) in profiles.iter().enumerate() {
-        total += p.total_remote_requests();
+        total = total.saturating_add(p.total_remote_requests());
         let set: std::collections::BTreeSet<_> = picked[si].iter().copied().collect();
         for &(doc, _, remote, _) in &p.docs {
             if set.contains(&doc) {
-                hit += remote;
+                hit = hit.saturating_add(remote);
             }
         }
     }

@@ -69,7 +69,7 @@ impl ServerProfile {
             match a.locality {
                 Locality::Remote => {
                     per_doc[i].2 += 1;
-                    remote_bytes += per_doc[i].1.get();
+                    remote_bytes = remote_bytes.saturating_add(per_doc[i].1.get());
                 }
                 Locality::Local => per_doc[i].3 += 1,
             }
@@ -214,9 +214,9 @@ impl BlockPopularity {
             if remote == 0 {
                 break;
             }
-            block_req += remote;
-            block_fill += size.get();
-            cum_bytes_served += remote * size.get();
+            block_req = block_req.saturating_add(remote);
+            block_fill = block_fill.saturating_add(size.get());
+            cum_bytes_served = cum_bytes_served.saturating_add(remote.saturating_mul(size.get()));
             if block_fill >= block_size.get() {
                 shares.push(block_req as f64 / total_requests as f64);
                 saved.push(cum_bytes_served as f64 / total_bytes_served as f64);

@@ -219,12 +219,14 @@ struct ReplayPart {
 
 impl FaultTally {
     fn merge(&mut self, other: &FaultTally) {
-        self.fault_denied += other.fault_denied;
-        self.retries += other.retries;
-        self.unavailable += other.unavailable;
-        self.stalled += other.stalled;
-        self.slow_served += other.slow_served;
-        self.partial_write_resends += other.partial_write_resends;
+        self.fault_denied = self.fault_denied.saturating_add(other.fault_denied);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.unavailable = self.unavailable.saturating_add(other.unavailable);
+        self.stalled = self.stalled.saturating_add(other.stalled);
+        self.slow_served = self.slow_served.saturating_add(other.slow_served);
+        self.partial_write_resends = self
+            .partial_write_resends
+            .saturating_add(other.partial_write_resends);
         self.stalled_service.merge(&other.stalled_service);
         self.slow_service.merge(&other.slow_service);
     }
@@ -292,7 +294,9 @@ impl<'a> DisseminationSim<'a> {
                 continue;
             }
             let node = self.trace.clients.get(a.client).node;
-            *leaf_bytes.entry(node).or_insert(0) += self.trace.catalog.size(a.doc).get();
+            let sz = self.trace.catalog.size(a.doc).get();
+            let e = leaf_bytes.entry(node).or_insert(0);
+            *e = e.saturating_add(sz);
         }
         let leaves: Vec<(NodeId, u64)> = leaf_bytes.into_iter().collect();
         let candidates = self.topo.interior_nodes();
@@ -311,7 +315,7 @@ impl<'a> DisseminationSim<'a> {
                     }
                     let cur = best_saved.get(&leaf).copied().unwrap_or(0);
                     if dv > cur {
-                        gain += bytes * u64::from(dv - cur);
+                        gain = gain.saturating_add(bytes.saturating_mul(u64::from(dv - cur)));
                     }
                 }
                 // Ties broken by lower node id for determinism.
@@ -372,13 +376,18 @@ impl<'a> DisseminationSim<'a> {
         }
         let healthy = self.run_inner(cfg, updates, None)?.0;
         let (outcome, tally) = self.run_inner(cfg, updates, Some(plan))?;
-        let attempted = outcome.proxy_hits + outcome.origin_hits + tally.unavailable;
+        let attempted = outcome
+            .proxy_hits
+            .saturating_add(outcome.origin_hits)
+            .saturating_add(tally.unavailable);
         let availability = if attempted == 0 {
             1.0
         } else {
             (attempted - tally.unavailable) as f64 / attempted as f64
         };
+        // lint:allow(W1): ByteHops Add saturates (units::unit_arith!)
         let faulted_total = outcome.with_dissemination.byte_hops + outcome.push_traffic;
+        // lint:allow(W1): ByteHops Add saturates (units::unit_arith!)
         let healthy_total = healthy.with_dissemination.byte_hops + healthy.push_traffic;
         let byte_hops_inflation = faulted_total.ratio(healthy_total);
         Ok(DegradedDisseminationOutcome {
@@ -454,9 +463,11 @@ impl<'a> DisseminationSim<'a> {
                 for (doc, size) in docs {
                     store.install(profile.server, doc, size)?;
                     if cfg.count_dissemination_traffic {
+                        // lint:allow(W1): ByteHops AddAssign saturates (units::unit_arith!)
                         push_traffic += size.over_hops(hops_from_origin);
                     }
                 }
+                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                 total_storage += store.used_by(profile.server);
             }
             stores.insert(node, store);
@@ -470,6 +481,7 @@ impl<'a> DisseminationSim<'a> {
                 let server = self.trace.catalog.get(u.doc).server;
                 for (&node, store) in &stores {
                     if store.contains(server, u.doc) {
+                        // lint:allow(W1): ByteHops AddAssign saturates (units::unit_arith!)
                         push_traffic += size.over_hops(self.topo.depth(node));
                     }
                 }
@@ -507,17 +519,18 @@ impl<'a> DisseminationSim<'a> {
         for p in &parts {
             baseline.merge(&p.baseline);
             with_d.merge(&p.with_d);
-            proxy_hits += p.proxy_hits;
-            origin_hits += p.origin_hits;
-            shed += p.shed;
+            proxy_hits = proxy_hits.saturating_add(p.proxy_hits);
+            origin_hits = origin_hits.saturating_add(p.origin_hits);
+            shed = shed.saturating_add(p.shed);
             tally.merge(&p.tally);
             service.merge(&p.service);
             baseline_service.merge(&p.baseline_service);
         }
 
+        // lint:allow(W1): ByteHops Add saturates (units::unit_arith!)
         let total_with = with_d.byte_hops + push_traffic;
         let reduction = 1.0 - total_with.ratio(baseline.byte_hops);
-        let total_requests = proxy_hits + origin_hits;
+        let total_requests = proxy_hits.saturating_add(origin_hits);
         let intercepted_fraction = if total_requests == 0 {
             0.0
         } else {
@@ -642,7 +655,7 @@ impl<'a> DisseminationSim<'a> {
                         part.tally.retries += 1;
                         continue; // fall through toward the home server
                     }
-                    let f = plan.capacity_factor(itc.proxy, t);
+                    let f: f64 = plan.capacity_factor(itc.proxy, t);
                     if f < 1.0 {
                         let c = cap_counters.entry(itc.proxy).or_insert((0u64, 0u64));
                         c.0 += 1;

@@ -171,6 +171,122 @@ pub struct Call {
     pub in_par: bool,
     /// 1-based line number.
     pub line: usize,
+    /// Identifier roots per argument position (top-level commas of the
+    /// argument list). The width engine maps these positionally onto
+    /// the callee's parameters to propagate scale taint into calls.
+    pub args: Vec<Vec<String>>,
+}
+
+/// Integer arithmetic operator classes the width engine tracks (W1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArithOp {
+    /// `*` / `*=`.
+    Mul,
+    /// `+` / `+=`.
+    Add,
+    /// `<<` / `<<=`.
+    Shl,
+}
+
+impl ArithOp {
+    /// Operator as written, for diagnostics.
+    pub fn sym(self) -> &'static str {
+        match self {
+            ArithOp::Mul => "*",
+            ArithOp::Add => "+",
+            ArithOp::Shl => "<<",
+        }
+    }
+}
+
+/// One unchecked integer arithmetic site (`a * b`, `a += b`, `n << k`).
+/// `checked_*`/`saturating_*` calls are *not* arith sites — they are
+/// counted separately as the safe form these sites should migrate to.
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Operator class.
+    pub op: ArithOp,
+    /// True for the compound-assignment form (`+=`, `*=`, `<<=`).
+    pub compound: bool,
+    /// Identifier roots of the left operand.
+    pub lhs: Vec<String>,
+    /// Identifier roots of the right operand.
+    pub rhs: Vec<String>,
+}
+
+/// One `as`-cast to a primitive numeric type. The token stream carries
+/// no type information for the source expression, so the cast records
+/// the *target* width plus the source identifiers; the width engine
+/// treats a scale-tainted source as u64-wide (its seeds are 64-bit
+/// counters) and flags narrowing targets (W2).
+#[derive(Debug, Clone)]
+pub struct CastSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Target primitive (`u32`, `usize`, `f64`, …).
+    pub target: String,
+    /// Identifier roots of the source expression.
+    pub src: Vec<String>,
+}
+
+/// One capacity allocation: `with_capacity(n)` or `vec![x; n]` (W3).
+#[derive(Debug, Clone)]
+pub struct CapacitySite {
+    /// 1-based line.
+    pub line: usize,
+    /// `with_capacity` or `vec![_; n]`.
+    pub what: &'static str,
+    /// Identifier roots of the size expression.
+    pub args: Vec<String>,
+}
+
+/// One dataflow binding edge: `let names = rhs;`, a `for pat in rhs`
+/// header, or a (compound) assignment. Taint in any `rhs` identifier
+/// flows into every name in `names` — unless the rhs passes through a
+/// width guard ([`is_width_guard`]), which kills the flow.
+#[derive(Debug, Clone)]
+pub struct FlowBind {
+    /// 1-based line.
+    pub line: usize,
+    /// Bound names (pattern identifiers / assignment target root).
+    pub names: Vec<String>,
+    /// Identifier roots of the right-hand side.
+    pub rhs: Vec<String>,
+    /// True when the rhs is width-guarded (`checked_*`, `try_into`, …).
+    pub guarded: bool,
+}
+
+/// Width-guard call names: their results are bounds-checked, saturated,
+/// or fallible conversions, so scale taint does not flow through them.
+/// This is the kill set that lets a `checked_mul` fix silence W1–W3.
+pub fn is_width_guard(name: &str) -> bool {
+    name.starts_with("checked_")
+        || name.starts_with("saturating_")
+        || matches!(name, "try_into" | "try_from" | "min" | "clamp")
+}
+
+/// Primitive numeric type names (cast targets worth recording).
+const NUM_PRIMS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Lowercase primitive type names — never a value operand, so a `<` /
+/// `>` beside one is a generic bracket, not a comparison.
+fn prim_type(w: &str) -> bool {
+    NUM_PRIMS.contains(&w) || matches!(w, "bool" | "str" | "char")
+}
+
+/// Cast targets narrower than the u64 scale domain. `usize`/`isize`
+/// count: the portability floor is 32 bits, and the million-client
+/// configs put scale products past 2^32 (DESIGN §14).
+pub fn narrowing_target(t: &str) -> bool {
+    matches!(
+        t,
+        "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "usize" | "isize"
+    )
 }
 
 /// One lock acquisition (`recv.lock()`).
@@ -223,6 +339,29 @@ pub struct FnItem {
     pub index_sites: usize,
     /// Lock acquisitions, in source order.
     pub locks: Vec<LockSite>,
+    /// Parameter names in declaration order (`self` excluded), so the
+    /// width engine can map caller argument taint positionally.
+    pub params: Vec<String>,
+    /// Dataflow binding edges (`let` / `for` / assignment), in order.
+    pub binds: Vec<FlowBind>,
+    /// Unchecked integer arithmetic sites (W1), in source order.
+    pub arith: Vec<ArithSite>,
+    /// `as`-casts to primitive numeric types (W2), in source order.
+    pub casts: Vec<CastSite>,
+    /// Capacity allocations (W3), in source order.
+    pub caps: Vec<CapacitySite>,
+    /// Count of `checked_*` / `saturating_*` call sites — the safe
+    /// forms W1 migrates arithmetic toward, surfaced in `--stats`.
+    pub checked_sites: usize,
+    /// Identifiers that may flow into the return value: operands of
+    /// `return` statements plus the trailing-expression idents of the
+    /// body (an over-approximation; DESIGN §14).
+    pub ret_idents: BTreeSet<String>,
+    /// Identifiers with a visible dominating bound: compared against
+    /// something (`<`/`>`/`<=`/`>=`), passed through `min`/`clamp`/
+    /// `try_into`/`try_from`, asserted on, or reduced by `%`. A bounded
+    /// tainted value does not fire W1–W3.
+    pub bounded: BTreeSet<String>,
 }
 
 /// Extraction result for one file.
@@ -243,6 +382,11 @@ pub struct FileExtract {
     pub decl_types: BTreeSet<String>,
     /// Flattened `use` declarations, in source order.
     pub imports: Vec<UseImport>,
+    /// Identifiers declared with a float-bearing type annotation
+    /// (`name: f64`, struct fields and params alike). The width engine
+    /// skips W1 on float arithmetic, and the lexer can't see types —
+    /// this name-global set is the approximation that stands in.
+    pub float_names: BTreeSet<String>,
 }
 
 /// Maps a workspace-relative path to a module path: `crates/spec/src/
@@ -304,7 +448,13 @@ const IO_METHODS: &[&str] = &[
 const IO_MACROS: &[&str] = &["dbg", "eprint", "eprintln", "print", "println"];
 
 /// Type qualifiers whose associated fns open files or sockets.
-const IO_TYPES: &[&str] = &["File", "OpenOptions", "TcpListener", "TcpStream", "UdpSocket"];
+const IO_TYPES: &[&str] = &[
+    "File",
+    "OpenOptions",
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+];
 
 /// `core::par` dispatch points: a call inside their argument list runs
 /// inside a worker closure (G5's scope).
@@ -406,10 +556,34 @@ fn tokenize(lines: &[Line], skip: &[bool]) -> Vec<(Tok, usize)> {
                     }
                 }
             } else if c.is_ascii_digit() {
-                // Numeric literal (including float / tuple-index runs).
+                // Numeric literal. Integer literals stay invisible (the
+                // positional walks rely on commas, not operands), but a
+                // float-shaped literal emits a synthetic `f64` ident so
+                // the width engine can tell `x * 100.0` from `x * 100`.
+                let start = i;
                 i += 1;
                 while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
+                }
+                let run: String = chars[start..i].iter().collect();
+                let radix_prefixed =
+                    run.starts_with("0x") || run.starts_with("0b") || run.starts_with("0o");
+                let mut float = !radix_prefixed
+                    && (run.ends_with("f64")
+                        || run.ends_with("f32")
+                        || run.contains('e')
+                        || run.contains('E'));
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    // `100.0` — consume the fractional run too (its
+                    // suffix/exponent rides along in the alnum walk).
+                    float = true;
+                    i += 1;
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                if float {
+                    toks.push((Tok::I("f64".to_string()), idx + 1));
                 }
             } else if c.is_ascii_alphabetic() || c == '_' {
                 let start = i;
@@ -544,6 +718,10 @@ struct Scope {
     depth: usize,
     /// Index into `FileExtract::fns` for `Fn` scopes.
     fn_idx: Option<usize>,
+    /// For `Fn` scopes: identifiers seen since the last `;` at this
+    /// scope's own depth. Whatever remains when the scope closes is the
+    /// trailing expression — flushed into `FnItem::ret_idents`.
+    tail: BTreeSet<String>,
 }
 
 /// Extracts items, calls, and sources from one sanitized file.
@@ -578,6 +756,9 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
     // sites run inside a worker closure (G5's scope).
     let mut paren_depth: usize = 0;
     let mut par_regions: Vec<usize> = Vec::new();
+    // Paren depth of a pending fn's parameter list: idents followed by
+    // a single `:` at exactly this depth are parameter names.
+    let mut sig_parens: Option<usize> = None;
 
     #[derive(Debug, Default)]
     struct ImplHdr {
@@ -601,7 +782,9 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                         name: out.fns[fi].name.clone(),
                         depth,
                         fn_idx: Some(fi),
+                        tail: BTreeSet::new(),
                     });
+                    sig_parens = None;
                 } else if let Some(hdr) = impl_hdr.take() {
                     let name = hdr.name.unwrap_or_else(|| "?".to_string());
                     out.impl_types.insert(name.clone());
@@ -610,6 +793,7 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                         name,
                         depth,
                         fn_idx: None,
+                        tail: BTreeSet::new(),
                     });
                 } else if let Some((kind, name)) = pend_named.take() {
                     if kind == ScopeKind::Type {
@@ -620,6 +804,7 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                         name,
                         depth,
                         fn_idx: None,
+                        tail: BTreeSet::new(),
                     });
                 }
                 for_hdr = None;
@@ -628,7 +813,14 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
             Tok::P('}') => {
                 depth = depth.saturating_sub(1);
                 while stack.last().is_some_and(|s| s.depth > depth) {
-                    stack.pop();
+                    // A closing fn scope flushes its trailing-expression
+                    // buffer into the return-flow set (over-approximate:
+                    // any ident after the body's last top-level `;`).
+                    if let Some(s) = stack.pop() {
+                        if let Some(fi) = s.fn_idx {
+                            out.fns[fi].ret_idents.extend(s.tail);
+                        }
+                    }
                 }
                 i += 1;
             }
@@ -636,6 +828,14 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                 pend_fn = None;
                 pend_named = None;
                 impl_hdr = None;
+                sig_parens = None;
+                // A statement boundary at the innermost fn's own depth
+                // resets its trailing-expression buffer.
+                if let Some(s) = stack.iter_mut().rev().find(|s| s.fn_idx.is_some()) {
+                    if s.depth == depth {
+                        s.tail.clear();
+                    }
+                }
                 i += 1;
             }
             Tok::P('<') if impl_hdr.is_some() => {
@@ -688,17 +888,187 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 on_self,
                                 in_par: !par_regions.is_empty(),
                                 line: cline,
+                                args: call_args(&toks, i),
                             });
                         }
                     }
                 }
                 paren_depth += 1;
+                // First paren of a pending fn header opens the
+                // parameter list (generic-bound parens like `Fn(u32)`
+                // come before it only inside `<..>`, where a parameter
+                // ident is never followed by a single `:`).
+                let in_sig = pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+                if in_sig && sig_parens.is_none() {
+                    sig_parens = Some(paren_depth);
+                }
                 i += 1;
             }
             Tok::P(')') => {
                 paren_depth = paren_depth.saturating_sub(1);
                 while par_regions.last().is_some_and(|d| *d > paren_depth) {
                     par_regions.pop();
+                }
+                i += 1;
+            }
+            // `<<` / `<<=` shift site (W1). A type-shaped left ident is
+            // the qualified-path sugar `Foo<<A as B>::C>` — generics,
+            // not a shift.
+            Tok::P('<')
+                if toks.get(i + 1).map(|(t, _)| t) == Some(&Tok::P('<'))
+                    && i > 0
+                    && match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w) && !upper_shaped(w),
+                        Tok::P(')') | Tok::P(']') => true,
+                        _ => false,
+                    } =>
+            {
+                let in_sig = pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+                let compound = toks.get(i + 2).map(|(t, _)| t) == Some(&Tok::P('='));
+                if !in_sig {
+                    let lhs = operand_before(&toks, i);
+                    let (rhs, guarded) = if compound {
+                        idents_until_semi(&toks, i + 3)
+                    } else {
+                        (operand_after(&toks, i + 2), false)
+                    };
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.arith.push(ArithSite {
+                            line,
+                            op: ArithOp::Shl,
+                            compound,
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        });
+                        if compound {
+                            f.binds.push(FlowBind {
+                                line,
+                                names: lhs,
+                                rhs,
+                                guarded,
+                            });
+                        }
+                    }
+                }
+                i += if compound { 3 } else { 2 };
+            }
+            // A comparison (`x < cap`, `limit >= n`) marks both sides
+            // bounded: the branch dominates the uses W1–W3 worry about.
+            // Generic brackets are mostly excluded by the type-shaped /
+            // keyword / primitive checks (`Vec<usize> = ..` would
+            // otherwise read as `usize >= ..`); survivors only add
+            // never-tainted names.
+            Tok::P('<') | Tok::P('>')
+                if impl_hdr.is_none()
+                    && i > 0
+                    && match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w) && !upper_shaped(w) && !prim_type(w),
+                        Tok::P(')') | Tok::P(']') => true,
+                        _ => false,
+                    } =>
+            {
+                let in_sig = pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+                if !in_sig {
+                    let after = if toks.get(i + 1).map(|(t, _)| t) == Some(&Tok::P('=')) {
+                        i + 2
+                    } else {
+                        i + 1
+                    };
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.bounded.extend(operand_before(&toks, i));
+                        f.bounded.extend(operand_after(&toks, after));
+                    }
+                }
+                i += 1;
+            }
+            // Integer `*` / `+` (and `*=` / `+=`) arithmetic sites (W1).
+            // Binary only: a preceding operand distinguishes them from
+            // deref / unary / generic-bound positions.
+            Tok::P(c @ ('*' | '+'))
+                if impl_hdr.is_none()
+                    && i > 0
+                    && match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w),
+                        Tok::P(')') | Tok::P(']') => true,
+                        _ => false,
+                    } =>
+            {
+                let in_sig = pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+                if !in_sig {
+                    let compound = toks.get(i + 1).map(|(t, _)| t) == Some(&Tok::P('='));
+                    let lhs = operand_before(&toks, i);
+                    let (rhs, guarded) = if compound {
+                        idents_until_semi(&toks, i + 2)
+                    } else {
+                        (operand_after(&toks, i + 1), false)
+                    };
+                    let op = if *c == '*' {
+                        ArithOp::Mul
+                    } else {
+                        ArithOp::Add
+                    };
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.arith.push(ArithSite {
+                            line,
+                            op,
+                            compound,
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        });
+                        if compound {
+                            f.binds.push(FlowBind {
+                                line,
+                                names: lhs,
+                                rhs,
+                                guarded,
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            // `x % m` bounds x below m.
+            Tok::P('%')
+                if i > 0
+                    && match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w),
+                        Tok::P(')') | Tok::P(']') => true,
+                        _ => false,
+                    } =>
+            {
+                if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                    f.bounded.extend(operand_before(&toks, i));
+                }
+                i += 1;
+            }
+            // Plain assignment `target = rhs;` is a flow bind. `let`
+            // statements are recorded by the `let` arm; compound ops by
+            // theirs; `==`/`=>`/`<=`-family operators never have an
+            // identifier immediately before their `=`.
+            Tok::P('=')
+                if i > 0
+                    && match &toks[i - 1].0 {
+                        Tok::I(w) => !is_keyword(w),
+                        Tok::P(']') => true,
+                        _ => false,
+                    }
+                    && !matches!(
+                        toks.get(i + 1).map(|(t, _)| t),
+                        Some(&Tok::P('=')) | Some(&Tok::P('>'))
+                    ) =>
+            {
+                let in_sig = pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
+                if !in_sig && !binds_with_let(&toks, i) {
+                    let names = operand_before(&toks, i);
+                    let (rhs, guarded) = idents_until_semi(&toks, i + 1);
+                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                        f.binds.push(FlowBind {
+                            line,
+                            names,
+                            rhs,
+                            guarded,
+                        });
+                    }
                 }
                 i += 1;
             }
@@ -745,6 +1115,62 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                 let in_fn_sig =
                     pend_fn.is_some() && stack.last().is_none_or(|s| s.fn_idx != pend_fn);
 
+                // Trailing-expression buffer for return flow: whatever
+                // identifiers remain when the fn scope closes are the
+                // tail expression (flushed into `ret_idents` at `}`).
+                if !in_fn_sig && !is_keyword(w) {
+                    if let Some(s) = stack.iter_mut().rev().find(|s| s.fn_idx.is_some()) {
+                        if s.tail.len() < 24 {
+                            s.tail.insert(w.clone());
+                        }
+                    }
+                }
+                // Parameter name: `name:` (single colon) at exactly the
+                // parameter-list paren depth of a pending fn header.
+                if in_fn_sig
+                    && sig_parens == Some(paren_depth)
+                    && next_is(':')
+                    && toks.get(i + 2).map(|(t, _)| t) != Some(&Tok::P(':'))
+                    && (i == 0 || toks[i - 1].0 != Tok::P(':'))
+                    && !is_keyword(w)
+                    && !upper_shaped(w)
+                {
+                    if let Some(fi) = pend_fn {
+                        out.fns[fi].params.push(w.clone());
+                    }
+                }
+                // Float-typed declaration: `name: f64` (field, param or
+                // let ascription). Scan a short window of the annotation
+                // for a float primitive; the name joins the name-global
+                // float set the width engine consults.
+                if next_is(':')
+                    && toks.get(i + 2).map(|(t, _)| t) != Some(&Tok::P(':'))
+                    && (i == 0 || toks[i - 1].0 != Tok::P(':'))
+                    && !is_keyword(w)
+                    && !upper_shaped(w)
+                {
+                    let mut d: i64 = 0;
+                    for (t, _) in toks.iter().skip(i + 2).take(10) {
+                        match t {
+                            Tok::P('<') | Tok::P('(') | Tok::P('[') => d += 1,
+                            Tok::P('>') | Tok::P(')') | Tok::P(']') => {
+                                if d == 0 {
+                                    break;
+                                }
+                                d -= 1;
+                            }
+                            Tok::P(',') | Tok::P(';') | Tok::P('{') | Tok::P('=') if d == 0 => {
+                                break;
+                            }
+                            Tok::I(t) if t == "f64" || t == "f32" => {
+                                out.float_names.insert(w.clone());
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+
                 match w.as_str() {
                     "fn" => {
                         if let Some((Tok::I(name), _)) = toks.get(i + 1) {
@@ -764,6 +1190,14 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                     effects: Vec::new(),
                                     index_sites: 0,
                                     locks: Vec::new(),
+                                    params: Vec::new(),
+                                    binds: Vec::new(),
+                                    arith: Vec::new(),
+                                    casts: Vec::new(),
+                                    caps: Vec::new(),
+                                    checked_sites: 0,
+                                    ret_idents: BTreeSet::new(),
+                                    bounded: BTreeSet::new(),
                                 });
                                 pend_fn = Some(out.fns.len() - 1);
                             }
@@ -867,6 +1301,216 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                     }
                     "for" if !in_fn_sig => {
                         for_hdr = Some(false);
+                        // Flow bind: `for names in rhs {`. Ctor/type
+                        // segments in the pattern are skipped; taint in
+                        // the iterated expression flows to the names.
+                        let mut names = Vec::new();
+                        let mut j = i + 1;
+                        let mut budget = 40usize;
+                        while let Some((t, _)) = toks.get(j) {
+                            if budget == 0 {
+                                break;
+                            }
+                            budget -= 1;
+                            match t {
+                                Tok::I(w2) if w2 == "in" => break,
+                                Tok::P('{') | Tok::P(';') => {
+                                    names.clear();
+                                    break;
+                                }
+                                Tok::I(w2)
+                                    if !is_keyword(w2) && !upper_shaped(w2) && names.len() < 6 =>
+                                {
+                                    push_unique(&mut names, w2);
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if !names.is_empty() {
+                            let mut rhs = Vec::new();
+                            let mut guarded = false;
+                            let mut k = j + 1;
+                            let mut budget = 60usize;
+                            while let Some((t, _)) = toks.get(k) {
+                                if budget == 0 || matches!(t, Tok::P('{') | Tok::P(';')) {
+                                    break;
+                                }
+                                budget -= 1;
+                                if let Tok::I(w2) = t {
+                                    if !is_keyword(w2) {
+                                        guarded |= is_width_guard(w2);
+                                        if rhs.len() < 12 {
+                                            push_unique(&mut rhs, w2);
+                                        }
+                                    }
+                                }
+                                k += 1;
+                            }
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.binds.push(FlowBind {
+                                    line,
+                                    names,
+                                    rhs,
+                                    guarded,
+                                });
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "let" if !in_fn_sig => {
+                        // Flow bind: `let names(: ty)? = rhs;`. Pattern
+                        // names are the lowercase idents (ctor segments
+                        // like `Some` are type-shaped and skipped); rhs
+                        // collection runs to the statement's `;`, over-
+                        // approximating through struct literals and
+                        // `if let` bodies (extra taint is the sound
+                        // direction, DESIGN §14).
+                        let mut names = Vec::new();
+                        let mut j = i + 1;
+                        let mut eq = None;
+                        let mut budget = 40usize;
+                        while let Some((t, _)) = toks.get(j) {
+                            if budget == 0 {
+                                break;
+                            }
+                            budget -= 1;
+                            match t {
+                                Tok::P(':') | Tok::P(';') | Tok::P('{') => break,
+                                Tok::P('=') => {
+                                    eq = Some(j);
+                                    break;
+                                }
+                                Tok::I(w2)
+                                    if !is_keyword(w2) && !upper_shaped(w2) && names.len() < 6 =>
+                                {
+                                    push_unique(&mut names, w2);
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if eq.is_none() {
+                            // Type ascription: skip the `: ty` to the
+                            // binder `=` (assoc bindings `Bar = Baz`
+                            // sit inside `<..>` and are bracket-nested;
+                            // `->` arrows must not close a bracket).
+                            let mut d = 0i32;
+                            let mut budget = 60usize;
+                            while let Some((t, _)) = toks.get(j) {
+                                if budget == 0 {
+                                    break;
+                                }
+                                budget -= 1;
+                                match t {
+                                    Tok::P('<') | Tok::P('(') | Tok::P('[') => d += 1,
+                                    Tok::P('>') if j > 0 && toks[j - 1].0 != Tok::P('-') => d -= 1,
+                                    Tok::P(')') | Tok::P(']') => d -= 1,
+                                    Tok::P('=') if d <= 0 => {
+                                        eq = Some(j);
+                                        break;
+                                    }
+                                    Tok::P(';') | Tok::P('{') if d <= 0 => break,
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                        if let Some(e) = eq {
+                            if !names.is_empty() {
+                                let (rhs, guarded) = idents_until_semi(&toks, e + 1);
+                                if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                    f.binds.push(FlowBind {
+                                        line,
+                                        names,
+                                        rhs,
+                                        guarded,
+                                    });
+                                }
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "return" if !in_fn_sig => {
+                        let (ids, _) = idents_until_semi(&toks, i + 1);
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.ret_idents.extend(ids);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "as" if !in_fn_sig => {
+                        // `expr as prim` cast site (W2). `use .. as`
+                        // renames are consumed by parse_use; a
+                        // qualified-path `<A as Trait>` has a non-
+                        // primitive target and falls through.
+                        if let Some((Tok::I(t), _)) = toks.get(i + 1) {
+                            if NUM_PRIMS.contains(&t.as_str()) {
+                                let src = operand_before(&toks, i);
+                                if !src.is_empty() {
+                                    let target = t.clone();
+                                    if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                        f.casts.push(CastSite { line, target, src });
+                                    }
+                                }
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "vec"
+                        if next_is('!')
+                            && toks.get(i + 2).map(|(t, _)| t) == Some(&Tok::P('[')) =>
+                    {
+                        // `vec![elem; n]` capacity site (W3): the idents
+                        // after the top-level `;` size the allocation.
+                        let mut d = 1i32;
+                        let mut j = i + 3;
+                        let mut semi = None;
+                        let mut budget = 200usize;
+                        while j < n && d > 0 && budget > 0 {
+                            budget -= 1;
+                            match &toks[j].0 {
+                                Tok::P('[') | Tok::P('(') | Tok::P('{') => d += 1,
+                                Tok::P(']') | Tok::P(')') | Tok::P('}') => d -= 1,
+                                Tok::P(';') if d == 1 => semi = Some(j),
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if let Some(s) = semi {
+                            let mut args = Vec::new();
+                            for (t, _) in &toks[s + 1..j.saturating_sub(1).max(s + 1)] {
+                                if let Tok::I(w2) = t {
+                                    if !is_keyword(w2) && args.len() < 12 {
+                                        push_unique(&mut args, w2);
+                                    }
+                                }
+                            }
+                            if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                                f.caps.push(CapacitySite {
+                                    line,
+                                    what: "vec![_; n]",
+                                    args,
+                                });
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "assert" | "debug_assert"
+                        if next_is('!')
+                            && toks.get(i + 2).map(|(t, _)| t) == Some(&Tok::P('(')) =>
+                    {
+                        // Asserted identifiers count as bounded: the
+                        // assert dominates every later use in the fn.
+                        let ids: Vec<String> =
+                            call_args(&toks, i + 2).into_iter().flatten().collect();
+                        if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            f.bounded.extend(ids);
+                        }
                         i += 1;
                         continue;
                     }
@@ -948,7 +1592,18 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 });
                             }
                         }
+                        let cargs = call_args(&toks, i + 1);
                         if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            if w == "with_capacity" {
+                                f.caps.push(CapacitySite {
+                                    line,
+                                    what: "with_capacity",
+                                    args: cargs.iter().flatten().cloned().collect(),
+                                });
+                            }
+                            if w.starts_with("checked_") || w.starts_with("saturating_") {
+                                f.checked_sites += 1;
+                            }
                             f.calls.push(Call {
                                 name: w.clone(),
                                 qualifier: String::new(),
@@ -956,6 +1611,7 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 on_self,
                                 in_par: !par_regions.is_empty(),
                                 line,
+                                args: cargs,
                             });
                         }
                     } else {
@@ -995,9 +1651,7 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                             && matches!(w.as_str(), "stdin" | "stdout" | "stderr" | "copy")
                         {
                             Some((EffectKind::Io, format!("io::{w}")))
-                        } else if qlast == "env"
-                            && matches!(w.as_str(), "set_var" | "remove_var")
-                        {
+                        } else if qlast == "env" && matches!(w.as_str(), "set_var" | "remove_var") {
                             // Env *reads* (`env::var`) are deliberately not
                             // effects: the environment is constant for the
                             // life of the process, so a read returns the
@@ -1021,7 +1675,18 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 });
                             }
                         }
+                        let cargs = call_args(&toks, i + 1);
                         if let Some(f) = current_fn(&stack, pend_fn, &mut out) {
+                            if w == "with_capacity" {
+                                f.caps.push(CapacitySite {
+                                    line,
+                                    what: "with_capacity",
+                                    args: cargs.iter().flatten().cloned().collect(),
+                                });
+                            }
+                            if w.starts_with("checked_") || w.starts_with("saturating_") {
+                                f.checked_sites += 1;
+                            }
                             f.calls.push(Call {
                                 name: w.clone(),
                                 qualifier,
@@ -1029,6 +1694,7 @@ pub fn extract(rel: &str, lines: &[Line], skip: &[bool]) -> FileExtract {
                                 on_self: false,
                                 in_par: !par_regions.is_empty(),
                                 line,
+                                args: cargs,
                             });
                         }
                     }
@@ -1140,8 +1806,7 @@ fn path_qualifier_before(toks: &[(Tok, usize)], at: usize) -> String {
         if k >= 1 && toks[k - 1].0 == Tok::P('>') {
             let mut depth = 1usize;
             let mut m = k - 1;
-            loop {
-                let Some(prev) = m.checked_sub(1) else { break };
+            while let Some(prev) = m.checked_sub(1) {
                 m = prev;
                 match &toks[m].0 {
                     Tok::P('>') => depth += 1,
@@ -1154,8 +1819,7 @@ fn path_qualifier_before(toks: &[(Tok, usize)], at: usize) -> String {
                     _ => {}
                 }
             }
-            if depth != 0 || m < 2 || toks[m - 1].0 != Tok::P(':') || toks[m - 2].0 != Tok::P(':')
-            {
+            if depth != 0 || m < 2 || toks[m - 1].0 != Tok::P(':') || toks[m - 2].0 != Tok::P(':') {
                 // Not a turbofish (e.g. a `<T as Trait>::f` qualified
                 // path, or expression `>`): stop, as before.
                 break;
@@ -1206,12 +1870,7 @@ fn turbofish_call_before(toks: &[(Tok, usize)], open: usize) -> Option<usize> {
 /// it), flattening groups, renames, and globs into [`UseImport`]s for
 /// `module`'s scope. Returns the token index just past the terminating
 /// `;` (error recovery: end of stream).
-fn parse_use(
-    toks: &[(Tok, usize)],
-    mut i: usize,
-    module: &str,
-    out: &mut Vec<UseImport>,
-) -> usize {
+fn parse_use(toks: &[(Tok, usize)], mut i: usize, module: &str, out: &mut Vec<UseImport>) -> usize {
     let n = toks.len();
     i = parse_use_tree(toks, i, &[], module, out);
     while i < n {
@@ -1245,7 +1904,7 @@ fn parse_use_tree(
         // `use a::b::{self, c}`: `self` names the base path itself (its
         // binding falls out of `path.last()` below). A leading `self::`
         // prefix is kept verbatim for the resolver to normalize.
-        if !(seg == "self" && !path.is_empty()) {
+        if seg != "self" || path.is_empty() {
             path.push(seg.clone());
         }
         // `::` continuation: another segment, a glob, or a group.
@@ -1303,6 +1962,211 @@ fn parse_use_tree(
         }
         return next;
     }
+}
+
+/// UpperCamelCase initial — type/ctor-shaped by Rust convention (the
+/// same heuristic the resolver uses; extract keeps a local copy so the
+/// token layer stays self-contained).
+fn upper_shaped(w: &str) -> bool {
+    w.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Appends `w` unless already present. Operand ident sets are tiny, so
+/// a linear scan preserves source order without hashing.
+fn push_unique(v: &mut Vec<String>, w: &str) {
+    if !v.iter().any(|x| x == w) {
+        v.push(w.to_string());
+    }
+}
+
+/// Identifier roots of the operand that *ends* just before token `at`
+/// (exclusive): a dotted ident chain (`cfg.n_clients` → both idents) or
+/// a balanced `(..)`/`[..]` group plus the chain it hangs off
+/// (`((a as f64) * b).round()` → every ident inside). Keywords
+/// terminate the walk; budgets keep it linear and deterministic.
+fn operand_before(toks: &[(Tok, usize)], at: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = at; // exclusive upper bound
+    let mut budget = 64usize;
+    loop {
+        if out.len() >= 12 || budget == 0 {
+            break;
+        }
+        let Some(prev) = j.checked_sub(1) else { break };
+        match &toks[prev].0 {
+            Tok::P(c @ (')' | ']')) => {
+                let (open, close) = if *c == ')' { ('(', ')') } else { ('[', ']') };
+                let mut d = 1i32;
+                let mut k = prev;
+                while d > 0 {
+                    let Some(kk) = k.checked_sub(1) else {
+                        return out;
+                    };
+                    k = kk;
+                    budget = budget.saturating_sub(1);
+                    if budget == 0 {
+                        return out;
+                    }
+                    match &toks[k].0 {
+                        Tok::P(c2) if *c2 == close => d += 1,
+                        Tok::P(c2) if *c2 == open => d -= 1,
+                        Tok::I(w) if !is_keyword(w) => push_unique(&mut out, w),
+                        _ => {}
+                    }
+                }
+                j = k; // at the opening token; keep walking the chain
+            }
+            Tok::I(w) => {
+                if is_keyword(w) {
+                    break;
+                }
+                push_unique(&mut out, w);
+                budget = budget.saturating_sub(1);
+                if prev >= 2 && toks[prev - 1].0 == Tok::P('.') {
+                    j = prev - 1; // continue before the dot
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Identifier roots of the operand *starting* at token `at`: skips
+/// prefix sigils, then follows a dotted/call/path chain
+/// (`zipf.sample(rng)` → `zipf`, `sample`, `rng`) or a parenthesized
+/// group's ident set.
+fn operand_after(toks: &[(Tok, usize)], at: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = at;
+    let mut budget = 64usize;
+    while matches!(toks.get(j), Some((Tok::P('&' | '*' | '-' | '!'), _))) {
+        j += 1;
+    }
+    if matches!(toks.get(j), Some((Tok::I(w), _)) if w == "mut") {
+        j += 1;
+    }
+    // Collects one balanced paren group whose `(` is at `k`; returns
+    // the index just past the close.
+    let group = |out: &mut Vec<String>, budget: &mut usize, k: usize| -> usize {
+        let mut d = 1i32;
+        let mut k = k + 1;
+        while k < toks.len() && d > 0 && *budget > 0 {
+            *budget -= 1;
+            match &toks[k].0 {
+                Tok::P('(') => d += 1,
+                Tok::P(')') => d -= 1,
+                Tok::I(w2) if !is_keyword(w2) => push_unique(out, w2),
+                _ => {}
+            }
+            k += 1;
+        }
+        k
+    };
+    loop {
+        if out.len() >= 12 || budget == 0 {
+            break;
+        }
+        match toks.get(j).map(|(t, _)| t) {
+            Some(Tok::I(w)) => {
+                if is_keyword(w) {
+                    break;
+                }
+                push_unique(&mut out, w);
+                budget = budget.saturating_sub(1);
+                match toks.get(j + 1).map(|(t, _)| t) {
+                    Some(Tok::P('.')) => j += 2,
+                    Some(Tok::P(':')) if toks.get(j + 2).map(|(t, _)| t) == Some(&Tok::P(':')) => {
+                        j += 3
+                    }
+                    Some(Tok::P('(')) => {
+                        let k = group(&mut out, &mut budget, j + 1);
+                        if toks.get(k).map(|(t, _)| t) == Some(&Tok::P('.')) {
+                            j = k + 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            Some(Tok::P('(')) => {
+                let k = group(&mut out, &mut budget, j);
+                if toks.get(k).map(|(t, _)| t) == Some(&Tok::P('.')) {
+                    j = k + 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// All identifier roots from `from` until the terminating `;` at
+/// bracket depth 0 relative to `from` (budget-capped), plus whether any
+/// collected ident is a width guard ([`is_width_guard`]).
+fn idents_until_semi(toks: &[(Tok, usize)], from: usize) -> (Vec<String>, bool) {
+    let mut out = Vec::new();
+    let mut guarded = false;
+    let mut d = 0i32;
+    let mut j = from;
+    let mut budget = 240usize;
+    while j < toks.len() && budget > 0 {
+        budget -= 1;
+        match &toks[j].0 {
+            Tok::P('(') | Tok::P('[') | Tok::P('{') => d += 1,
+            Tok::P(')') | Tok::P(']') | Tok::P('}') => {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+            }
+            Tok::P(';') if d == 0 => break,
+            Tok::I(w) if !is_keyword(w) => {
+                guarded |= is_width_guard(w);
+                if out.len() < 24 {
+                    push_unique(&mut out, w);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (out, guarded)
+}
+
+/// Splits the balanced argument list whose `(` sits at `open` into
+/// per-argument identifier root sets (split at top-level commas).
+/// Numeric literals are invisible to the tokenizer, so a literal-only
+/// argument contributes an empty set — the commas still keep later
+/// positions aligned with the callee's parameters.
+fn call_args(toks: &[(Tok, usize)], open: usize) -> Vec<Vec<String>> {
+    let mut args: Vec<Vec<String>> = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut d = 1i32;
+    let mut j = open + 1;
+    let mut budget = 200usize;
+    while j < toks.len() && d > 0 && budget > 0 {
+        budget -= 1;
+        match &toks[j].0 {
+            Tok::P('(') | Tok::P('[') | Tok::P('{') => d += 1,
+            Tok::P(')') | Tok::P(']') | Tok::P('}') => d -= 1,
+            Tok::P(',') if d == 1 => args.push(std::mem::take(&mut cur)),
+            Tok::I(w) if !is_keyword(w) && cur.len() < 12 => {
+                push_unique(&mut cur, w);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if !cur.is_empty() || !args.is_empty() {
+        args.push(cur);
+    }
+    args
 }
 
 /// Whether the statement containing token `at` starts with `let`
@@ -1562,7 +2426,9 @@ fn f() { r#type(); }
         let fx = ex("crates/x/src/lib.rs", src);
         let calls = &fx.fns[0].calls;
         assert!(
-            calls.iter().any(|c| c.name == "new" && c.qualifier == "Vec"),
+            calls
+                .iter()
+                .any(|c| c.name == "new" && c.qualifier == "Vec"),
             "{calls:#?}"
         );
         assert!(
@@ -1572,7 +2438,9 @@ fn f() { r#type(); }
             "{calls:#?}"
         );
         // No degraded any-name `new` call without its qualifier.
-        assert!(calls.iter().all(|c| c.name != "new" || c.qualifier == "Vec"));
+        assert!(calls
+            .iter()
+            .all(|c| c.name != "new" || c.qualifier == "Vec"));
     }
 
     #[test]
@@ -1602,18 +2470,9 @@ fn f() {}
         let got: Vec<(String, String, String, bool)> = fx
             .imports
             .iter()
-            .map(|u| {
-                (
-                    u.module.clone(),
-                    u.path.join("::"),
-                    u.alias.clone(),
-                    u.glob,
-                )
-            })
+            .map(|u| (u.module.clone(), u.path.join("::"), u.alias.clone(), u.glob))
             .collect();
-        let x = |p: &str, a: &str, g: bool| {
-            ("x".to_string(), p.to_string(), a.to_string(), g)
-        };
+        let x = |p: &str, a: &str, g: bool| ("x".to_string(), p.to_string(), a.to_string(), g);
         assert_eq!(
             got,
             [

@@ -27,15 +27,13 @@
 //!    (`Vec::new(..)` never reenters workspace code directly; closures
 //!    it is handed are already attributed to the defining fn);
 //! 7. a type-shaped qualifier (`T::f` with an UpperCamelCase `T`) that
-//!    survived the rungs above:
-//!    a. `T` is a declared workspace type or a std trait in UFCS
-//!       position (`Default::default()`) → the **assoc fallback**:
-//!       every workspace fn declared inside some `impl`/`trait` block
-//!       and named `f`. `T::f` can only name an associated item, so
-//!       free fns are provably not candidates;
-//!    b. `T` is declared nowhere visible (macro-generated id types,
-//!       unlisted foreign types) → zero candidates — no visible fn can
-//!       be its associated item;
+//!    survived the rungs above: (a) `T` is a declared workspace type or
+//!    a std trait in UFCS position (`Default::default()`) → the **assoc
+//!    fallback**: every workspace fn declared inside some `impl`/`trait`
+//!    block and named `f` — `T::f` can only name an associated item, so
+//!    free fns are provably not candidates; (b) `T` is declared nowhere
+//!    visible (macro-generated id types, unlisted foreign types) → zero
+//!    candidates — no visible fn can be its associated item;
 //! 8. everything else → the **any-name fallback**: every workspace fn
 //!    named `f` for free/path calls; for method calls on opaque
 //!    receivers, every workspace method named `m` that takes `self` (a
@@ -52,7 +50,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::extract::{EffectSite, FileExtract, LockSite, SourceKind, SourceSite};
+use crate::extract::{
+    ArithSite, CapacitySite, CastSite, EffectSite, FileExtract, FlowBind, LockSite, SourceKind,
+    SourceSite,
+};
 
 /// The workspace crate-dependency DAG, used to prune infeasible edges:
 /// a fn in crate A cannot call a fn in crate B unless A (transitively)
@@ -195,10 +196,34 @@ fn is_std_qualifier(q: &str) -> bool {
 /// these keep the assoc-restricted fallback instead of resolving to
 /// zero, even though the trait itself is declared nowhere visible.
 const STD_TRAITS: &[&str] = &[
-    "AsMut", "AsRef", "Borrow", "BorrowMut", "Clone", "Debug", "Default", "Deref", "DerefMut",
-    "Display", "Eq", "Extend", "From", "FromIterator", "FromStr", "Hash", "Into", "IntoIterator",
-    "Iterator", "Ord", "PartialEq", "PartialOrd", "Read", "ToOwned", "ToString", "TryFrom",
-    "TryInto", "Write",
+    "AsMut",
+    "AsRef",
+    "Borrow",
+    "BorrowMut",
+    "Clone",
+    "Debug",
+    "Default",
+    "Deref",
+    "DerefMut",
+    "Display",
+    "Eq",
+    "Extend",
+    "From",
+    "FromIterator",
+    "FromStr",
+    "Hash",
+    "Into",
+    "IntoIterator",
+    "Iterator",
+    "Ord",
+    "PartialEq",
+    "PartialOrd",
+    "Read",
+    "ToOwned",
+    "ToString",
+    "TryFrom",
+    "TryInto",
+    "Write",
 ];
 
 /// Whether a path segment is type-shaped by Rust naming convention
@@ -241,6 +266,13 @@ pub struct ResolutionStats {
     pub fallback_edges: usize,
     /// Distinct edges inserted by the opaque-method fallback.
     pub method_fallback_edges: usize,
+    /// The any-name fallback edges themselves, as sorted
+    /// `caller → callee` qname pairs. Pinned by a golden test so new
+    /// code cannot silently lean on the imprecise rung; serialized into
+    /// `callgraph.json` and printed by `--stats` (the opaque-method
+    /// list is elided — thousands of entries, same information as the
+    /// count).
+    pub fallback_pairs: Vec<(String, String)>,
 }
 
 impl ResolutionStats {
@@ -271,6 +303,24 @@ impl ResolutionStats {
              \"method_fallback_edges\": {}, \"rungs\": {{{rungs}}}}}",
             self.calls, self.fallback_edges, self.method_fallback_edges
         )
+    }
+
+    /// The pinned fallback-edge list as a JSON array of
+    /// `{"from": .., "to": ..}` objects (sorted; see
+    /// [`Self::fallback_pairs`]). Emitted into `callgraph.json` only —
+    /// the lint report keeps the compact counts-only `resolution`.
+    pub fn fallback_pairs_json(&self) -> String {
+        let items = self
+            .fallback_pairs
+            .iter()
+            .map(|(a, b)| format!("    {{\"from\": \"{}\", \"to\": \"{}\"}}", esc(a), esc(b)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        if items.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{items}\n  ]")
+        }
     }
 }
 
@@ -356,7 +406,58 @@ pub struct Node {
     pub index_sites: usize,
     /// Lock acquisitions, in source order.
     pub locks: Vec<LockSite>,
+    /// Parameter names in declaration order (`self` excluded).
+    pub params: Vec<String>,
+    /// Dataflow binding edges (`let` / `for` / assignment).
+    pub binds: Vec<FlowBind>,
+    /// Unchecked integer arithmetic sites (W1).
+    pub arith: Vec<ArithSite>,
+    /// `as`-casts to primitive numeric types (W2).
+    pub casts: Vec<CastSite>,
+    /// Capacity allocations (W3).
+    pub caps: Vec<CapacitySite>,
+    /// `checked_*` / `saturating_*` call sites.
+    pub checked_sites: usize,
+    /// Identifiers that may flow into the return value.
+    pub ret_idents: BTreeSet<String>,
+    /// Identifiers with a visible dominating bound.
+    pub bounded: BTreeSet<String>,
+    /// Call sites with their *precisely* resolved callees, for width
+    /// propagation. Only edges decided by a precise rung appear in
+    /// `callees` — propagating scale taint through the any-name /
+    /// opaque-method fallbacks (thousands of edges) would taint the
+    /// whole graph, so the width engine deliberately trades that
+    /// soundness margin for precision (DESIGN §14).
+    pub call_sites: Vec<ResolvedCall>,
 }
+
+/// One call site with its precise-rung callee set (see
+/// [`Node::call_sites`]).
+#[derive(Debug, Clone)]
+pub struct ResolvedCall {
+    /// Callee as written (method or final path segment).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Identifier roots per argument position.
+    pub args: Vec<Vec<String>>,
+    /// Precisely resolved callee qnames (empty for fallback-decided or
+    /// foreign calls).
+    pub callees: BTreeSet<String>,
+}
+
+/// Rungs whose candidate sets are trusted for width propagation: the
+/// caller demonstrably names this callee (receiver type, import, module
+/// path, or glob scope) rather than matching on a bare name.
+const PRECISE_RUNGS: &[&str] = &[
+    "self_method",
+    "self_type",
+    "module_local",
+    "import",
+    "type_qualified",
+    "module_qualified",
+    "glob",
+];
 
 /// Per-module import scope, indexed for the resolver.
 struct ImportScopes {
@@ -413,6 +514,9 @@ pub struct CallGraph {
     /// qname → node. BTreeMap so every traversal and the JSON dump are
     /// order-deterministic.
     pub nodes: BTreeMap<String, Node>,
+    /// Union of every file's float-declared names (see
+    /// [`FileExtract::float_names`]) — the width engine's type oracle.
+    pub float_names: BTreeSet<String>,
 }
 
 impl CallGraph {
@@ -460,7 +564,10 @@ impl CallGraph {
                     .or_default()
                     .push(&f.qname);
                 if let Some((prefix, name)) = f.qname.rsplit_once("::") {
-                    by_scope_name.entry((prefix, name)).or_default().push(&f.qname);
+                    by_scope_name
+                        .entry((prefix, name))
+                        .or_default()
+                        .push(&f.qname);
                 }
                 modules.insert(&f.module);
             }
@@ -512,8 +619,7 @@ impl CallGraph {
             if !use_imports {
                 return ImportHit::None;
             }
-            let Some(targets) = scopes.named.get(&(module.to_string(), alias.to_string()))
-            else {
+            let Some(targets) = scopes.named.get(&(module.to_string(), alias.to_string())) else {
                 return ImportHit::None;
             };
             let mut cands: Vec<&str> = Vec::new();
@@ -587,6 +693,7 @@ impl CallGraph {
             for f in &fx.fns {
                 let mut calls: BTreeSet<String> = BTreeSet::new();
                 let mut par_calls: BTreeMap<String, usize> = BTreeMap::new();
+                let mut call_sites: Vec<ResolvedCall> = Vec::new();
                 for c in &f.calls {
                     let (cands, rung): (Vec<&str>, &'static str) = if c.is_method {
                         let self_hit = if c.on_self {
@@ -644,12 +751,7 @@ impl CallGraph {
                         } else {
                             // Rung 2: named import on the first path
                             // segment.
-                            match import_lookup(
-                                &f.module,
-                                q_segs[0],
-                                &q_segs[1..],
-                                Some(&c.name),
-                            ) {
+                            match import_lookup(&f.module, q_segs[0], &q_segs[1..], Some(&c.name)) {
                                 ImportHit::Resolved(v) => (v, "import"),
                                 ImportHit::Foreign => (Vec::new(), "import_foreign"),
                                 ImportHit::Inconclusive | ImportHit::None => {
@@ -755,24 +857,28 @@ impl CallGraph {
                     // upgrade, so they degrade to the any-name fallback
                     // there too — that is what the shrink criterion
                     // measures against.
-                    let (cands, rung) = if !use_imports
-                        && matches!(rung, "assoc_fallback" | "type_unknown")
-                    {
-                        (
-                            by_name.get(c.name.as_str()).cloned().unwrap_or_default(),
-                            "fallback",
-                        )
-                    } else {
-                        (cands, rung)
-                    };
+                    let (cands, rung) =
+                        if !use_imports && matches!(rung, "assoc_fallback" | "type_unknown") {
+                            (
+                                by_name.get(c.name.as_str()).cloned().unwrap_or_default(),
+                                "fallback",
+                            )
+                        } else {
+                            (cands, rung)
+                        };
                     stats.bump(rung);
                     let from_crate = crate_of(&f.qname);
+                    let precise = PRECISE_RUNGS.contains(&rung);
+                    let mut callees: BTreeSet<String> = BTreeSet::new();
                     for q in cands {
                         if q != f.qname && deps.edge_ok(from_crate, crate_of(q)) {
                             let inserted = calls.insert(q.to_string());
                             if inserted {
                                 match rung {
-                                    "fallback" => stats.fallback_edges += 1,
+                                    "fallback" => {
+                                        stats.fallback_edges += 1;
+                                        stats.fallback_pairs.push((f.qname.clone(), q.to_string()));
+                                    }
                                     "method_fallback" => stats.method_fallback_edges += 1,
                                     _ => {}
                                 }
@@ -780,8 +886,17 @@ impl CallGraph {
                             if c.in_par {
                                 par_calls.entry(q.to_string()).or_insert(c.line);
                             }
+                            if precise {
+                                callees.insert(q.to_string());
+                            }
                         }
                     }
+                    call_sites.push(ResolvedCall {
+                        name: c.name.clone(),
+                        line: c.line,
+                        args: c.args.clone(),
+                        callees,
+                    });
                 }
 
                 // Dedup sources by (line, kind) — `SystemTime::now()`
@@ -814,6 +929,15 @@ impl CallGraph {
                     effects,
                     index_sites: f.index_sites,
                     locks: f.locks.clone(),
+                    params: f.params.clone(),
+                    binds: f.binds.clone(),
+                    arith: f.arith.clone(),
+                    casts: f.casts.clone(),
+                    caps: f.caps.clone(),
+                    checked_sites: f.checked_sites,
+                    ret_idents: f.ret_idents.clone(),
+                    bounded: f.bounded.clone(),
+                    call_sites,
                 };
                 match nodes.entry(f.qname.clone()) {
                     std::collections::btree_map::Entry::Vacant(e) => {
@@ -832,11 +956,31 @@ impl CallGraph {
                         n.sig_mut |= node.sig_mut;
                         n.index_sites += node.index_sites;
                         n.locks.extend(node.locks);
+                        // Width data merges additively (extra sites and
+                        // flows are the sound direction); the twin with
+                        // more parameters wins the positional map.
+                        if node.params.len() > n.params.len() {
+                            n.params = node.params;
+                        }
+                        n.binds.extend(node.binds);
+                        n.arith.extend(node.arith);
+                        n.casts.extend(node.casts);
+                        n.caps.extend(node.caps);
+                        n.checked_sites += node.checked_sites;
+                        n.ret_idents.extend(node.ret_idents);
+                        n.bounded.extend(node.bounded);
+                        n.call_sites.extend(node.call_sites);
                     }
                 }
             }
         }
-        (CallGraph { nodes }, stats)
+        stats.fallback_pairs.sort();
+        stats.fallback_pairs.dedup();
+        let mut float_names = BTreeSet::new();
+        for fx in files {
+            float_names.extend(fx.float_names.iter().cloned());
+        }
+        (CallGraph { nodes, float_names }, stats)
     }
 
     /// Serializes the graph as stable, key-sorted JSON (schema
@@ -854,6 +998,10 @@ impl CallGraph {
         let edge_count: usize = self.nodes.values().map(|n| n.calls.len()).sum();
         s.push_str(&format!("  \"edge_count\": {edge_count},\n"));
         s.push_str(&format!("  \"resolution\": {},\n", stats.to_json_obj()));
+        s.push_str(&format!(
+            "  \"fallback_pairs\": {},\n",
+            stats.fallback_pairs_json()
+        ));
         s.push_str("  \"roots\": [");
         s.push_str(
             &roots

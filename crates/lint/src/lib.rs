@@ -47,6 +47,7 @@ pub mod lexer;
 pub mod purity;
 pub mod rules;
 pub mod taint;
+pub mod width;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -112,6 +113,8 @@ pub struct Report {
     pub resolution: Option<graph::ResolutionStats>,
     /// Purity classification counts (workspace / hybrid mode only).
     pub purity_counts: Option<BTreeMap<&'static str, usize>>,
+    /// Width/scale-taint counters (workspace / hybrid mode only).
+    pub width_counts: Option<BTreeMap<&'static str, usize>>,
 }
 
 impl Report {
@@ -182,6 +185,17 @@ impl Report {
             );
             out.push_str("},\n");
         }
+        if let Some(counts) = &self.width_counts {
+            out.push_str("  \"width\": {");
+            out.push_str(
+                &counts
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push_str("},\n");
+        }
         let remaining = self.allowed.len();
         let baseline_total: usize = rules::ALLOW_BASELINE.iter().map(|&(_, n)| n).sum();
         out.push_str(&format!("  \"allows_remaining\": {remaining},\n"));
@@ -219,6 +233,8 @@ pub struct Analysis {
     pub stats: graph::ResolutionStats,
     /// The interprocedural purity classification (for `--purity`).
     pub purity: purity::PurityMap,
+    /// The interprocedural scale-taint width analysis (for `--width`).
+    pub width: width::WidthMap,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -629,10 +645,12 @@ fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
     let (g, stats) = graph::CallGraph::build_with_opts(&extracts, deps, true);
     let (roots, hot_roots) = taint::resolve_roots(&g);
     let pm = purity::PurityMap::compute(&g);
+    let wm = width::WidthMap::compute(&g);
     let mut ghits = taint::check_reachability(&g, &roots, &hot_roots);
     ghits.extend(taint::check_lock_order(&g));
     ghits.extend(purity::check_effect_free(&g, &pm));
     ghits.extend(purity::check_par_purity(&g, &pm));
+    ghits.extend(width::check_width(&wm));
 
     let mut by_file: BTreeMap<&str, Vec<&taint::GraphHit>> = BTreeMap::new();
     for h in &ghits {
@@ -649,6 +667,7 @@ fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
     }
     report.resolution = Some(stats.clone());
     report.purity_counts = Some(pm.counts());
+    report.width_counts = Some(wm.counts(&g));
     Analysis {
         report,
         graph: g,
@@ -656,6 +675,7 @@ fn finish_analysis(passes: Vec<FilePass>, deps: &graph::CrateDeps) -> Analysis {
         hot_roots,
         stats,
         purity: pm,
+        width: wm,
     }
 }
 

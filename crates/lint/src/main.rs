@@ -6,6 +6,7 @@
 //! cargo run -p specweb-lint -- --graph       # write results/callgraph.json
 //! cargo run -p specweb-lint -- --stats       # write results/lint_report.json
 //! cargo run -p specweb-lint -- --purity      # write results/purity.json
+//! cargo run -p specweb-lint -- --width       # write results/widthflow.json
 //! cargo run -p specweb-lint -- --jobs 4      # parallel per-file pass
 //! cargo run -p specweb-lint -- --list-rules  # print the rule table
 //! ```
@@ -24,6 +25,7 @@ struct Options {
     stats: bool,
     graph: bool,
     purity: bool,
+    width: bool,
     jobs: usize,
     list_rules: bool,
     quiet: bool,
@@ -31,13 +33,14 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: specweb-lint [--root PATH] [--deny-all] [--stats] [--graph] [--purity] \
-     [--jobs N] [--list-rules] [--quiet]\n\
+     [--width] [--jobs N] [--list-rules] [--quiet]\n\
      \n\
      --root PATH    workspace root to lint (default: this workspace)\n\
      --deny-all     treat unused lint:allow suppressions as errors (CI mode)\n\
      --stats        write <root>/results/lint_report.json and print a summary\n\
      --graph        write <root>/results/callgraph.json (the resolved call graph)\n\
      --purity       write <root>/results/purity.json (per-fn purity classes)\n\
+     --width        write <root>/results/widthflow.json (scale-taint width analysis)\n\
      --jobs N       fan the per-file pass over N workers (output is byte-identical\n\
                     for any N; default 1)\n\
      --list-rules   print the rule table and exit\n\
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         graph: false,
         purity: false,
+        width: false,
         jobs: 1,
         list_rules: false,
         quiet: false,
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--graph" => opts.graph = true,
             "--purity" => opts.purity = true,
+            "--width" => opts.width = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a count")?;
                 opts.jobs = v
@@ -130,7 +135,7 @@ fn main() -> ExitCode {
     }
 
     let results = opts.root.join("results");
-    if (opts.stats || opts.graph || opts.purity) && !results.exists() {
+    if (opts.stats || opts.graph || opts.purity || opts.width) && !results.exists() {
         if let Err(e) = std::fs::create_dir_all(&results) {
             eprintln!("specweb-lint: create {}: {e}", results.display());
             return ExitCode::from(2);
@@ -152,6 +157,15 @@ fn main() -> ExitCode {
     if opts.purity {
         let out = results.join("purity.json");
         if let Err(e) = std::fs::write(&out, analysis.purity.to_json(&analysis.graph)) {
+            eprintln!("specweb-lint: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    if opts.width {
+        let out = results.join("widthflow.json");
+        if let Err(e) = std::fs::write(&out, analysis.width.to_json(&analysis.graph)) {
             eprintln!("specweb-lint: write {}: {e}", out.display());
             return ExitCode::from(2);
         }
@@ -184,6 +198,23 @@ fn main() -> ExitCode {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
+        }
+        if let Some(counts) = &report.width_counts {
+            println!(
+                "width: {}",
+                counts
+                    .iter()
+                    .map(|(k, v)| format!("{k} {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        println!(
+            "fallback pairs pinned: {} (golden-tested ceiling; see results/callgraph.json)",
+            stats.fallback_pairs.len()
+        );
+        for (from, to) in &stats.fallback_pairs {
+            println!("  {from} -> {to}");
         }
         let per_rule = report.per_rule();
         println!("allows retired vs remaining (line-engine baseline -> now):");

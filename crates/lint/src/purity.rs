@@ -166,11 +166,7 @@ impl PurityMap {
         loop {
             match self.why.get(&cur) {
                 Some(Why::Direct { line, kind, what }) => {
-                    let file = g
-                        .nodes
-                        .get(&cur)
-                        .map(|n| n.file.as_str())
-                        .unwrap_or("?");
+                    let file = g.nodes.get(&cur).map(|n| n.file.as_str()).unwrap_or("?");
                     parts.push(format!("{cur} ({kind} `{what}` at {file}:{line})"));
                     break;
                 }
@@ -466,10 +462,12 @@ fn quiet(y: u32) -> u32 { y }
         let pm = PurityMap::compute(&g);
         let json = pm.to_json(&g);
         assert!(json.contains("\"schema\": \"specweb-purity/v1\""));
-        assert!(json.contains(
-            "\"effect_exempt\": 0, \"effectful\": 1, \"local_mut\": 0, \"pure\": 1"
-        ));
-        assert!(json.contains("\"a::f\": {\"class\": \"effectful\", \"why\": \"a::f (io `println!`"));
+        assert!(
+            json.contains("\"effect_exempt\": 0, \"effectful\": 1, \"local_mut\": 0, \"pure\": 1")
+        );
+        assert!(
+            json.contains("\"a::f\": {\"class\": \"effectful\", \"why\": \"a::f (io `println!`")
+        );
         assert_eq!(json, pm.to_json(&g), "stable rendering");
     }
 }

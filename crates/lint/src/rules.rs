@@ -88,6 +88,24 @@ pub const RULES: &[Rule] = &[
                   closure outside the Obs channel — pool interleaving \
                   makes the effect order vary with --jobs",
     },
+    Rule {
+        id: "W1",
+        summary: "width: unchecked widening arithmetic (*, +, <<) on a \
+                  scale-tainted integer — use checked_*/saturating_* or \
+                  prove the bound",
+    },
+    Rule {
+        id: "W2",
+        summary: "width: narrowing cast (as u32/usize/...) of a \
+                  scale-tainted value with no dominating bound check — \
+                  use try_into or bound first",
+    },
+    Rule {
+        id: "W3",
+        summary: "width: capacity allocation (Vec::with_capacity, \
+                  vec![_; n]) sized by a tainted, unchecked expression — \
+                  validate against an explicit cap",
+    },
 ];
 
 /// Per-rule `lint:allow` counts as of the line-engine sweep (PR 4),

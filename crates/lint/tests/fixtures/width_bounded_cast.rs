@@ -1,0 +1,8 @@
+//! W2 clean fixture: the narrowing cast is dominated by an explicit
+//! bound check in the same function, so no finding fires.
+pub fn clamp_days(duration_days: u64) -> usize {
+    if duration_days > 4096 {
+        return 4096;
+    }
+    duration_days as usize
+}

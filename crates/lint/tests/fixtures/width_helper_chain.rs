@@ -1,0 +1,9 @@
+//! Interprocedural fixture: the hazard lives in a helper that never
+//! mentions a seed by name — taint arrives through the call argument.
+fn scale(n: u64) -> u64 {
+    n * 4
+}
+
+pub fn run(sessions_per_day: u64) -> u64 {
+    scale(sessions_per_day)
+}

@@ -1,0 +1,6 @@
+//! W3 fixture: a capacity reservation sized directly by a scale seed.
+pub fn preallocate(n_clients: usize) -> Vec<u64> {
+    let mut v = Vec::with_capacity(n_clients);
+    v.push(0);
+    v
+}

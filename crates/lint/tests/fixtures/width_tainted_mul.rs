@@ -1,0 +1,11 @@
+//! W1 fixture: a widening multiply of two scale-seeded values with no
+//! checked/saturating guard anywhere in the flow.
+pub struct TraceConfig {
+    pub duration_days: u64,
+    pub sessions_per_day: u64,
+}
+
+pub fn total_sessions(cfg: &TraceConfig) -> u64 {
+    let days = cfg.duration_days;
+    days * cfg.sessions_per_day
+}

@@ -1,0 +1,4 @@
+//! W2 fixture: the same narrowing cast with the bound check removed.
+pub fn clamp_days(duration_days: u64) -> usize {
+    duration_days as usize
+}

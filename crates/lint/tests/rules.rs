@@ -152,9 +152,9 @@ fn lifetime_ticks_are_not_char_literals() {
 
 #[test]
 fn fixtures_all_have_a_test() {
-    // Every fixture file must be exercised above or in tests/graph.rs;
-    // a fixture nobody reads is dead weight. Keep this list in sync
-    // when adding one.
+    // Every fixture file must be exercised above or in tests/graph.rs
+    // or tests/width.rs; a fixture nobody reads is dead weight. Keep
+    // this list in sync when adding one.
     let used = [
         "allow_bad.rs",
         "allow_good.rs",
@@ -176,6 +176,11 @@ fn fixtures_all_have_a_test() {
         "lex_lifetime.rs",
         "s1_bad.rs",
         "s2_bad.rs",
+        "width_bounded_cast.rs",
+        "width_helper_chain.rs",
+        "width_tainted_capacity.rs",
+        "width_tainted_mul.rs",
+        "width_unbounded_cast.rs",
     ];
     let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
     let mut on_disk: Vec<String> = std::fs::read_dir(&dir)

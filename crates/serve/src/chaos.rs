@@ -294,7 +294,7 @@ pub fn run_chaos(addr: SocketAddr, cfg: &ChaosConfig) -> Result<ChaosReport> {
         responses_ok: 0,
     };
     for c in &clients {
-        report.requests_sent += c.requests;
+        report.requests_sent = report.requests_sent.saturating_add(c.requests);
         report.responses_ok += c.ends.min(c.requests);
         if c.busy {
             report.refused += 1;

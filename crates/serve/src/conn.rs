@@ -235,7 +235,7 @@ impl ConnCore {
         };
         match req {
             Request::Quit => self.phase = Phase::Draining,
-            Request::Stats => self.pending_stats += 1,
+            Request::Stats => self.pending_stats = self.pending_stats.saturating_add(1),
             Request::Get { doc, have } => {
                 self.counters.requests += 1;
                 if doc.index() >= k.catalog.len() {

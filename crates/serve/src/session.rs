@@ -83,7 +83,9 @@ impl KnowledgeSpec {
         let topo = Topology::two_level(4, 6);
         let mut tc = TraceConfig::small(self.seed);
         tc.duration_days = self.duration_days;
-        tc.sessions_per_day = self.sessions_per_day as usize;
+        // usize::MAX on (impossible) overflow trips the generator's own
+        // session-volume validation instead of panicking here.
+        tc.sessions_per_day = usize::try_from(self.sessions_per_day).unwrap_or(usize::MAX);
         let trace = TraceGenerator::new(tc)?.generate(&topo)?;
         let direct = DepMatrixBuilder::estimate(
             &trace.accesses,
@@ -297,16 +299,16 @@ fn summarize(core: &ConnCore) -> ConnSummary {
 
 fn build_summary(conns: Vec<ConnSummary>, accepted: u64, refused: u64) -> SessionSummary {
     let mut digest = OutputDigest::new();
-    let mut requests = 0;
-    let mut pushes = 0;
-    let mut shed = 0;
-    let mut protocol_errors = 0;
+    let mut requests = 0u64;
+    let mut pushes = 0u64;
+    let mut shed = 0u64;
+    let mut protocol_errors = 0u64;
     for c in &conns {
         digest.update(c.digest.as_bytes());
-        requests += c.requests;
-        pushes += c.pushes;
-        shed += c.shed;
-        protocol_errors += c.protocol_errors;
+        requests = requests.saturating_add(c.requests);
+        pushes = pushes.saturating_add(c.pushes);
+        shed = shed.saturating_add(c.shed);
+        protocol_errors = protocol_errors.saturating_add(c.protocol_errors);
     }
     digest.update(format!("refused={refused}").as_bytes());
     SessionSummary {

@@ -244,7 +244,7 @@ impl MatrixStore {
         // build. The inner closure runs serially here — one parallel
         // level is enough, and it avoids quadratic thread fan-out.
         let days: Vec<u64> = (0..=total_days)
-            .step_by(cfg.update_cycle_days.max(1) as usize)
+            .step_by(usize::try_from(cfg.update_cycle_days.max(1)).expect("cycle fits usize"))
             .collect();
         let by_boundary = specweb_core::par::Pool::auto()
             .try_map_indexed(&days, |_, &day| est.estimate_at_jobs(day, 1))?;

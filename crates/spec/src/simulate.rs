@@ -179,22 +179,27 @@ struct ReplayCounters {
 }
 
 impl ReplayCounters {
-    /// Merges a shard's counters (all plain sums, so the merge is exact
-    /// and order-independent; shards still merge in canonical order).
+    /// Merges a shard's counters (saturating sums, so the merge is exact
+    /// short of u64::MAX and order-independent; shards still merge in
+    /// canonical order).
     fn merge(&mut self, other: &ReplayCounters) {
-        self.pushes += other.pushes;
-        self.push_bytes += other.push_bytes;
-        self.wasted_pushes += other.wasted_pushes;
-        self.wasted_push_bytes += other.wasted_push_bytes;
-        self.cache_hits += other.cache_hits;
-        self.prefetches += other.prefetches;
-        self.retries += other.retries;
-        self.unavailable += other.unavailable;
-        self.retry_wait_ms += other.retry_wait_ms;
-        self.stalled += other.stalled;
-        self.stall_wait_ms += other.stall_wait_ms;
-        self.slow_served += other.slow_served;
-        self.partial_write_pushes += other.partial_write_pushes;
+        self.pushes = self.pushes.saturating_add(other.pushes);
+        self.push_bytes = self.push_bytes.saturating_add(other.push_bytes);
+        self.wasted_pushes = self.wasted_pushes.saturating_add(other.wasted_pushes);
+        self.wasted_push_bytes = self
+            .wasted_push_bytes
+            .saturating_add(other.wasted_push_bytes);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.prefetches = self.prefetches.saturating_add(other.prefetches);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.unavailable = self.unavailable.saturating_add(other.unavailable);
+        self.retry_wait_ms = self.retry_wait_ms.saturating_add(other.retry_wait_ms);
+        self.stalled = self.stalled.saturating_add(other.stalled);
+        self.stall_wait_ms = self.stall_wait_ms.saturating_add(other.stall_wait_ms);
+        self.slow_served = self.slow_served.saturating_add(other.slow_served);
+        self.partial_write_pushes = self
+            .partial_write_pushes
+            .saturating_add(other.partial_write_pushes);
         self.service.merge(&other.service);
         self.stalled_service.merge(&other.stalled_service);
         self.slow_service.merge(&other.slow_service);
@@ -310,6 +315,7 @@ impl<'a> SpecSim<'a> {
         clusters.dedup();
         let shard_index: std::collections::BTreeMap<specweb_core::ids::NodeId, usize> =
             clusters.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        // lint:allow(W3): one shard per already-materialized cluster id
         let mut shards: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
         for (i, a) in trace.accesses.iter().enumerate() {
             shards[shard_index[&client_cluster[a.client.index()]]].push(i);
@@ -566,6 +572,7 @@ impl<'a> SpecSim<'a> {
             caches[ci].on_request(a.time);
             if measured {
                 totals.accesses += 1;
+                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                 totals.accessed_bytes += size;
             }
 
@@ -615,7 +622,9 @@ impl<'a> SpecSim<'a> {
                     was_stalled = true;
                     if measured {
                         counters.stalled += 1;
-                        counters.stall_wait_ms += resume.since(fetch_time).as_millis();
+                        counters.stall_wait_ms = counters
+                            .stall_wait_ms
+                            .saturating_add(resume.since(fetch_time).as_millis());
                     }
                     fetch_time = resume;
                 }
@@ -643,7 +652,9 @@ impl<'a> SpecSim<'a> {
                         continue;
                     }
                     if measured {
-                        counters.retry_wait_ms += fetch_time.since(after_stall).as_millis();
+                        counters.retry_wait_ms = counters
+                            .retry_wait_ms
+                            .saturating_add(fetch_time.since(after_stall).as_millis());
                     }
                 }
                 delay_factor = f.plan.edges_delay_factor(edges, fetch_time);
@@ -659,8 +670,10 @@ impl<'a> SpecSim<'a> {
                 }
             }
             if measured {
+                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                 totals.miss_bytes += size;
                 totals.server_requests += 1;
+                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                 totals.bytes_sent += size;
                 let fetch_ms = cfg.latency.fetch(size, hops).as_millis();
                 let served_ms =
@@ -706,12 +719,14 @@ impl<'a> SpecSim<'a> {
                     }
                     let jsize = catalog.size(j);
                     counters.pushes += 1;
-                    counters.push_bytes += jsize.get();
+                    counters.push_bytes = counters.push_bytes.saturating_add(jsize.get());
                     if cache.peek(j) {
                         counters.wasted_pushes += 1;
-                        counters.wasted_push_bytes += jsize.get();
+                        counters.wasted_push_bytes =
+                            counters.wasted_push_bytes.saturating_add(jsize.get());
                     }
                     if measured {
+                        // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                         totals.bytes_sent += jsize;
                     }
                     if let Some(f) = faults {
@@ -721,6 +736,7 @@ impl<'a> SpecSim<'a> {
                             // wasted first copy still crossed the wire.
                             counters.partial_write_pushes += 1;
                             if measured {
+                                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                                 totals.bytes_sent += jsize;
                             }
                         }
@@ -740,6 +756,7 @@ impl<'a> SpecSim<'a> {
                         counters.prefetches += 1;
                         if measured {
                             totals.server_requests += 1;
+                            // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                             totals.bytes_sent += jsize;
                         }
                         caches[ci].insert(j, jsize);
@@ -849,6 +866,7 @@ impl<'a> SpecSim<'a> {
             counters.prefetches += 1;
             if measured {
                 totals.server_requests += 1;
+                // lint:allow(W1): Bytes AddAssign saturates (units::unit_arith!)
                 totals.bytes_sent += jsize;
             }
             cache.insert(j, jsize);

@@ -21,6 +21,12 @@ use specweb_netsim::topology::Topology;
 
 use crate::document::PopularityClass;
 
+/// Upper bound on the client population: far above the million-client
+/// traces we target, but low enough that the per-client preallocations
+/// (`n_clients × size_of::<Client>`, the activity CDF, the Zipf weight
+/// table) stay a small fraction of addressable memory.
+pub const MAX_CLIENTS: usize = 1 << 30;
+
 /// Whether a client is inside the producing organization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Locality {
@@ -140,6 +146,15 @@ impl ClientPopulation {
                 "must be positive",
             ));
         }
+        // Dominating bound for every per-client allocation below: an
+        // unchecked `with_capacity(n_clients)` is how a fat-fingered
+        // scale factor turns into an instant OOM.
+        if cfg.n_clients > MAX_CLIENTS {
+            return Err(specweb_core::CoreError::invalid_config(
+                "clients.n_clients",
+                "exceeds MAX_CLIENTS (1 << 30)",
+            ));
+        }
         if !(0.0..=1.0).contains(&cfg.local_fraction) {
             return Err(specweb_core::CoreError::invalid_config(
                 "clients.local_fraction",
@@ -176,7 +191,11 @@ impl ClientPopulation {
             };
         }
 
-        let n_local = ((cfg.n_clients as f64) * cfg.local_fraction).round() as usize;
+        // `local_fraction` is validated to [0, 1], but the f64 roundtrip
+        // can still drift at large populations — clamp so the Local
+        // partition can never exceed the population itself.
+        let n_local =
+            (((cfg.n_clients as f64) * cfg.local_fraction).round() as usize).min(cfg.n_clients);
         let mut clients = Vec::with_capacity(cfg.n_clients);
         for i in 0..cfg.n_clients {
             let (locality, pool) = if i < n_local {
@@ -360,6 +379,34 @@ mod tests {
             ..Default::default()
         };
         assert!(ClientPopulation::generate(&seed, &t, &cfg).is_err());
+        let cfg = ClientConfig {
+            n_clients: MAX_CLIENTS + 1,
+            ..Default::default()
+        };
+        assert!(ClientPopulation::generate(&seed, &t, &cfg).is_err());
+    }
+
+    /// Regression for the W2 fix at the `n_local` roundtrip: at
+    /// scale-100 magnitudes (a million clients) the
+    /// `n_clients × local_fraction` product takes an f64 detour, and
+    /// the Local partition must still land inside the population for
+    /// any validated fraction — including the 1.0 edge where rounding
+    /// drift would previously have been able to push it past the end.
+    #[test]
+    fn local_partition_never_exceeds_population_at_scale() {
+        let seed = SeedTree::new(31);
+        let t = topo();
+        for frac in [0.0, 0.3, 0.9999999, 1.0] {
+            let cfg = ClientConfig {
+                n_clients: 1_000_000,
+                local_fraction: frac,
+                ..Default::default()
+            };
+            let p = ClientPopulation::generate(&seed, &t, &cfg).unwrap();
+            let (local, remote) = p.locality_counts();
+            assert_eq!(local + remote, 1_000_000);
+            assert!(local <= 1_000_000, "frac {frac}: {local}");
+        }
     }
 
     #[test]

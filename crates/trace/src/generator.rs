@@ -271,6 +271,13 @@ impl TraceConfig {
 /// stays inside `u64` arithmetic.
 pub const MAX_TOTAL_SESSIONS: u64 = 1 << 40;
 
+/// Upper bound on the simulated duration alone: almost three millennia.
+/// `MAX_TOTAL_SESSIONS` caps the *product*, but with
+/// `sessions_per_day == 0` the product check passes vacuously while
+/// per-day structures (churn snapshots, day shards) still allocate one
+/// slot per day — so the day count needs its own ceiling.
+pub const MAX_DURATION_DAYS: u64 = 1 << 20;
+
 /// The trace generator.
 #[derive(Debug)]
 pub struct TraceGenerator {
@@ -295,6 +302,12 @@ impl TraceGenerator {
             return Err(specweb_core::CoreError::invalid_config(
                 "trace.duration_days",
                 "must be positive",
+            ));
+        }
+        if cfg.duration_days > MAX_DURATION_DAYS {
+            return Err(specweb_core::CoreError::invalid_config(
+                "trace.duration_days",
+                "exceeds MAX_DURATION_DAYS (1 << 20)",
             ));
         }
         if !(0.0..=1.0).contains(&cfg.link_churn_per_day) {
@@ -382,7 +395,7 @@ impl TraceGenerator {
         // trace's final graph. Without churn every day shares the base
         // graphs and nothing is cloned.
         let day_graphs: Option<Vec<Vec<SiteGraph>>> = if cfg.link_churn_per_day > 0.0 {
-            let mut snapshots = Vec::with_capacity(cfg.duration_days as usize);
+            let mut snapshots = Vec::with_capacity(usize::try_from(cfg.duration_days).unwrap_or(0));
             for day in 0..cfg.duration_days {
                 snapshots.push(graphs.clone());
                 let mut churn_rng = seed.child_idx("churn", day).rng();
@@ -407,14 +420,16 @@ impl TraceGenerator {
         let days: Vec<u64> = (0..cfg.duration_days).collect();
         let day_shards: Vec<Vec<Access>> =
             specweb_core::par::par_map_indexed(jobs, &days, |_, &day| {
+                let day_idx = usize::try_from(day).unwrap_or(usize::MAX);
                 let graphs_today: &[SiteGraph] = day_graphs
                     .as_ref()
-                    .map_or(&graphs[..], |snaps| &snaps[day as usize][..]);
+                    .map_or(&graphs[..], |snaps| &snaps[day_idx][..]);
                 let mut rng = seed.child_idx("day-sessions", day).rng();
                 let mut out: Vec<Access> = Vec::with_capacity(day_capacity);
                 let day_start = SimTime::from_days(day);
                 for i in 0..spd {
                     let start = day_start
+                        // lint:allow(W1): SimTime + Duration saturates (time.rs Add impl)
                         + Duration::from_millis(rng.gen_range(0..Duration::DAY.as_millis()));
                     let client_id = clients.sample_client(&mut rng);
                     let client = *clients.get(client_id);
@@ -426,7 +441,7 @@ impl TraceGenerator {
                         client_id,
                         client.locality,
                         start,
-                        day * spd + i,
+                        day.saturating_mul(spd).saturating_add(i),
                         &mut out,
                     );
                 }
@@ -435,12 +450,13 @@ impl TraceGenerator {
 
         // Deterministic per-shard merge, in day order.
         let n_accesses: u64 = day_shards.iter().map(|s| s.len() as u64).sum();
-        let mut accesses: Vec<Access> = Vec::with_capacity(n_accesses as usize);
+        let mut accesses: Vec<Access> =
+            Vec::with_capacity(usize::try_from(n_accesses).unwrap_or(0));
         for shard in day_shards {
             accesses.extend(shard);
         }
         accesses.sort_by_key(|a| (a.time, a.client, a.doc));
-        let n_sessions = cfg.duration_days * spd;
+        let n_sessions = cfg.duration_days.saturating_mul(spd);
 
         // Per-run totals (deterministic channel): a pure function of the
         // configuration, merged from the day shards in day order.
@@ -813,6 +829,22 @@ mod tests {
         let mut cfg = TraceConfig::small(1);
         cfg.duration_days = 36_500;
         cfg.sessions_per_day = 1_000_000;
+        assert!(TraceGenerator::new(cfg).is_ok());
+    }
+
+    /// Regression for the day-count ceiling: `sessions_per_day == 0`
+    /// makes the session-volume product check pass vacuously, but the
+    /// per-day structures (churn snapshots, day shards) still allocate
+    /// one slot per day — the day count needs its own bound.
+    #[test]
+    fn rejects_absurd_day_count_even_with_zero_sessions() {
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = MAX_DURATION_DAYS + 1;
+        cfg.sessions_per_day = 0;
+        assert!(TraceGenerator::new(cfg).is_err());
+        let mut cfg = TraceConfig::small(1);
+        cfg.duration_days = MAX_DURATION_DAYS;
+        cfg.sessions_per_day = 0;
         assert!(TraceGenerator::new(cfg).is_ok());
     }
 

@@ -150,6 +150,7 @@ pub fn trace_from_records(
             };
             Client {
                 id: ClientId::from(i),
+                // lint:allow(W2): value is `% pool.len()`, strictly below usize range
                 node: pool[(splitmix64(i as u64) % pool.len() as u64) as usize],
                 locality,
             }

@@ -125,7 +125,7 @@ impl LogRecord {
 
 /// Writes a trace's accesses as log lines.
 pub fn write_log(trace: &crate::generator::Trace) -> String {
-    let mut out = String::with_capacity(trace.len() * 64);
+    let mut out = String::with_capacity(trace.len().saturating_mul(64));
     for a in &trace.accesses {
         let rec = LogRecord {
             client: a.client,

@@ -69,7 +69,9 @@ fn wire_links<R: Rng + ?Sized>(
     let mut guard = 0;
     while links.len() < k && guard < 100 * k {
         guard += 1;
-        let t = zipf.sample(rng) as u32;
+        // u32::MAX on (impossible — n_pages is validated to 32 bits)
+        // overflow can never collide with a real page id.
+        let t = u32::try_from(zipf.sample(rng)).unwrap_or(u32::MAX);
         if t as usize == i || links.contains(&t) {
             continue;
         }
@@ -83,7 +85,7 @@ fn wire_links<R: Rng + ?Sized>(
     let mut guard = 0;
     while links.len() < k && guard < 100 * k {
         guard += 1;
-        let t = zipf.sample(rng) as u32;
+        let t = u32::try_from(zipf.sample(rng)).unwrap_or(u32::MAX);
         if t as usize != i && !links.contains(&t) {
             links.push(t);
         }
@@ -160,6 +162,15 @@ impl SiteGraph {
         sizes: &SizeModel,
         catalog: &mut Catalog,
     ) -> Result<SiteGraph> {
+        // Page ids are `u32` on the wire (`Page.links`), and every
+        // per-page table below preallocates one slot per page — so the
+        // page count needs a hard ceiling before either is safe.
+        if cfg.n_pages > u32::MAX as usize {
+            return Err(specweb_core::CoreError::invalid_config(
+                "sitegraph.n_pages",
+                "page ids are u32: n_pages must fit in 32 bits",
+            ));
+        }
         let mut rng = seed.child_idx("sitegraph", u64::from(server.raw())).rng();
         let zipf = Zipf::new(cfg.n_pages, cfg.zipf_theta)?;
 
@@ -192,7 +203,9 @@ impl SiteGraph {
             let mutable = sample_mutable(&mut rng);
             let doc = catalog.push(server, sizes.sample_page(&mut rng), class, mutable, true);
             let n_emb = sample_geometric(&mut rng, cfg.mean_embedded);
-            let mut embedded = Vec::with_capacity(n_emb);
+            // Capacity hint only — the geometric tail is unbounded, so
+            // cap the reservation; the vec still grows to hold any n_emb.
+            let mut embedded = Vec::with_capacity(n_emb.min(64));
             for _ in 0..n_emb {
                 // The guard preserves the RNG stream: the shared-pool
                 // coin is only tossed when a pool exists, exactly as

@@ -32,7 +32,11 @@ fn main() -> Result<(), CoreError> {
     println!(
         "parsed {} records ({} malformed), cleaning kept {} \
          (dropped: {} non-existent, {} scripts, {} live; {} aliased)",
-        cleaned.len() + report.non_existent + report.scripts + report.live,
+        cleaned
+            .len()
+            .saturating_add(report.non_existent)
+            .saturating_add(report.scripts)
+            .saturating_add(report.live),
         bad_lines.len(),
         report.kept,
         report.non_existent,

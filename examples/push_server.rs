@@ -73,7 +73,7 @@ fn main() -> Result<(), CoreError> {
             cache_hits += 1;
         } else {
             wire_requests += 1;
-            pushed_total += r.pushed.len() as u64;
+            pushed_total = pushed_total.saturating_add(r.pushed.len() as u64);
         }
     }
     client.quit()?;

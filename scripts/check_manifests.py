@@ -72,6 +72,17 @@ LINT_RULE_HINTS = (
     ("thread", "D5/G1", "an ad-hoc thread raced the deterministic channel"),
     ("metrics", "D1/D2/G1", "a partial_cmp float sort or hash-map iteration "
                             "order leaked into deterministic results"),
+    # Overflow-shaped drift (DESIGN §14): a totals/counter field that
+    # shrank or wrapped between runs points at unchecked width
+    # arithmetic on a scale-tainted value, not at nondeterminism.
+    ("totals", "W1", "a scale-magnitude counter merge may have wrapped — "
+                     "look for unchecked `+`/`*` on tainted sums"),
+    ("bytes", "W1/W2", "a byte total wrapped, or a narrowing cast "
+                       "truncated it on the way into the manifest"),
+    ("counters", "W1", "a scale-magnitude counter merge may have wrapped — "
+                       "look for unchecked `+`/`*` on tainted sums"),
+    ("hops", "W1", "hop-weighted traffic is bytes × depth — the widening "
+                   "multiply must be checked or saturating"),
 )
 
 
@@ -79,8 +90,8 @@ def lint_hint(path):
     for fragment, rules, why in LINT_RULE_HINTS:
         if fragment in path.lower():
             return (f" [lint rule {rules}: {why}; run "
-                    f"`cargo run -p specweb-lint -- --graph` for the "
-                    f"root-to-source evidence chain]")
+                    f"`cargo run -p specweb-lint -- --graph --width` for "
+                    f"the root-to-seed evidence chain]")
     return ""
 
 

@@ -244,7 +244,7 @@ fn cmd_speculate(opts: &Opts) -> Result<(), CoreError> {
     let total_days = (trace.duration.as_millis() / 86_400_000).max(1);
 
     let mut cfg = SpecConfig::baseline(opts.f64_or("tp", 0.3));
-    cfg.estimator.history_days = (total_days * 2 / 3).max(1);
+    cfg.estimator.history_days = (total_days.saturating_mul(2) / 3).max(1);
     cfg.warmup_days = (total_days / 3).min(30);
     if let Some(ms) = opts.bytes("max-size") {
         cfg.max_size = ms;
